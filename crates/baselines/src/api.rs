@@ -1,0 +1,100 @@
+//! The common interface all table builders implement.
+
+use core::fmt;
+use wfbn_core::error::CoreError;
+use wfbn_core::potential::PotentialTable;
+use wfbn_data::Dataset;
+
+/// Errors from baseline builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// An error from the core primitives (empty dataset, zero threads, …).
+    Core(CoreError),
+    /// The dense atomic-array builder cannot materialize this key space.
+    KeySpaceTooLarge {
+        /// Keys the schema admits.
+        space: u64,
+        /// The builder's limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Core(e) => write!(f, "{e}"),
+            BaselineError::KeySpaceTooLarge { space, limit } => write!(
+                f,
+                "key space of {space} exceeds the dense-array limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<CoreError> for BaselineError {
+    fn from(e: CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+/// Read-only view over a finished count table, independent of its physical
+/// representation (distributed hash tables, one shared map, dense array…).
+pub trait CountsView: Send {
+    /// Count of one key (0 if absent).
+    fn get(&self, key: u64) -> u64;
+
+    /// Sum of all counts (= `m`).
+    fn total_count(&self) -> u64;
+
+    /// Number of distinct keys with non-zero count.
+    fn num_entries(&self) -> usize;
+
+    /// All `(key, count)` entries, key-sorted (equivalence testing).
+    fn to_sorted_vec(&self) -> Vec<(u64, u64)>;
+}
+
+impl CountsView for PotentialTable {
+    fn get(&self, key: u64) -> u64 {
+        self.count_of(key)
+    }
+
+    fn total_count(&self) -> u64 {
+        PotentialTable::total_count(self)
+    }
+
+    fn num_entries(&self) -> usize {
+        PotentialTable::num_entries(self)
+    }
+
+    fn to_sorted_vec(&self) -> Vec<(u64, u64)> {
+        PotentialTable::to_sorted_vec(self)
+    }
+}
+
+/// A strategy for turning a dataset into a potential table with `threads`
+/// worker threads.
+pub trait TableBuilder: Sync {
+    /// Short stable name (bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Runs the build.
+    fn build(&self, data: &Dataset, threads: usize) -> Result<Box<dyn CountsView>, BaselineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = BaselineError::KeySpaceTooLarge {
+            space: 1 << 40,
+            limit: 1 << 26,
+        };
+        assert!(e.to_string().contains("dense-array limit"));
+        let e: BaselineError = CoreError::EmptyDataset.into();
+        assert!(e.to_string().contains("no samples"));
+    }
+}

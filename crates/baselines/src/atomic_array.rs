@@ -1,0 +1,151 @@
+//! Lock-free dense-array baseline.
+//!
+//! When the key space is small enough to materialize (`∏ r_j` cells), the
+//! whole "hash table" question disappears: one `fetch_add` per row on a
+//! dense `Vec<AtomicU64>` indexed directly by key. This is the paper's §IV-A
+//! remark — "Otherwise, an array can be used with its index corresponding to
+//! the key" — taken to its parallel conclusion.
+//!
+//! It is lock-free (and in fact wait-free on x86, where `lock xadd` always
+//! completes) but *not* contention-free: popular keys still ping-pong their
+//! cache line between cores, and the memory footprint is exponential in `n`.
+//! The benchmark ladder uses it to separate "no locks" from "no sharing":
+//! the paper's primitive has both properties, this baseline only the first.
+
+use crate::api::{BaselineError, CountsView, TableBuilder};
+use core::sync::atomic::{AtomicU64, Ordering};
+use wfbn_core::codec::KeyCodec;
+use wfbn_core::error::CoreError;
+use wfbn_data::Dataset;
+
+/// Default refusal threshold: 2^26 cells = 512 MiB of counters.
+pub const DEFAULT_MAX_CELLS: u64 = 1 << 26;
+
+/// Output of a dense atomic build.
+pub struct DenseCounts {
+    cells: Vec<u64>,
+}
+
+impl CountsView for DenseCounts {
+    fn get(&self, key: u64) -> u64 {
+        self.cells.get(key as usize).copied().unwrap_or(0)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    fn num_entries(&self) -> usize {
+        self.cells.iter().filter(|&&c| c > 0).count()
+    }
+
+    fn to_sorted_vec(&self) -> Vec<(u64, u64)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (k as u64, c))
+            .collect()
+    }
+}
+
+/// Builds the table as a dense array of atomic counters.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicArrayBuilder {
+    /// Largest key space this builder will materialize.
+    pub max_cells: u64,
+}
+
+impl Default for AtomicArrayBuilder {
+    fn default() -> Self {
+        Self {
+            max_cells: DEFAULT_MAX_CELLS,
+        }
+    }
+}
+
+impl TableBuilder for AtomicArrayBuilder {
+    fn name(&self) -> &'static str {
+        "atomic-array"
+    }
+
+    fn build(&self, data: &Dataset, threads: usize) -> Result<Box<dyn CountsView>, BaselineError> {
+        if threads == 0 {
+            return Err(CoreError::ZeroThreads.into());
+        }
+        if data.num_samples() == 0 {
+            return Err(CoreError::EmptyDataset.into());
+        }
+        let codec = KeyCodec::new(data.schema());
+        let space = codec.state_space();
+        if space > self.max_cells {
+            return Err(BaselineError::KeySpaceTooLarge {
+                space,
+                limit: self.max_cells,
+            });
+        }
+        let cells: Vec<AtomicU64> = (0..space).map(|_| AtomicU64::new(0)).collect();
+        let chunks = wfbn_concurrent::row_chunks(data.num_samples(), threads);
+        let n = codec.num_vars();
+        wfbn_concurrent::run_on_threads(threads, |t| {
+            let chunk = chunks[t];
+            for row in data.row_range(chunk.start, chunk.end).chunks_exact(n) {
+                let key = codec.encode(row);
+                cells[key as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        Ok(Box::new(DenseCounts {
+            cells: cells.into_iter().map(AtomicU64::into_inner).collect(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_core::construct::sequential_build;
+    use wfbn_data::{Generator, Schema, UniformIndependent};
+
+    #[test]
+    fn matches_sequential_reference() {
+        let schema = Schema::new(vec![2, 3, 4]).unwrap();
+        let data = UniformIndependent::new(schema).generate(6_000, 3);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        for threads in [1usize, 3, 4] {
+            let out = AtomicArrayBuilder::default().build(&data, threads).unwrap();
+            assert_eq!(out.to_sorted_vec(), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn refuses_oversized_key_spaces() {
+        let schema = Schema::uniform(30, 2).unwrap(); // 2^30 > 2^26
+        let data = UniformIndependent::new(schema).generate(10, 1);
+        assert!(matches!(
+            AtomicArrayBuilder::default().build(&data, 2),
+            Err(BaselineError::KeySpaceTooLarge { .. })
+        ));
+        // The limit is the builder's, not hard-coded: a tight limit rejects
+        // even a tiny space, and raising it admits the same space.
+        let small = UniformIndependent::new(Schema::uniform(5, 2).unwrap()).generate(10, 1);
+        let tight = AtomicArrayBuilder { max_cells: 16 };
+        assert!(matches!(
+            tight.build(&small, 1),
+            Err(BaselineError::KeySpaceTooLarge {
+                space: 32,
+                limit: 16
+            })
+        ));
+        let lifted = AtomicArrayBuilder { max_cells: 32 };
+        assert!(lifted.build(&small, 1).is_ok());
+    }
+
+    #[test]
+    fn dense_view_reports_zero_for_out_of_space_keys() {
+        let schema = Schema::uniform(2, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(100, 9);
+        let out = AtomicArrayBuilder::default().build(&data, 1).unwrap();
+        assert_eq!(out.get(999), 0);
+        assert_eq!(out.total_count(), 100);
+    }
+}

@@ -1,0 +1,100 @@
+//! The pessimal baseline: one shared table behind one global mutex.
+//!
+//! Every update serializes. This is the textbook "locks leave cores idle"
+//! configuration the paper's introduction argues against; it anchors the
+//! bottom of the baseline ladder (its speedup curve is flat or negative at
+//! every thread count).
+
+use crate::api::{BaselineError, CountsView, TableBuilder};
+use parking_lot::Mutex;
+use wfbn_core::codec::KeyCodec;
+use wfbn_core::count_table::CountTable;
+use wfbn_core::error::CoreError;
+use wfbn_data::Dataset;
+
+/// Output of a global-mutex build.
+pub struct GlobalCounts {
+    table: CountTable,
+}
+
+impl CountsView for GlobalCounts {
+    fn get(&self, key: u64) -> u64 {
+        self.table.get(key)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.table.total_count()
+    }
+
+    fn num_entries(&self) -> usize {
+        self.table.len()
+    }
+
+    fn to_sorted_vec(&self) -> Vec<(u64, u64)> {
+        self.table.to_sorted_vec()
+    }
+}
+
+/// Builds the table through a single mutex-guarded map.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GlobalMutexBuilder;
+
+impl TableBuilder for GlobalMutexBuilder {
+    fn name(&self) -> &'static str {
+        "global-mutex"
+    }
+
+    fn build(&self, data: &Dataset, threads: usize) -> Result<Box<dyn CountsView>, BaselineError> {
+        if threads == 0 {
+            return Err(CoreError::ZeroThreads.into());
+        }
+        if data.num_samples() == 0 {
+            return Err(CoreError::EmptyDataset.into());
+        }
+        let codec = KeyCodec::new(data.schema());
+        let shared = Mutex::new(CountTable::new());
+        let chunks = wfbn_concurrent::row_chunks(data.num_samples(), threads);
+        let n = codec.num_vars();
+        wfbn_concurrent::run_on_threads(threads, |t| {
+            let chunk = chunks[t];
+            for row in data.row_range(chunk.start, chunk.end).chunks_exact(n) {
+                // Encode outside the lock (that much parallelism survives),
+                // update inside it.
+                let key = codec.encode(row);
+                shared.lock().increment(key, 1);
+            }
+        });
+        Ok(Box::new(GlobalCounts {
+            table: shared.into_inner(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_core::construct::sequential_build;
+    use wfbn_data::{Generator, Schema, UniformIndependent};
+
+    #[test]
+    fn matches_sequential_reference() {
+        let schema = Schema::new(vec![3, 2, 2]).unwrap();
+        let data = UniformIndependent::new(schema).generate(4_000, 2);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        for threads in [1usize, 2, 4] {
+            let out = GlobalMutexBuilder.build(&data, threads).unwrap();
+            assert_eq!(out.to_sorted_vec(), reference, "threads={threads}");
+            assert_eq!(out.total_count(), 4_000);
+        }
+    }
+
+    #[test]
+    fn view_accessors() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(50, 7);
+        let out = GlobalMutexBuilder.build(&data, 2).unwrap();
+        assert!(out.num_entries() <= 8);
+        let sum: u64 = (0..8u64).map(|k| out.get(k)).sum();
+        assert_eq!(sum, 50);
+    }
+}

@@ -1,0 +1,38 @@
+//! Single-threaded reference builder (the speedup denominator).
+
+use crate::api::{BaselineError, CountsView, TableBuilder};
+use wfbn_core::construct::sequential_build;
+use wfbn_data::Dataset;
+
+/// Builds the table on one thread regardless of the `threads` argument.
+///
+/// All speedups reported by the harness are relative to this builder, as in
+/// the paper ("compared to a single thread implementation").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SequentialBuilder;
+
+impl TableBuilder for SequentialBuilder {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn build(&self, data: &Dataset, _threads: usize) -> Result<Box<dyn CountsView>, BaselineError> {
+        let built = sequential_build(data)?;
+        Ok(Box::new(built.table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_data::{Generator, Schema, UniformIndependent};
+
+    #[test]
+    fn thread_argument_is_ignored() {
+        let schema = Schema::uniform(5, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(1_000, 4);
+        let a = SequentialBuilder.build(&data, 1).unwrap().to_sorted_vec();
+        let b = SequentialBuilder.build(&data, 8).unwrap().to_sorted_vec();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablation A1 — key-partitioner choice under uniform vs skewed keys.
+//!
+//! DESIGN.md: the paper's `key % P` partitioner assumes keys spread evenly;
+//! Zipf-skewed state distributions concentrate keys near zero, which is
+//! adversarial for a contiguous `range` partitioner (everything lands on
+//! core 0) but fine for `modulo` and `hashed`. This bench measures real
+//! build times; the companion statistic (stage-2 drain imbalance) is
+//! asserted in the test suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfbn_core::construct::waitfree_build_with;
+use wfbn_core::partition::KeyPartitioner;
+use wfbn_data::{Dataset, Generator, Schema, UniformIndependent, ZipfIndependent};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    let schema = Schema::uniform(24, 2).unwrap();
+    let space = schema.state_space_size();
+    let workloads: [(&str, Dataset); 2] = [
+        (
+            "uniform",
+            UniformIndependent::new(schema.clone()).generate(50_000, 7),
+        ),
+        (
+            "zipf",
+            ZipfIndependent::new(schema, 1.5)
+                .unwrap()
+                .generate(50_000, 7),
+        ),
+    ];
+    let p = 4;
+    for (workload_name, data) in &workloads {
+        for (part_name, part) in [
+            ("modulo", KeyPartitioner::modulo(p)),
+            ("range", KeyPartitioner::range(p, space)),
+            ("hashed", KeyPartitioner::hashed(p)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(part_name.to_string(), workload_name),
+                data,
+                |b, d| {
+                    b.iter(|| {
+                        black_box(
+                            waitfree_build_with(d, part)
+                                .unwrap()
+                                .stats
+                                .drain_imbalance(),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

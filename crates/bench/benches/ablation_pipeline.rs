@@ -1,0 +1,47 @@
+//! Ablation A2 — barrier two-stage build vs pipelined (barrier-free) build.
+//!
+//! Under balanced load the barrier costs `O(P)` against `O(mn/P)` work, so
+//! the two variants should tie; under skewed partition ownership (range
+//! partitioner + Zipf keys) the pipelined variant overlaps draining with
+//! encoding and should win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfbn_core::construct::waitfree_build_with;
+use wfbn_core::partition::KeyPartitioner;
+use wfbn_core::pipeline::pipelined_build_with;
+use wfbn_data::{Dataset, Generator, Schema, UniformIndependent, ZipfIndependent};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline-vs-barrier");
+    group.sample_size(10);
+    let schema = Schema::uniform(24, 2).unwrap();
+    let space = schema.state_space_size();
+    let p = 4;
+    let workloads: [(&str, Dataset, KeyPartitioner); 2] = [
+        (
+            "uniform-modulo",
+            UniformIndependent::new(schema.clone()).generate(50_000, 3),
+            KeyPartitioner::modulo(p),
+        ),
+        (
+            "zipf-range",
+            ZipfIndependent::new(schema, 1.5)
+                .unwrap()
+                .generate(50_000, 3),
+            KeyPartitioner::range(p, space),
+        ),
+    ];
+    for (name, data, part) in &workloads {
+        group.bench_with_input(BenchmarkId::new("two-stage", name), data, |b, d| {
+            b.iter(|| black_box(waitfree_build_with(d, *part).unwrap().table.num_entries()));
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined", name), data, |b, d| {
+            b.iter(|| black_box(pipelined_build_with(d, *part).unwrap().table.num_entries()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

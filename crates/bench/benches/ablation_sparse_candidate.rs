@@ -1,0 +1,50 @@
+//! Ablation A5 — Friedman-style sparse-candidate pruning for score-based
+//! search, driven by the paper's all-pairs MI primitive.
+//!
+//! The paper (§III): its primitives "yield a parallel and efficient tool to
+//! help reduce the search space of other structure learning algorithms",
+//! citing the sparse-candidate method. This bench measures greedy BIC hill
+//! climbing with and without the top-k MI candidate restriction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfbn_bn::hillclimb::HillClimber;
+use wfbn_bn::repository;
+use wfbn_core::allpairs::all_pairs_mi;
+use wfbn_core::construct::waitfree_build;
+
+fn bench_sparse_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse-candidate");
+    group.sample_size(10);
+    let net = repository::insurance_like();
+    let data = net.sample(10_000, 7);
+    let table = waitfree_build(&data, 4).unwrap().table;
+    let mi = all_pairs_mi(&table, 4);
+
+    group.bench_function(BenchmarkId::from_parameter("unrestricted"), |b| {
+        b.iter(|| {
+            let hc = HillClimber {
+                max_moves: 40,
+                ..HillClimber::default()
+            };
+            black_box(hc.learn_from_table(&table, data.schema()).unwrap().score)
+        });
+    });
+    for k in [3usize, 5] {
+        let candidates = HillClimber::sparse_candidates(&mi, k);
+        group.bench_with_input(BenchmarkId::new("top-k", k), &candidates, |b, cand| {
+            b.iter(|| {
+                let hc = HillClimber {
+                    max_moves: 40,
+                    candidates: Some(cand.clone()),
+                    ..HillClimber::default()
+                };
+                black_box(hc.learn_from_table(&table, data.schema()).unwrap().score)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_candidates);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the parallel marginalization primitive
+//! (Algorithm 3): thread scaling and marginal-set width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfbn_core::construct::waitfree_build;
+use wfbn_core::marginal::marginalize;
+use wfbn_core::potential::PotentialTable;
+use wfbn_data::{Generator, Schema, UniformIndependent};
+
+fn table(n: usize, m: usize, p: usize) -> PotentialTable {
+    let data = UniformIndependent::new(Schema::uniform(n, 2).unwrap()).generate(m, 42);
+    waitfree_build(&data, p).unwrap().table
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marginalization-threads");
+    group.sample_size(10);
+    let t = table(24, 100_000, 8);
+    for &p in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &t, |b, t| {
+            b.iter(|| black_box(marginalize(t, &[3, 17], p).unwrap().sum()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marginalization-width");
+    group.sample_size(10);
+    let t = table(24, 100_000, 4);
+    let var_sets: [&[usize]; 4] = [&[0], &[0, 12], &[0, 8, 16], &[0, 6, 12, 18]];
+    for vars in var_sets {
+        group.bench_with_input(BenchmarkId::from_parameter(vars.len()), &vars, |b, vars| {
+            b.iter(|| black_box(marginalize(&t, vars, 4).unwrap().sum()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads, bench_width);
+criterion_main!(benches);

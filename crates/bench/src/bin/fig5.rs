@@ -1,0 +1,53 @@
+//! Figure 5 — scalability of all-pairs mutual information (the drafting
+//! phase's statistics test) with the number of variables and cores.
+//!
+//! Paper setting: m = 10M samples; n ∈ {30, 40, 50}; cores 1–32; the
+//! marginalization primitive computes the pairwise joint once per pair and
+//! derives both singleton marginals from it.
+
+use wfbn_bench::args::HarnessArgs;
+use wfbn_bench::runner::{
+    print_host_banner, sim_allpairs_series, uniform_workload, wall_allpairs_series,
+};
+use wfbn_bench::series::{format_markdown_table, write_csvs, Series};
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    if args.vars.is_empty() {
+        args.vars = vec![30, 40, 50];
+    }
+    let m = if args.paper_scale {
+        10_000_000
+    } else {
+        args.samples.iter().copied().min().unwrap_or(100_000)
+    };
+    println!("# Figure 5 — all-pairs mutual information vs variables (m = {m})");
+    print_host_banner(args.mode);
+
+    let mut all: Vec<Series> = Vec::new();
+    for &n in &args.vars {
+        let label = format!("n={n}");
+        let data = uniform_workload(n, m, args.seed);
+        if args.mode.sim() {
+            all.push(sim_allpairs_series(&data, &args.cores, &label));
+        }
+        if args.mode.wall() {
+            all.push(wall_allpairs_series(&data, &args.cores, &label, 3));
+        }
+    }
+    println!("{}", format_markdown_table(&all));
+
+    println!("## Shape checks (paper Fig. 5)\n");
+    for s in &all {
+        if let Some(&last) = s.speedups().last() {
+            println!(
+                "- {}: final speedup {last:.2}× (paper: near-linear decrease in runtime)",
+                s.label
+            );
+        }
+    }
+    if let Some(dir) = &args.out_dir {
+        write_csvs(dir, &all).expect("writing CSV output");
+        println!("\nCSV series written to {dir}/");
+    }
+}

@@ -1,0 +1,143 @@
+//! Result series and table formatting.
+
+/// One measured/simulated series: a label and `(cores, seconds)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display label, e.g. `"wait-free m=1M (sim)"`.
+    pub label: String,
+    /// `(cores, seconds)` in ascending core order.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Speedups relative to the first point.
+    pub fn speedups(&self) -> Vec<f64> {
+        match self.points.first() {
+            Some(&(_, base)) => self.points.iter().map(|&(_, s)| base / s).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// CSV body: `cores,seconds,speedup` lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cores,seconds,speedup\n");
+        for (&(cores, secs), speedup) in self.points.iter().zip(self.speedups()) {
+            out.push_str(&format!("{cores},{secs:.6e},{speedup:.3}\n"));
+        }
+        out
+    }
+}
+
+/// Renders several series as one markdown table: a row per core count, a
+/// `time` and `speedup` column pair per series (mirroring the paper's (a)
+/// runtime and (b) speedup panels in one view).
+pub fn format_markdown_table(series: &[Series]) -> String {
+    let mut cores: Vec<usize> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(c, _)| c))
+        .collect();
+    cores.sort_unstable();
+    cores.dedup();
+
+    let mut out = String::from("| cores |");
+    for s in series {
+        out.push_str(&format!(" {} time (s) | speedup |", s.label));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in series {
+        out.push_str("---|---|");
+    }
+    out.push('\n');
+    for &c in &cores {
+        out.push_str(&format!("| {c} |"));
+        for s in series {
+            let idx = s.points.iter().position(|&(pc, _)| pc == c);
+            match idx {
+                Some(i) => {
+                    let secs = s.points[i].1;
+                    let speedup = s.speedups()[i];
+                    out.push_str(&format!(" {secs:.4e} | {speedup:.2} |"));
+                }
+                None => out.push_str(" — | — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes each series as `<dir>/<slug>.csv` (slug = label with
+/// non-alphanumerics folded to `_`).
+pub fn write_csvs(dir: &str, series: &[Series]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for s in series {
+        let slug: String = s
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        std::fs::write(format!("{dir}/{slug}.csv"), s.to_csv())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(usize, f64)]) -> Series {
+        Series {
+            label: label.into(),
+            points: pts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn speedups_relative_to_first() {
+        let s = series("a", &[(1, 4.0), (2, 2.0), (4, 1.0)]);
+        assert_eq!(s.speedups(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let s = series("a", &[(1, 4.0), (2, 2.0)]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("cores,seconds,speedup\n"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("2,2.000000e0,2.000"));
+    }
+
+    #[test]
+    fn markdown_table_aligns_by_core_count() {
+        let a = series("A", &[(1, 4.0), (2, 2.0)]);
+        let b = series("B", &[(1, 8.0), (4, 2.0)]);
+        let md = format_markdown_table(&[a, b]);
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].contains("A time (s)"));
+        assert!(lines[0].contains("B time (s)"));
+        // Core counts 1, 2, 4; B has no p=2 point, A has no p=4 point.
+        assert_eq!(lines.len(), 2 + 3);
+        assert!(lines[3].contains("—"), "{md}");
+        assert!(lines[4].contains("—"), "{md}");
+    }
+
+    #[test]
+    fn write_csvs_creates_files() {
+        let dir = std::env::temp_dir().join("wfbn_bench_test_csvs");
+        let dir = dir.to_str().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        write_csvs(dir, &[series("a b/c", &[(1, 1.0)])]).unwrap();
+        let content = std::fs::read_to_string(format!("{dir}/a_b_c.csv")).unwrap();
+        assert!(content.contains("cores,seconds"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Edge orientation: v-structures from separating sets, then Meek rules.
+//!
+//! For every non-adjacent pair `(x, y)` with a common neighbor `c`: if the
+//! recorded separating set for the pair does *not* contain `c`, the only
+//! I-equivalent explanation is the collider `x → c ← y` (conditioning on a
+//! collider would have *created* dependence, so a separator that skips `c`
+//! certifies the collider). Remaining edges are propagated with Meek's
+//! rules; whatever stays undirected is genuinely underdetermined by the
+//! independence data (the paper's Figure 1 equivalence classes).
+
+use crate::cheng::SepSets;
+use crate::graph::Ug;
+use crate::pdag::PDag;
+
+/// Builds the pattern (CPDAG) from the learned skeleton and separating sets.
+pub fn orient(skeleton: &Ug, sepsets: &SepSets) -> PDag {
+    let n = skeleton.num_nodes();
+    let mut pattern = PDag::from_skeleton(skeleton);
+    // V-structure detection.
+    for x in 0..n {
+        for y in (x + 1)..n {
+            if skeleton.has_edge(x, y) {
+                continue;
+            }
+            let Some(sep) = sepsets.get(&(x, y)) else {
+                continue;
+            };
+            // Common neighbors.
+            for &c in skeleton.neighbors(x) {
+                if skeleton.has_edge(c, y) && !sep.contains(&c) {
+                    // Orient both arms; `orient` is a no-op on conflicts.
+                    pattern.orient(x, c);
+                    pattern.orient(y, c);
+                }
+            }
+        }
+    }
+    pattern.apply_meek_rules();
+    pattern
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certifies_a_collider() {
+        // Skeleton 0 – 2 – 1, sepset(0,1) = {} (separated marginally, not
+        // through 2) ⇒ collider 0 → 2 ← 1.
+        let skeleton = Ug::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let mut sepsets = SepSets::new();
+        sepsets.insert((0, 1), vec![]);
+        let p = orient(&skeleton, &sepsets);
+        assert!(p.is_directed(0, 2));
+        assert!(p.is_directed(1, 2));
+    }
+
+    #[test]
+    fn chain_sepset_through_middle_stays_undirected() {
+        // Skeleton 0 – 1 – 2, sepset(0,2) = {1}: no collider; both edges
+        // stay undirected (I-equivalence class of Figure 1).
+        let skeleton = Ug::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut sepsets = SepSets::new();
+        sepsets.insert((0, 2), vec![1]);
+        let p = orient(&skeleton, &sepsets);
+        assert!(p.is_undirected(0, 1));
+        assert!(p.is_undirected(1, 2));
+    }
+
+    #[test]
+    fn meek_propagation_after_one_collider() {
+        // Skeleton: 0 – 2 – 1 plus 2 – 3. Collider at 2 (sepset(0,1)=∅)
+        // forces 0→2←1; then R1 orients 2→3 (else a new v-structure with 3
+        // would have been detected).
+        let skeleton = Ug::from_edges(4, &[(0, 2), (1, 2), (2, 3)]).unwrap();
+        let mut sepsets = SepSets::new();
+        sepsets.insert((0, 1), vec![]);
+        sepsets.insert((0, 3), vec![2]);
+        sepsets.insert((1, 3), vec![2]);
+        let p = orient(&skeleton, &sepsets);
+        assert!(p.is_directed(0, 2));
+        assert!(p.is_directed(1, 2));
+        assert!(p.is_directed(2, 3), "Meek R1 should orient 2→3");
+    }
+
+    #[test]
+    fn missing_sepset_means_no_orientation() {
+        // Without a recorded sepset for (0,1) nothing can be certified.
+        let skeleton = Ug::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let p = orient(&skeleton, &SepSets::new());
+        assert!(p.is_undirected(0, 2));
+        assert!(p.is_undirected(1, 2));
+    }
+
+    #[test]
+    fn sepset_containing_the_neighbor_blocks_the_collider() {
+        let skeleton = Ug::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let mut sepsets = SepSets::new();
+        sepsets.insert((0, 1), vec![2]);
+        let p = orient(&skeleton, &sepsets);
+        assert!(p.is_undirected(0, 2));
+        assert!(p.is_undirected(1, 2));
+    }
+}

@@ -1,0 +1,448 @@
+//! Junction-tree exact inference.
+//!
+//! The paper's related-work section points at Bayesian-network *inference*
+//! as the complementary problem, citing the junction-tree decomposition
+//! line of work (its references 26–28 — the same authors' parallel
+//! inference papers). A junction tree computes **all** single-variable
+//! posteriors in two message passes, where variable elimination answers one
+//! query at a time — the right engine once a learned network is queried
+//! repeatedly.
+//!
+//! Construction follows the standard recipe:
+//!
+//! 1. **Moralize** — marry each node's parents, drop directions.
+//! 2. **Triangulate** — eliminate vertices in min-fill order, adding fill
+//!    edges; each elimination front is a clique candidate.
+//! 3. **Clique tree** — maximum-weight spanning tree over cliques weighted
+//!    by intersection size (this yields the running-intersection property).
+//! 4. **Propagate** — assign each CPT factor to a containing clique, then
+//!    collect/distribute messages ([`Factor`] product / sum-out).
+
+use crate::graph::Ug;
+use crate::infer::{Factor, InferError};
+use crate::network::BayesNet;
+
+/// A compiled junction tree for one network.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_bn::{jtree::JunctionTree, repository};
+///
+/// let net = repository::asia();
+/// let jt = JunctionTree::build(&net);
+/// // All eight posteriors given a positive X-ray, in one sweep.
+/// let posteriors = jt.all_posteriors(&net, &[(6, 1)]).unwrap();
+/// assert_eq!(posteriors.len(), 8);
+/// // Evidence raises P(LungCancer = 1) far above its prior.
+/// assert!(posteriors[3][1] > 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JunctionTree {
+    /// Variable sets of the cliques.
+    cliques: Vec<Vec<usize>>,
+    /// Tree edges between cliques `(a, b)` with their separator variables.
+    edges: Vec<(usize, usize, Vec<usize>)>,
+    /// For each clique, the indices of the CPT factors assigned to it.
+    assigned: Vec<Vec<usize>>,
+    /// Neighbor lists in the clique tree.
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl JunctionTree {
+    /// Compiles the junction tree of `net` (min-fill triangulation).
+    pub fn build(net: &BayesNet) -> Self {
+        let n = net.num_vars();
+        // 1. Moral graph.
+        let mut moral = net.dag().skeleton();
+        for v in 0..n {
+            let parents = net.dag().parents(v);
+            for (i, &a) in parents.iter().enumerate() {
+                for &b in &parents[i + 1..] {
+                    moral.add_edge(a, b).expect("nodes in range");
+                }
+            }
+        }
+
+        // 2. Min-fill triangulation; record elimination cliques.
+        let mut work = moral.clone();
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut cliques: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..n {
+            let v = min_fill_vertex(&work, &alive).expect("alive vertices remain");
+            let mut clique: Vec<usize> = work
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| alive[u])
+                .collect();
+            clique.push(v);
+            clique.sort_unstable();
+            // Connect the elimination front (fill edges).
+            for (i, &a) in clique.iter().enumerate() {
+                for &b in &clique[i + 1..] {
+                    work.add_edge(a, b).expect("nodes in range");
+                }
+            }
+            alive[v] = false;
+            // Keep only maximal cliques.
+            if !cliques
+                .iter()
+                .any(|c: &Vec<usize>| clique.iter().all(|x| c.contains(x)))
+            {
+                cliques.push(clique);
+            }
+        }
+
+        // 3. Maximum-weight spanning tree over clique intersections.
+        let k = cliques.len();
+        let mut candidate_edges: Vec<(usize, usize, usize)> = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let w = cliques[a].iter().filter(|x| cliques[b].contains(x)).count();
+                if w > 0 {
+                    candidate_edges.push((a, b, w));
+                }
+            }
+        }
+        candidate_edges.sort_by_key(|&(_, _, w)| std::cmp::Reverse(w));
+        let mut parent: Vec<usize> = (0..k).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut edges = Vec::new();
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (a, b, _) in candidate_edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+                let sep: Vec<usize> = cliques[a]
+                    .iter()
+                    .copied()
+                    .filter(|x| cliques[b].contains(x))
+                    .collect();
+                neighbors[a].push(b);
+                neighbors[b].push(a);
+                edges.push((a, b, sep));
+            }
+        }
+
+        // 4. Assign each CPT's family to a containing clique.
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for v in 0..n {
+            let mut family: Vec<usize> = vec![v];
+            family.extend_from_slice(net.cpt(v).parents());
+            let host = cliques
+                .iter()
+                .position(|c| family.iter().all(|x| c.contains(x)))
+                .expect("triangulation guarantees a containing clique");
+            assigned[host].push(v);
+        }
+
+        Self {
+            cliques,
+            edges,
+            assigned,
+            neighbors,
+        }
+    }
+
+    /// The cliques (sorted variable lists).
+    pub fn cliques(&self) -> &[Vec<usize>] {
+        &self.cliques
+    }
+
+    /// Induced treewidth: largest clique size minus one.
+    pub fn treewidth(&self) -> usize {
+        self.cliques.iter().map(Vec::len).max().unwrap_or(1) - 1
+    }
+
+    /// Verifies the running-intersection property (diagnostic; always true
+    /// for trees built here — asserted in tests).
+    pub fn running_intersection_holds(&self) -> bool {
+        let n_vars = self
+            .cliques
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        for v in 0..n_vars {
+            // Cliques containing v must form a connected subtree.
+            let members: Vec<usize> = (0..self.cliques.len())
+                .filter(|&c| self.cliques[c].contains(&v))
+                .collect();
+            if members.len() <= 1 {
+                continue;
+            }
+            // BFS within members only.
+            let mut seen = vec![false; self.cliques.len()];
+            let mut queue = std::collections::VecDeque::from([members[0]]);
+            seen[members[0]] = true;
+            while let Some(c) = queue.pop_front() {
+                for &d in &self.neighbors[c] {
+                    if !seen[d] && members.contains(&d) {
+                        seen[d] = true;
+                        queue.push_back(d);
+                    }
+                }
+            }
+            if !members.iter().all(|&c| seen[c]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Computes **all** single-variable posteriors given `evidence`, in one
+    /// collect/distribute sweep. Returns one distribution per variable
+    /// (evidence variables get a point mass on their observed state).
+    pub fn all_posteriors(
+        &self,
+        net: &BayesNet,
+        evidence: &[(usize, u16)],
+    ) -> Result<Vec<Vec<f64>>, InferError> {
+        let n = net.num_vars();
+        for &(v, s) in evidence {
+            if v >= n {
+                return Err(InferError::VariableOutOfRange { var: v });
+            }
+            if s >= net.schema().arity(v) {
+                return Err(InferError::BadEvidenceState { var: v, state: s });
+            }
+        }
+        let k = self.cliques.len();
+
+        // Clique potentials: product of assigned CPT factors, evidence
+        // applied by zeroing incompatible rows (keeps variables in place so
+        // clique scopes stay intact).
+        let mut potentials: Vec<Factor> = (0..k)
+            .map(|c| {
+                let mut f = Factor::scalar(1.0);
+                for &v in &self.assigned[c] {
+                    f = f.product(&Factor::from_cpt(net, v));
+                }
+                // A clique with no assigned factor still needs its scope.
+                for &v in &self.cliques[c] {
+                    if f.vars().contains(&v) {
+                        continue;
+                    }
+                    f = f.product(&Factor::uniform_ones(v, net.schema().arity(v) as usize));
+                }
+                for &(ev, es) in evidence {
+                    f = f.select(ev, es);
+                }
+                f
+            })
+            .collect();
+
+        // Two-pass message passing rooted at clique 0 (per tree component).
+        let mut order = Vec::with_capacity(k);
+        let mut parent_of: Vec<Option<usize>> = vec![None; k];
+        let mut visited = vec![false; k];
+        for root in 0..k {
+            if visited[root] {
+                continue;
+            }
+            visited[root] = true;
+            let mut queue = std::collections::VecDeque::from([root]);
+            while let Some(c) = queue.pop_front() {
+                order.push(c);
+                for &d in &self.neighbors[c] {
+                    if !visited[d] {
+                        visited[d] = true;
+                        parent_of[d] = Some(c);
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+
+        let separator = |a: usize, b: usize| -> &[usize] {
+            self.edges
+                .iter()
+                .find(|&&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a))
+                .map(|(_, _, s)| s.as_slice())
+                .expect("tree edge exists")
+        };
+        let project = |f: &Factor, keep: &[usize]| -> Factor {
+            let mut out = f.clone();
+            let scope: Vec<usize> = out.vars().to_vec();
+            for v in scope {
+                if !keep.contains(&v) {
+                    out = out.sum_out(v);
+                }
+            }
+            out
+        };
+
+        // Collect (leaves → root).
+        for &c in order.iter().rev() {
+            if let Some(p) = parent_of[c] {
+                let msg = project(&potentials[c], separator(c, p));
+                potentials[p] = potentials[p].product(&msg);
+            }
+        }
+        // Distribute (root → leaves). Dividing messages out is avoided by
+        // recomputing: send the parent's belief projected to the separator,
+        // divided by the child's upward message — implemented with a
+        // quotient factor.
+        for &c in &order {
+            if let Some(p) = parent_of[c] {
+                let sep = separator(c, p);
+                let up = project(&potentials[c], sep);
+                let down = project(&potentials[p], sep);
+                potentials[c] = potentials[c].product(&down.quotient(&up));
+            }
+        }
+
+        // Read off marginals.
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n {
+            let c = (0..k)
+                .find(|&c| self.cliques[c].contains(&v))
+                .expect("every variable lives in some clique");
+            let mut marg = project(&potentials[c], &[v]);
+            let z = marg.normalize();
+            if z <= 0.0 {
+                return Err(InferError::ImpossibleEvidence);
+            }
+            out.push(marg.values().to_vec());
+        }
+        Ok(out)
+    }
+}
+
+/// Picks the alive vertex whose elimination adds the fewest fill edges.
+fn min_fill_vertex(g: &Ug, alive: &[bool]) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for v in 0..g.num_nodes() {
+        if !alive[v] {
+            continue;
+        }
+        let nbrs: Vec<usize> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| alive[u])
+            .collect();
+        let mut fill = 0;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if !g.has_edge(a, b) {
+                    fill += 1;
+                }
+            }
+        }
+        if best.is_none_or(|(_, f)| fill < f) {
+            best = Some((v, fill));
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::posterior;
+    use crate::repository;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+    }
+
+    #[test]
+    fn structure_properties_on_classic_networks() {
+        for net in [repository::sprinkler(), repository::cancer(), repository::asia()] {
+            let jt = JunctionTree::build(&net);
+            assert!(jt.running_intersection_holds());
+            // Every family is inside some clique.
+            for v in 0..net.num_vars() {
+                let mut family = vec![v];
+                family.extend_from_slice(net.cpt(v).parents());
+                assert!(
+                    jt.cliques()
+                        .iter()
+                        .any(|c| family.iter().all(|x| c.contains(x))),
+                    "family of {v} uncovered"
+                );
+            }
+            assert!(jt.treewidth() <= 3, "classics are low-treewidth");
+        }
+    }
+
+    #[test]
+    fn matches_variable_elimination_on_asia() {
+        let net = repository::asia();
+        let jt = JunctionTree::build(&net);
+        for evidence in [vec![], vec![(6usize, 1u16)], vec![(6, 1), (2, 1)], vec![(7, 1), (0, 1)]]
+        {
+            let all = jt.all_posteriors(&net, &evidence).unwrap();
+            for (target, dist) in all.iter().enumerate() {
+                if evidence.iter().any(|&(v, _)| v == target) {
+                    // Evidence variable: point mass.
+                    let &(_, s) = evidence.iter().find(|&&(v, _)| v == target).unwrap();
+                    assert!((dist[s as usize] - 1.0).abs() < 1e-9);
+                    continue;
+                }
+                let ve = posterior(&net, target, &evidence).unwrap();
+                assert!(
+                    close(dist, &ve),
+                    "t={target} ev={evidence:?}: {dist:?} vs {ve:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_variable_elimination_on_random_networks() {
+        for seed in [1u64, 7, 23] {
+            let net = repository::random_net(8, 2, 10, 3, 0.8, seed);
+            let jt = JunctionTree::build(&net);
+            assert!(jt.running_intersection_holds());
+            let evidence = vec![(1usize, 1u16), (6, 0)];
+            let all = jt.all_posteriors(&net, &evidence).unwrap();
+            for target in [0usize, 3, 7] {
+                if evidence.iter().any(|&(v, _)| v == target) {
+                    continue;
+                }
+                let ve = posterior(&net, target, &evidence).unwrap();
+                assert!(close(&all[target], &ve), "seed={seed} t={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let net = repository::asia();
+        let jt = JunctionTree::build(&net);
+        // Either=0 with Tuberculosis=1 is impossible (deterministic OR).
+        let r = jt.all_posteriors(&net, &[(5, 0), (1, 1)]);
+        assert_eq!(r, Err(InferError::ImpossibleEvidence));
+        // Validation errors too.
+        assert!(matches!(
+            jt.all_posteriors(&net, &[(99, 0)]),
+            Err(InferError::VariableOutOfRange { var: 99 })
+        ));
+        assert!(matches!(
+            jt.all_posteriors(&net, &[(0, 9)]),
+            Err(InferError::BadEvidenceState { var: 0, state: 9 })
+        ));
+    }
+
+    #[test]
+    fn one_sweep_equals_many_ve_queries() {
+        // The point of the junction tree: all n posteriors at once.
+        let net = repository::cancer();
+        let jt = JunctionTree::build(&net);
+        let all = jt.all_posteriors(&net, &[(3, 1)]).unwrap();
+        assert_eq!(all.len(), 5);
+        for (v, dist) in all.iter().enumerate() {
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "var {v} not normalized");
+        }
+    }
+}

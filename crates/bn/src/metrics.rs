@@ -1,0 +1,262 @@
+//! Structure-recovery metrics.
+//!
+//! Constraint-based learners are scored against the ground-truth graph that
+//! generated the data. Because edge directions are identifiable only up to
+//! I-equivalence, the primary comparison is between *skeletons*; a CPDAG
+//! distance is provided for orientation-aware scoring.
+
+use crate::graph::Ug;
+use crate::pdag::PDag;
+
+/// Confusion counts of a learned skeleton against the truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkeletonReport {
+    /// Edges present in both.
+    pub true_positives: usize,
+    /// Edges the learner invented.
+    pub false_positives: usize,
+    /// Edges the learner missed.
+    pub false_negatives: usize,
+}
+
+impl SkeletonReport {
+    /// Precision `tp / (tp + fp)` (1.0 when nothing was predicted).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)` (1.0 when the truth has no edges).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Structural Hamming distance between skeletons: `fp + fn`.
+    pub fn shd(&self) -> usize {
+        self.false_positives + self.false_negatives
+    }
+}
+
+/// Compares a learned skeleton against the truth.
+///
+/// # Panics
+///
+/// Panics if the graphs have different node counts.
+pub fn skeleton_report(truth: &Ug, learned: &Ug) -> SkeletonReport {
+    assert_eq!(
+        truth.num_nodes(),
+        learned.num_nodes(),
+        "graphs must share a node set"
+    );
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    let n = truth.num_nodes();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            match (truth.has_edge(u, v), learned.has_edge(u, v)) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    SkeletonReport {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+    }
+}
+
+/// Structural Hamming distance between two patterns: for each unordered
+/// pair, 1 if the edge marks differ (missing vs present, or differently
+/// oriented), 0 otherwise.
+pub fn cpdag_shd(a: &PDag, b: &PDag) -> usize {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "graphs must share a node set");
+    let n = a.num_nodes();
+    let mut d = 0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let ma = (a.mark(u, v), a.mark(v, u));
+            let mb = (b.mark(u, v), b.mark(v, u));
+            if ma != mb {
+                d += 1;
+            }
+        }
+    }
+    d
+}
+
+/// Converts a DAG's pattern (CPDAG) for orientation-aware comparison: its
+/// skeleton with v-structures oriented and Meek rules applied.
+pub fn dag_to_cpdag(dag: &crate::graph::Dag) -> PDag {
+    let skeleton = dag.skeleton();
+    let mut pattern = PDag::from_skeleton(&skeleton);
+    let n = dag.num_nodes();
+    // Orient true v-structures: x → c ← y with x ∦ y.
+    for c in 0..n {
+        let parents = dag.parents(c);
+        for (i, &x) in parents.iter().enumerate() {
+            for &y in &parents[i + 1..] {
+                if !dag.adjacent(x, y) {
+                    pattern.orient(x, c);
+                    pattern.orient(y, c);
+                }
+            }
+        }
+    }
+    pattern.apply_meek_rules();
+    pattern
+}
+
+/// KL divergence `D(p ‖ q)` in nats between the joint distributions of two
+/// networks over the same schema, by exhaustive enumeration.
+///
+/// Infinite when `q` assigns zero probability to a `p`-possible assignment
+/// (which smoothing during fitting prevents).
+///
+/// # Panics
+///
+/// Panics if the schemas differ or the joint state space exceeds 2²² cells
+/// (this is an exact small-network diagnostic, not a large-scale estimator).
+pub fn joint_kl_divergence(p: &crate::network::BayesNet, q: &crate::network::BayesNet) -> f64 {
+    assert_eq!(p.schema(), q.schema(), "networks must share a schema");
+    let space = p.schema().state_space_size();
+    assert!(space <= 1 << 22, "enumeration limited to small networks");
+    let n = p.num_vars();
+    let mut kl = 0.0;
+    let mut states = vec![0u16; n];
+    for key in 0..space {
+        let mut rest = key;
+        for (j, s) in states.iter_mut().enumerate() {
+            let a = u64::from(p.schema().arity(j));
+            *s = (rest % a) as u16;
+            rest /= a;
+        }
+        let pp = p.joint_prob(&states);
+        if pp > 0.0 {
+            let qq = q.joint_prob(&states);
+            kl += pp * (pp / qq).ln();
+        }
+    }
+    kl.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dag;
+
+    #[test]
+    fn perfect_recovery() {
+        let truth = Ug::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = skeleton_report(&truth, &truth.clone());
+        assert_eq!(r.true_positives, 3);
+        assert_eq!(r.shd(), 0);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.f1(), 1.0);
+    }
+
+    #[test]
+    fn counts_misses_and_inventions() {
+        let truth = Ug::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let learned = Ug::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let r = skeleton_report(&truth, &learned);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.shd(), 2);
+        assert!((r.precision() - 0.5).abs() < 1e-12);
+        assert!((r.recall() - 0.5).abs() < 1e-12);
+        assert!((r.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graphs_degenerate_gracefully() {
+        let empty = Ug::new(3);
+        let r = skeleton_report(&empty, &empty.clone());
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.f1(), 1.0);
+    }
+
+    #[test]
+    fn cpdag_of_chain_is_fully_undirected() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let p = dag_to_cpdag(&dag);
+        assert!(p.is_undirected(0, 1));
+        assert!(p.is_undirected(1, 2));
+        assert!(p.directed_edges().is_empty());
+    }
+
+    #[test]
+    fn cpdag_of_collider_keeps_arrows() {
+        let dag = Dag::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        let p = dag_to_cpdag(&dag);
+        assert!(p.is_directed(0, 1));
+        assert!(p.is_directed(2, 1));
+    }
+
+    #[test]
+    fn i_equivalent_dags_share_a_cpdag() {
+        // Figure 1 of the paper: the three chain/fork orientations of
+        // 0 – 1 – 2 are I-equivalent and must produce the same pattern.
+        let g1 = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let g2 = Dag::from_edges(3, &[(2, 1), (1, 0)]).unwrap();
+        let g3 = Dag::from_edges(3, &[(1, 0), (1, 2)]).unwrap();
+        let p1 = dag_to_cpdag(&g1);
+        assert_eq!(cpdag_shd(&p1, &dag_to_cpdag(&g2)), 0);
+        assert_eq!(cpdag_shd(&p1, &dag_to_cpdag(&g3)), 0);
+        // The collider is NOT equivalent to them.
+        let v = Dag::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        assert!(cpdag_shd(&p1, &dag_to_cpdag(&v)) > 0);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        use crate::estimate::fit_network;
+        use crate::repository;
+        let net = repository::sprinkler();
+        // Self-divergence is zero.
+        assert!(joint_kl_divergence(&net, &net).abs() < 1e-12);
+        // A well-fitted model is close; a structure-less model is farther.
+        let data = net.sample(100_000, 3);
+        let good = fit_network(&data, net.dag(), 1.0, 2).unwrap();
+        let empty = fit_network(&data, &Dag::new(4), 1.0, 2).unwrap();
+        let d_good = joint_kl_divergence(&net, &good);
+        let d_empty = joint_kl_divergence(&net, &empty);
+        assert!(d_good < 0.01, "fitted model should be near truth: {d_good}");
+        assert!(d_empty > 10.0 * d_good, "good {d_good} vs empty {d_empty}");
+    }
+
+    #[test]
+    fn cpdag_shd_counts_orientation_differences() {
+        let a = dag_to_cpdag(&Dag::from_edges(3, &[(0, 1), (2, 1)]).unwrap());
+        let mut b = PDag::from_skeleton(&Ug::from_edges(3, &[(0, 1), (1, 2)]).unwrap());
+        b.apply_meek_rules();
+        // a has both arrows into 1; b has both edges undirected: 2 diffs.
+        assert_eq!(cpdag_shd(&a, &b), 2);
+    }
+}

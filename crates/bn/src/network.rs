@@ -1,0 +1,285 @@
+//! A full Bayesian network: DAG + CPTs + schema, with ancestral sampling.
+//!
+//! Sampling is the bridge to the rest of the workspace: a ground-truth
+//! network generates a [`Dataset`] (in topological order, each variable
+//! drawn from its CPT given already-drawn parents), the wait-free primitives
+//! rebuild the joint counts from that data, and the learner tries to recover
+//! the DAG — closing the loop the paper's system sits inside.
+
+use crate::cpt::Cpt;
+use crate::graph::Dag;
+use core::fmt;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wfbn_data::{Dataset, Schema};
+
+/// Errors from network assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The number of CPTs differs from the number of nodes.
+    WrongCptCount {
+        /// Expected (nodes).
+        expected: usize,
+        /// Found (CPTs).
+        found: usize,
+    },
+    /// CPT for `var` is missing or duplicated.
+    CptMismatch {
+        /// The variable.
+        var: usize,
+    },
+    /// A CPT's parent list disagrees with the DAG.
+    ParentMismatch {
+        /// The variable whose parents disagree.
+        var: usize,
+    },
+    /// A CPT's arity disagrees with the schema.
+    ArityMismatch {
+        /// The variable whose arity disagrees.
+        var: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::WrongCptCount { expected, found } => {
+                write!(f, "expected {expected} CPTs, found {found}")
+            }
+            NetworkError::CptMismatch { var } => {
+                write!(f, "missing or duplicate CPT for variable {var}")
+            }
+            NetworkError::ParentMismatch { var } => {
+                write!(f, "CPT parents for variable {var} disagree with the DAG")
+            }
+            NetworkError::ArityMismatch { var } => {
+                write!(f, "CPT arity for variable {var} disagrees with the schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A discrete Bayesian network.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_bn::repository;
+///
+/// let net = repository::asia();
+/// assert_eq!(net.num_vars(), 8);
+/// let data = net.sample(1_000, 42);
+/// assert_eq!(data.num_samples(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BayesNet {
+    schema: Schema,
+    dag: Dag,
+    /// Indexed by variable.
+    cpts: Vec<Cpt>,
+    /// Cached topological order for sampling.
+    topo: Vec<usize>,
+}
+
+impl BayesNet {
+    /// Assembles and cross-validates a network.
+    pub fn new(schema: Schema, dag: Dag, mut cpts: Vec<Cpt>) -> Result<Self, NetworkError> {
+        let n = schema.num_vars();
+        if dag.num_nodes() != n || cpts.len() != n {
+            return Err(NetworkError::WrongCptCount {
+                expected: n,
+                found: cpts.len(),
+            });
+        }
+        cpts.sort_by_key(Cpt::var);
+        for (i, cpt) in cpts.iter().enumerate() {
+            if cpt.var() != i {
+                return Err(NetworkError::CptMismatch { var: i });
+            }
+            if cpt.arity() != schema.arity(i) {
+                return Err(NetworkError::ArityMismatch { var: i });
+            }
+            let mut dag_parents = dag.parents(i).to_vec();
+            let mut cpt_parents = cpt.parents().to_vec();
+            dag_parents.sort_unstable();
+            cpt_parents.sort_unstable();
+            if dag_parents != cpt_parents {
+                return Err(NetworkError::ParentMismatch { var: i });
+            }
+        }
+        let topo = dag.topological_order();
+        Ok(Self {
+            schema,
+            dag,
+            cpts,
+            topo,
+        })
+    }
+
+    /// The variable schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The structure.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The CPT of variable `v`.
+    pub fn cpt(&self, v: usize) -> &Cpt {
+        &self.cpts[v]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.schema.num_vars()
+    }
+
+    /// Joint probability of a full assignment (chain rule).
+    pub fn joint_prob(&self, assignment: &[u16]) -> f64 {
+        assert_eq!(
+            assignment.len(),
+            self.num_vars(),
+            "full assignment required"
+        );
+        let mut p = 1.0;
+        let mut parent_states = Vec::new();
+        for v in 0..self.num_vars() {
+            let cpt = &self.cpts[v];
+            parent_states.clear();
+            parent_states.extend(cpt.parents().iter().map(|&pa| assignment[pa]));
+            p *= cpt.prob(&parent_states, assignment[v]);
+        }
+        p
+    }
+
+    /// Draws `m` i.i.d. samples by ancestral (forward) sampling,
+    /// deterministically from `seed`.
+    pub fn sample(&self, m: usize, seed: u64) -> Dataset {
+        let n = self.num_vars();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut states = vec![0u16; m * n];
+        let mut parent_states: Vec<u16> = Vec::new();
+        for row in states.chunks_exact_mut(n) {
+            for &v in &self.topo {
+                let cpt = &self.cpts[v];
+                parent_states.clear();
+                parent_states.extend(cpt.parents().iter().map(|&pa| row[pa]));
+                row[v] = cpt.sample_with(&parent_states, rng.random::<f64>());
+            }
+        }
+        Dataset::from_flat_unchecked(self.schema.clone(), states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// X0 → X1, both binary, strong coupling.
+    fn tiny_net() -> BayesNet {
+        let schema = Schema::uniform(2, 2).unwrap();
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let cpts = vec![
+            Cpt::binary_root(0, 0.5).unwrap(),
+            Cpt::new(1, vec![0], vec![2], 2, vec![0.9, 0.1, 0.1, 0.9]).unwrap(),
+        ];
+        BayesNet::new(schema, dag, cpts).unwrap()
+    }
+
+    #[test]
+    fn joint_prob_chain_rule() {
+        let net = tiny_net();
+        assert!((net.joint_prob(&[0, 0]) - 0.5 * 0.9).abs() < 1e-12);
+        assert!((net.joint_prob(&[0, 1]) - 0.5 * 0.1).abs() < 1e-12);
+        assert!((net.joint_prob(&[1, 1]) - 0.5 * 0.9).abs() < 1e-12);
+        let total: f64 = (0..2u16)
+            .flat_map(|a| (0..2u16).map(move |b| (a, b)))
+            .map(|(a, b)| net.joint_prob(&[a, b]))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_the_joint() {
+        let net = tiny_net();
+        let m = 100_000;
+        let data = net.sample(m, 11);
+        let mut counts = [[0u32; 2]; 2];
+        for row in data.rows() {
+            counts[row[0] as usize][row[1] as usize] += 1;
+        }
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                let emp = f64::from(counts[a as usize][b as usize]) / m as f64;
+                let exact = net.joint_prob(&[a, b]);
+                assert!(
+                    (emp - exact).abs() < 0.01,
+                    "P({a},{b}): empirical {emp} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let net = tiny_net();
+        assert_eq!(net.sample(500, 3), net.sample(500, 3));
+        assert_ne!(net.sample(500, 3), net.sample(500, 4));
+    }
+
+    #[test]
+    fn validation_rejects_mismatches() {
+        let schema = Schema::uniform(2, 2).unwrap();
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        // Wrong CPT count.
+        assert!(matches!(
+            BayesNet::new(
+                schema.clone(),
+                dag.clone(),
+                vec![Cpt::binary_root(0, 0.5).unwrap()]
+            ),
+            Err(NetworkError::WrongCptCount { .. })
+        ));
+        // Parent mismatch: CPT says no parents, DAG says one.
+        assert!(matches!(
+            BayesNet::new(
+                schema.clone(),
+                dag.clone(),
+                vec![
+                    Cpt::binary_root(0, 0.5).unwrap(),
+                    Cpt::binary_root(1, 0.5).unwrap(),
+                ]
+            ),
+            Err(NetworkError::ParentMismatch { var: 1 })
+        ));
+        // Arity mismatch.
+        assert!(matches!(
+            BayesNet::new(
+                schema,
+                dag,
+                vec![
+                    Cpt::root(0, vec![0.2, 0.3, 0.5]).unwrap(),
+                    Cpt::new(1, vec![0], vec![3], 2, vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap(),
+                ]
+            ),
+            Err(NetworkError::ArityMismatch { var: 0 })
+        ));
+    }
+
+    #[test]
+    fn cpts_passed_out_of_order_are_accepted() {
+        let schema = Schema::uniform(2, 2).unwrap();
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let cpts = vec![
+            Cpt::new(1, vec![0], vec![2], 2, vec![0.9, 0.1, 0.1, 0.9]).unwrap(),
+            Cpt::binary_root(0, 0.5).unwrap(),
+        ];
+        let net = BayesNet::new(schema, dag, cpts).unwrap();
+        assert_eq!(net.cpt(0).var(), 0);
+        assert_eq!(net.cpt(1).var(), 1);
+    }
+}

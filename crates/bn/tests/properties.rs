@@ -1,0 +1,130 @@
+//! Property-based tests for the Bayesian-network substrate.
+
+use proptest::prelude::*;
+use wfbn_bn::dsep::d_separated;
+use wfbn_bn::estimate::fit_network;
+use wfbn_bn::graph::Dag;
+use wfbn_bn::infer::{posterior, posterior_enumerate};
+use wfbn_bn::metrics::{cpdag_shd, dag_to_cpdag, joint_kl_divergence};
+use wfbn_bn::repository::{random_dag, random_net};
+
+/// A random DAG drawn through the seeded generator (proptest supplies the
+/// seed and shape parameters, the generator guarantees acyclicity).
+fn dag_strategy() -> impl Strategy<Value = Dag> {
+    (2usize..10, 0usize..20, 1usize..4, any::<u64>())
+        .prop_map(|(n, edges, maxp, seed)| random_dag(n, edges, maxp, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topological_order_is_consistent(dag in dag_strategy()) {
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), dag.num_nodes());
+        let mut pos = vec![0usize; dag.num_nodes()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for (u, v) in dag.edges() {
+            prop_assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn d_separation_is_symmetric(dag in dag_strategy(), seed in any::<u64>()) {
+        let n = dag.num_nodes();
+        prop_assume!(n >= 2);
+        let x = (seed % n as u64) as usize;
+        let y = ((seed / 7) % n as u64) as usize;
+        prop_assume!(x != y);
+        let z: Vec<usize> = (0..n).filter(|&v| v != x && v != y && v % 3 == 0).collect();
+        prop_assert_eq!(
+            d_separated(&dag, x, y, &z),
+            d_separated(&dag, y, x, &z)
+        );
+    }
+
+    #[test]
+    fn non_adjacent_pairs_are_separated_by_parents(dag in dag_strategy()) {
+        // Classic fact: X ⟂ Y | parents(X) whenever Y is a non-descendant
+        // non-parent of X.
+        let n = dag.num_nodes();
+        for x in 0..n {
+            for y in 0..n {
+                if x == y || dag.adjacent(x, y) || dag.reaches(x, y) {
+                    continue;
+                }
+                let parents: Vec<usize> =
+                    dag.parents(x).iter().copied().filter(|&p| p != y).collect();
+                if parents.len() != dag.parents(x).len() {
+                    continue; // y is a parent
+                }
+                prop_assert!(
+                    d_separated(&dag, x, y, &parents),
+                    "x={x} y={y} parents={parents:?} edges={:?}",
+                    dag.edges()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpdag_extension_round_trips(dag in dag_strategy()) {
+        let pattern = dag_to_cpdag(&dag);
+        let ext = pattern.consistent_extension();
+        prop_assert!(ext.is_some(), "valid patterns always extend");
+        let ext = ext.unwrap();
+        prop_assert_eq!(
+            cpdag_shd(&pattern, &dag_to_cpdag(&ext)),
+            0,
+            "extension left the I-equivalence class: dag={:?} ext={:?}",
+            dag.edges(),
+            ext.edges()
+        );
+    }
+
+    #[test]
+    fn sampled_joint_is_normalized_and_matches_model(seed in any::<u64>()) {
+        let net = random_net(5, 2, 6, 2, 0.8, seed);
+        // Joint sums to 1.
+        let mut total = 0.0;
+        for key in 0..32u32 {
+            let states: Vec<u16> = (0..5).map(|j| ((key >> j) & 1) as u16).collect();
+            total += net.joint_prob(&states);
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Self-KL is zero.
+        prop_assert!(joint_kl_divergence(&net, &net).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_elimination_matches_enumeration(seed in any::<u64>()) {
+        let net = random_net(6, 2, 8, 3, 0.75, seed);
+        let target = (seed % 6) as usize;
+        let ev_var = ((seed / 11) % 6) as usize;
+        let evidence: Vec<(usize, u16)> = if ev_var == target {
+            vec![]
+        } else {
+            vec![(ev_var, (seed % 2) as u16)]
+        };
+        match (posterior(&net, target, &evidence), posterior_enumerate(&net, target, &evidence)) {
+            (Ok(a), Ok(b)) => {
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn fitting_on_model_samples_converges_in_kl(seed in 0u64..32) {
+        let net = random_net(4, 2, 4, 2, 0.8, seed);
+        let data = net.sample(30_000, seed ^ 1);
+        let fitted = fit_network(&data, net.dag(), 1.0, 2).unwrap();
+        let kl = joint_kl_divergence(&net, &fitted);
+        prop_assert!(kl < 0.01, "kl={kl}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Low-level concurrency substrate for the `wfbn` workspace.
+//!
+//! This crate contains the building blocks the wait-free table-construction
+//! primitive (Chu et al., IPPS 2014) is assembled from:
+//!
+//! * [`spsc`] — an unbounded, wait-free single-producer/single-consumer
+//!   segmented queue. One such queue exists for every ordered pair of
+//!   cooperating threads in the primitive's first stage ("Algorithm 1" in the
+//!   paper), carrying the keys that fall outside the producing thread's key
+//!   partition.
+//! * [`pad`] — [`CachePadded`], which keeps per-thread hot
+//!   state on distinct cache lines so that the "disjoint memory" property the
+//!   paper relies on also holds at cache-line granularity (no false sharing).
+//! * [`barrier`] — a sense-reversing spin barrier implementing the single
+//!   synchronization step between the two construction stages.
+//! * [`hash`] — a fast multiplicative (Fx-style) hasher and a `splitmix64`
+//!   finalizer used by the open-addressed count tables; `SipHash` would
+//!   dominate the profile for 8-byte integer keys.
+//! * [`partition`] — contiguous range partitioning of `m` rows over `P`
+//!   threads (the row split of Algorithm 1) plus strided pair scheduling
+//!   (the pair split of Algorithm 4).
+//! * [`scope`] — a thin wrapper over [`std::thread::scope`] that runs a
+//!   closure once per thread index and collects the results in index order.
+//!
+//! Everything here is dependency-free; the only `unsafe` lives in the SPSC
+//! queue and is documented inline.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod hash;
+pub mod pad;
+pub mod partition;
+pub mod scope;
+pub mod spsc;
+
+pub use barrier::SpinBarrier;
+pub use hash::{mix64, FxBuildHasher, FxHasher};
+pub use pad::CachePadded;
+pub use partition::{pair_count, pairs_for_thread, row_chunks, RowChunk};
+pub use scope::run_on_threads;
+pub use spsc::{channel, Consumer, Producer};

@@ -1,0 +1,204 @@
+//! Static work partitioning.
+//!
+//! Two splits appear in the paper:
+//!
+//! * Algorithm 1 splits the `m` training rows into `P` contiguous chunks
+//!   ([`row_chunks`]). Contiguity matters: each thread then streams its chunk
+//!   with perfect spatial locality.
+//! * Algorithm 4 deals pairs `(i, j)`, `i < j`, round-robin over the `P`
+//!   cores with stride `P` ([`pairs_for_thread`]). Strided dealing balances
+//!   the triangular iteration space without a shared work counter.
+
+/// A half-open row range `[start, end)` assigned to one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowChunk {
+    /// First row (inclusive).
+    pub start: usize,
+    /// One past the last row.
+    pub end: usize,
+}
+
+impl RowChunk {
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the chunk contains no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `m` rows into `p` contiguous chunks whose sizes differ by at most 1.
+///
+/// The first `m % p` chunks get the extra row, so no trailing thread is left
+/// with a pathologically small or large share.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_concurrent::row_chunks;
+/// let chunks = row_chunks(10, 4);
+/// assert_eq!(chunks.len(), 4);
+/// assert_eq!(chunks.iter().map(|c| c.len()).collect::<Vec<_>>(), [3, 3, 2, 2]);
+/// assert_eq!(chunks[0].start, 0);
+/// assert_eq!(chunks[3].end, 10);
+/// ```
+pub fn row_chunks(m: usize, p: usize) -> Vec<RowChunk> {
+    assert!(p > 0, "cannot partition over zero threads");
+    let base = m / p;
+    let extra = m % p;
+    let mut chunks = Vec::with_capacity(p);
+    let mut start = 0;
+    for t in 0..p {
+        let len = base + usize::from(t < extra);
+        chunks.push(RowChunk {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, m);
+    chunks
+}
+
+/// Number of unordered pairs over `n` items: `n·(n−1)/2`.
+pub fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// The unordered pairs `(i, j)`, `i < j < n`, assigned to thread `t` of `p`
+/// by strided (round-robin) dealing, in deterministic order.
+///
+/// The union over all `t` is exactly the set of all pairs, with no overlap.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `t >= p`.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_concurrent::{pair_count, pairs_for_thread};
+/// let all: usize = (0..3).map(|t| pairs_for_thread(5, t, 3).len()).sum();
+/// assert_eq!(all, pair_count(5));
+/// ```
+pub fn pairs_for_thread(n: usize, t: usize, p: usize) -> Vec<(usize, usize)> {
+    assert!(p > 0, "cannot partition over zero threads");
+    assert!(t < p, "thread index {t} out of range for {p} threads");
+    let mut pairs = Vec::new();
+    let mut flat = t;
+    let total = pair_count(n);
+    while flat < total {
+        pairs.push(unflatten_pair(flat, n));
+        flat += p;
+    }
+    pairs
+}
+
+/// Maps a flat index in `[0, n(n-1)/2)` to the pair `(i, j)`, `i < j`, in
+/// row-major order of the strict upper triangle.
+fn unflatten_pair(flat: usize, n: usize) -> (usize, usize) {
+    // Row i contributes (n - 1 - i) pairs; walk rows until flat fits.
+    let mut i = 0;
+    let mut remaining = flat;
+    loop {
+        let row = n - 1 - i;
+        if remaining < row {
+            return (i, i + 1 + remaining);
+        }
+        remaining -= row;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for m in [0usize, 1, 7, 100, 101] {
+            for p in [1usize, 2, 3, 8, 32] {
+                let chunks = row_chunks(m, p);
+                assert_eq!(chunks.len(), p);
+                let mut pos = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, pos);
+                    pos = c.end;
+                }
+                assert_eq!(pos, m);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for m in [5usize, 64, 1000, 1001, 1023] {
+            for p in [1usize, 3, 7, 16] {
+                let sizes: Vec<usize> = row_chunks(m, p).iter().map(RowChunk::len).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "m={m} p={p} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_gives_empty_chunks() {
+        let chunks = row_chunks(2, 5);
+        assert_eq!(chunks.iter().filter(|c| !c.is_empty()).count(), 2);
+        assert_eq!(chunks.iter().map(RowChunk::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threads")]
+    fn zero_threads_panics() {
+        let _ = row_chunks(10, 0);
+    }
+
+    #[test]
+    fn pair_dealing_is_a_partition() {
+        for n in [0usize, 1, 2, 5, 10, 30] {
+            for p in [1usize, 2, 3, 7] {
+                let mut seen = HashSet::new();
+                for t in 0..p {
+                    for pair in pairs_for_thread(n, t, p) {
+                        assert!(pair.0 < pair.1 && pair.1 < n);
+                        assert!(seen.insert(pair), "duplicate pair {pair:?}");
+                    }
+                }
+                assert_eq!(seen.len(), pair_count(n), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_dealing_is_balanced() {
+        let n = 50;
+        let p = 8;
+        let sizes: Vec<usize> = (0..p).map(|t| pairs_for_thread(n, t, p).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes={sizes:?}");
+    }
+
+    #[test]
+    fn unflatten_matches_enumeration() {
+        let n = 9;
+        let mut flat = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(unflatten_pair(flat, n), (i, j));
+                flat += 1;
+            }
+        }
+        assert_eq!(flat, pair_count(n));
+    }
+}

@@ -1,0 +1,99 @@
+//! Fork–join execution of one closure per thread index.
+//!
+//! The PRAM program model of the paper is "`for p = 0 to P−1 in parallel do`".
+//! [`run_on_threads`] is exactly that statement: it forks `p` scoped threads,
+//! passes each its index, joins them all, and returns the per-thread results
+//! in index order. Scoped threads let the closures borrow the training data
+//! and the shared queue matrix without `Arc`s or `'static` bounds.
+
+/// Runs `f(0), f(1), …, f(p-1)` on `p` parallel threads and returns their
+/// results in thread-index order.
+///
+/// For `p == 1` the closure is invoked on the calling thread — no spawn —
+/// so single-threaded baselines measured through the same entry point pay no
+/// threading overhead (important for honest speedup denominators).
+///
+/// # Panics
+///
+/// Panics if `p == 0`, or propagates a panic from any worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_concurrent::run_on_threads;
+/// let squares = run_on_threads(4, |t| t * t);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+pub fn run_on_threads<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(p > 0, "need at least one thread");
+    if p == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|t| {
+                let f = &f;
+                std::thread::Builder::new()
+                    .name(format!("wfbn-worker-{t}"))
+                    .spawn_scoped(s, move || f(t))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = run_on_threads(8, |t| t * 10);
+        assert_eq!(out, (0..8).map(|t| t * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        let ids = run_on_threads(1, |_| std::thread::current().id());
+        assert_eq!(ids[0], caller);
+    }
+
+    #[test]
+    fn closures_can_borrow_shared_state() {
+        let data = vec![1u64; 1000];
+        let counter = AtomicUsize::new(0);
+        let sums = run_on_threads(4, |t| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            let chunk = &data[t * 250..(t + 1) * 250];
+            chunk.iter().sum::<u64>()
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(sums.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_on_threads(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panic_propagates() {
+        let _ = run_on_threads(2, |t| {
+            if t == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,444 @@
+//! An unbounded, wait-free single-producer/single-consumer segmented queue.
+//!
+//! Algorithm 1 of the paper equips every core `p` with `P − 1` queues, one
+//! per foreign core; during stage 1, core `p` *produces* keys into
+//! `Q[p][owner]` and during stage 2 core `owner` *consumes* them. Every queue
+//! therefore has exactly one producer thread and exactly one consumer thread
+//! for its whole lifetime, which is the precondition for this queue type.
+//!
+//! # Design
+//!
+//! The queue is a singly-linked list of fixed-capacity *segments*. The
+//! producer owns the tail segment and a local write index; publishing an
+//! element is a plain slot write followed by a release store of the segment's
+//! committed length — no read-modify-write, no CAS loop, so `push` completes
+//! in a bounded number of its own steps regardless of what the consumer does
+//! (*wait-freedom*). The consumer owns the head segment and a local read
+//! index; `try_pop` acquires the committed length and reads slots below it.
+//! Fully-consumed segments are freed by the consumer as it advances.
+//!
+//! Because the producer writes only the tail and the consumer reads only the
+//! head, the two threads touch the same cache line only when they operate on
+//! the same segment — the `len` counter — which is the minimum communication
+//! any queue must perform.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::ptr::{self, NonNull};
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of element slots per segment.
+///
+/// Large enough to amortize allocation (one allocation per 512 pushes),
+/// small enough that a nearly-empty queue wastes little memory when a
+/// construction run forwards few foreign keys.
+const SEG_CAP: usize = 512;
+
+struct Segment<T> {
+    /// Slots `[0, len)` are committed by the producer.
+    len: AtomicUsize,
+    /// Slots `[0, consumed)` have been taken by the consumer. Written only by
+    /// the consumer; read by the final drop to destroy leftovers exactly once.
+    consumed: AtomicUsize,
+    /// Next segment in the chain, linked by the producer before it publishes
+    /// any element in it.
+    next: AtomicPtr<Segment<T>>,
+    slots: [UnsafeCell<MaybeUninit<T>>; SEG_CAP],
+}
+
+impl<T> Segment<T> {
+    fn boxed() -> NonNull<Segment<T>> {
+        let seg = Box::new(Segment {
+            len: AtomicUsize::new(0),
+            consumed: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: core::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+        });
+        // Box never returns null.
+        unsafe { NonNull::new_unchecked(Box::into_raw(seg)) }
+    }
+}
+
+/// State shared by the two endpoints; owns the segment chain on final drop.
+struct Shared<T> {
+    /// First segment that may still hold live elements. Advanced by the
+    /// consumer; read by the final drop.
+    head: AtomicPtr<Segment<T>>,
+    /// Set by `Producer::drop`, meaning no further elements will arrive.
+    closed: AtomicBool,
+}
+
+// The chain is freed exactly once (by whichever endpoint drops the last Arc),
+// and Arc's reference counting provides the necessary ordering.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone; we have exclusive access to the chain.
+        let mut seg_ptr = *self.head.get_mut();
+        while !seg_ptr.is_null() {
+            // SAFETY: the pointer came from Box::into_raw and no endpoint can
+            // touch it any more.
+            let mut seg = unsafe { Box::from_raw(seg_ptr) };
+            let len = *seg.len.get_mut();
+            let consumed = *seg.consumed.get_mut();
+            for slot in &mut seg.slots[consumed..len] {
+                // SAFETY: slots in [consumed, len) were committed by the
+                // producer and never read by the consumer.
+                unsafe { slot.get_mut().assume_init_drop() };
+            }
+            seg_ptr = *seg.next.get_mut();
+        }
+    }
+}
+
+/// The sending endpoint. `push` is wait-free. Dropping it closes the queue.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    tail: NonNull<Segment<T>>,
+    /// Local mirror of `tail.len` (only this thread ever writes it).
+    idx: usize,
+    pushed: u64,
+}
+
+// SAFETY: the producer is the unique writer of the tail segment; moving it to
+// another thread is fine as long as T can move between threads.
+unsafe impl<T: Send> Send for Producer<T> {}
+
+/// The receiving endpoint. `try_pop` is wait-free.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    head: NonNull<Segment<T>>,
+    idx: usize,
+    popped: u64,
+}
+
+// SAFETY: the consumer is the unique reader of the head segment.
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+/// Creates a new unbounded SPSC queue, returning its two endpoints.
+///
+/// # Examples
+///
+/// ```
+/// let (mut tx, mut rx) = wfbn_concurrent::channel::<u64>();
+/// std::thread::scope(|s| {
+///     s.spawn(move || {
+///         for k in 0..10_000 {
+///             tx.push(k);
+///         }
+///     }); // tx dropped here => queue closes
+///     s.spawn(move || {
+///         let mut sum = 0u64;
+///         let mut done = false;
+///         while !done {
+///             done = rx.is_closed();
+///             while let Some(k) = rx.try_pop() {
+///                 sum += k;
+///             }
+///         }
+///         assert_eq!(sum, (0..10_000u64).sum());
+///     });
+/// });
+/// ```
+pub fn channel<T>() -> (Producer<T>, Consumer<T>) {
+    let first = Segment::boxed();
+    let shared = Arc::new(Shared {
+        head: AtomicPtr::new(first.as_ptr()),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            tail: first,
+            idx: 0,
+            pushed: 0,
+        },
+        Consumer {
+            shared,
+            head: first,
+            idx: 0,
+            popped: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Appends `value`; completes in O(1) steps independent of the consumer.
+    pub fn push(&mut self, value: T) {
+        if self.idx == SEG_CAP {
+            let next = Segment::boxed();
+            // SAFETY: self.tail is a live segment owned (for writing) by us.
+            let tail = unsafe { self.tail.as_ref() };
+            // Release: the consumer's Acquire load of `next` must see the new
+            // segment fully initialized.
+            tail.next.store(next.as_ptr(), Ordering::Release);
+            self.tail = next;
+            self.idx = 0;
+        }
+        // SAFETY: slots at and above `idx` have never been published, so the
+        // consumer does not read them; we are the only writer.
+        unsafe {
+            let tail = self.tail.as_ref();
+            (*tail.slots[self.idx].get()).write(value);
+            // Release: publish the slot write above.
+            tail.len.store(self.idx + 1, Ordering::Release);
+        }
+        self.idx += 1;
+        self.pushed += 1;
+    }
+
+    /// Total number of elements pushed through this endpoint.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // Release: a consumer that observes `closed` also observes every push.
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Removes and returns the oldest element, or `None` if none is visible.
+    ///
+    /// `None` does **not** mean the producer is finished — pair with
+    /// [`is_closed`](Self::is_closed) for termination (see [`channel`]).
+    pub fn try_pop(&mut self) -> Option<T> {
+        loop {
+            // SAFETY: `head` is alive until we free it below.
+            let head = unsafe { self.head.as_ref() };
+            let committed = head.len.load(Ordering::Acquire);
+            if self.idx < committed {
+                // SAFETY: slot `idx` was committed (Acquire above pairs with
+                // the producer's Release), and each slot is read once.
+                let value = unsafe { (*head.slots[self.idx].get()).assume_init_read() };
+                self.idx += 1;
+                self.popped += 1;
+                // Publish progress for the final-drop bookkeeping.
+                head.consumed.store(self.idx, Ordering::Relaxed);
+                return Some(value);
+            }
+            if self.idx < SEG_CAP {
+                // Caught up with the producer inside this segment.
+                return None;
+            }
+            // Segment exhausted: move to the next one if it exists.
+            let next = head.next.load(Ordering::Acquire);
+            let next = NonNull::new(next)?;
+            let old = self.head;
+            self.head = next;
+            self.idx = 0;
+            self.shared.head.store(next.as_ptr(), Ordering::Relaxed);
+            // SAFETY: every slot of `old` was consumed, the producer moved on
+            // when it linked `next`, and no other thread can reach `old`
+            // (shared.head now points past it).
+            drop(unsafe { Box::from_raw(old.as_ptr()) });
+        }
+    }
+
+    /// `true` once the producer has been dropped.
+    ///
+    /// If this returns `true`, every element the producer ever pushed is
+    /// already visible to `try_pop`, so `drain-until-None` after a `true`
+    /// observation empties the queue completely.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Total number of elements popped through this endpoint.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drains every element that is currently visible.
+    pub fn drain_visible(&mut self) -> DrainVisible<'_, T> {
+        DrainVisible { consumer: self }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Record where consumption stopped inside the head segment so the
+        // Shared drop destroys only live elements.
+        // SAFETY: head is alive; we are its unique reader.
+        unsafe { self.head.as_ref() }
+            .consumed
+            .store(self.idx, Ordering::Relaxed);
+        // Ownership of the chain transfers to Shared::drop via the Arc.
+    }
+}
+
+/// Iterator returned by [`Consumer::drain_visible`].
+pub struct DrainVisible<'a, T> {
+    consumer: &'a mut Consumer<T>,
+}
+
+impl<T> Iterator for DrainVisible<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.consumer.try_pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_fifo() {
+        let (mut tx, mut rx) = channel();
+        for i in 0..1000u64 {
+            tx.push(i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+        assert!(!rx.is_closed());
+        drop(tx);
+        assert!(rx.is_closed());
+    }
+
+    #[test]
+    fn crosses_many_segment_boundaries() {
+        let (mut tx, mut rx) = channel();
+        let n = SEG_CAP as u64 * 7 + 13;
+        for i in 0..n {
+            tx.push(i);
+        }
+        let got: Vec<u64> = rx.drain_visible().collect();
+        assert_eq!(got.len() as u64, n);
+        assert!(got.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let (mut tx, mut rx) = channel();
+        let mut expected = 0u64;
+        for round in 0..200u64 {
+            for i in 0..round % 17 {
+                tx.push(round * 100 + i);
+            }
+            while let Some(_v) = rx.try_pop() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let rest = rx.drain_visible().count() as u64;
+        let total: u64 = (0..200u64).map(|r| r % 17).sum();
+        assert_eq!(expected + rest, total);
+    }
+
+    #[test]
+    fn concurrent_transfer_is_lossless_and_ordered() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.push(i);
+                }
+            });
+            s.spawn(move || {
+                let mut next = 0u64;
+                loop {
+                    let closed = rx.is_closed();
+                    while let Some(v) = rx.try_pop() {
+                        assert_eq!(v, next);
+                        next += 1;
+                    }
+                    if closed {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                assert_eq!(next, N);
+            });
+        });
+    }
+
+    #[test]
+    fn drops_unconsumed_elements_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let (mut tx, mut rx) = channel();
+        for _ in 0..(SEG_CAP * 3 + 5) {
+            tx.push(Tracked::new());
+        }
+        // Consume a prefix spanning one segment boundary.
+        for _ in 0..(SEG_CAP + 10) {
+            drop(rx.try_pop().expect("committed element"));
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0, "leak or double drop");
+    }
+
+    #[test]
+    fn consumer_dropped_first_then_producer_keeps_pushing() {
+        let (mut tx, rx) = channel();
+        tx.push(String::from("a"));
+        drop(rx);
+        for i in 0..(SEG_CAP * 2) {
+            tx.push(format!("x{i}"));
+        }
+        drop(tx); // Shared::drop must free everything without leaking.
+    }
+
+    #[test]
+    fn pushed_and_popped_counters() {
+        let (mut tx, mut rx) = channel();
+        for i in 0..100u32 {
+            tx.push(i);
+        }
+        assert_eq!(tx.pushed(), 100);
+        let _ = rx.drain_visible().count();
+        assert_eq!(rx.popped(), 100);
+    }
+
+    #[test]
+    fn close_then_drain_sees_every_element() {
+        // The termination protocol used by the pipelined builder.
+        for _ in 0..50 {
+            let (mut tx, mut rx) = channel();
+            let n = 1543u64;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..n {
+                        tx.push(i);
+                    }
+                });
+                s.spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        let closed = rx.is_closed();
+                        seen += rx.drain_visible().count() as u64;
+                        if closed {
+                            break;
+                        }
+                    }
+                    assert_eq!(seen, n);
+                });
+            });
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the concurrency substrate.
+
+use proptest::prelude::*;
+use wfbn_concurrent::{channel, mix64, pair_count, pairs_for_thread, row_chunks};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn spsc_preserves_arbitrary_interleavings(
+        ops in prop::collection::vec(prop::option::of(0u64..1000), 0..400)
+    ) {
+        // `Some(v)` = push v, `None` = try_pop. Model with a VecDeque.
+        let (mut tx, mut rx) = channel::<u64>();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    tx.push(v);
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(rx.try_pop(), model.pop_front());
+                }
+            }
+        }
+        // Drain the rest.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(rx.try_pop(), Some(expected));
+        }
+        prop_assert_eq!(rx.try_pop(), None);
+        prop_assert_eq!(tx.pushed(), rx.popped() + model.len() as u64);
+    }
+
+    #[test]
+    fn spsc_cross_thread_totals(n in 1u64..5000, threads_delay in 0usize..3) {
+        let (mut tx, mut rx) = channel::<u64>();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..n {
+                    tx.push(i);
+                    if threads_delay > 0 && i % 512 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let handle = s.spawn(move || {
+                let mut sum = 0u64;
+                let mut count = 0u64;
+                loop {
+                    let closed = rx.is_closed();
+                    while let Some(v) = rx.try_pop() {
+                        sum += v;
+                        count += 1;
+                    }
+                    if closed {
+                        break;
+                    }
+                }
+                (sum, count)
+            });
+            let (sum, count) = handle.join().unwrap();
+            assert_eq!(count, n);
+            assert_eq!(sum, n * (n - 1) / 2);
+        });
+    }
+
+    #[test]
+    fn row_chunks_partition_exactly(m in 0usize..10_000, p in 1usize..64) {
+        let chunks = row_chunks(m, p);
+        prop_assert_eq!(chunks.len(), p);
+        let mut pos = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.start, pos);
+            prop_assert!(c.end >= c.start);
+            pos = c.end;
+        }
+        prop_assert_eq!(pos, m);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let min = sizes.iter().min().copied().unwrap();
+        let max = sizes.iter().max().copied().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn pair_dealing_partitions_the_triangle(n in 0usize..40, p in 1usize..16) {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..p {
+            for pair in pairs_for_thread(n, t, p) {
+                prop_assert!(pair.0 < pair.1 && pair.1 < n);
+                prop_assert!(seen.insert(pair));
+            }
+        }
+        prop_assert_eq!(seen.len(), pair_count(n));
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples(xs in prop::collection::hash_set(any::<u64>(), 0..200)) {
+        let mixed: std::collections::HashSet<u64> = xs.iter().map(|&x| mix64(x)).collect();
+        prop_assert_eq!(mixed.len(), xs.len());
+    }
+}

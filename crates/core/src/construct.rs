@@ -1,0 +1,384 @@
+//! The wait-free table-construction primitive (paper Algorithms 1 & 2).
+//!
+//! # How the race is designed away
+//!
+//! A naïve parallel build — all threads incrementing a shared map — races on
+//! the counts of popular keys; locking fixes correctness but serializes the
+//! hot path. The paper's primitive instead *partitions the key space*: core
+//! `p` is the unique writer of partition `p`. The build runs in two stages
+//! with exactly one barrier between them:
+//!
+//! * **Stage 1** (Algorithm 1): each core streams its contiguous chunk of
+//!   rows, encodes each row to a key, and either applies it to its own
+//!   private table (if it owns the key) or pushes it onto the wait-free SPSC
+//!   queue addressed to the owning core. Since a queue has exactly one
+//!   producer and one consumer, no operation in this stage can block or even
+//!   retry: every core makes progress on every step (*wait-freedom*).
+//! * **Barrier** — the single synchronization step.
+//! * **Stage 2** (Algorithm 2): each core drains the `P − 1` queues addressed
+//!   to it and applies the keys to its own table. Again, single-writer
+//!   everywhere.
+//!
+//! Total work is `O(m·n / P)` per core for encoding plus `O(m / P)` expected
+//! queue traffic — the complexities stated in the paper.
+
+use crate::codec::KeyCodec;
+use crate::count_table::CountTable;
+use crate::error::CoreError;
+use crate::partition::KeyPartitioner;
+use crate::potential::PotentialTable;
+use crate::stats::{BuildStats, ThreadStats};
+use wfbn_concurrent::{channel, row_chunks, Consumer, Producer, SpinBarrier};
+use wfbn_data::Dataset;
+
+/// Result of a construction run: the table plus instrumentation.
+#[derive(Debug)]
+pub struct BuiltTable {
+    /// The distributed potential table.
+    pub table: PotentialTable,
+    /// Per-thread counters.
+    pub stats: BuildStats,
+}
+
+/// Cap on the per-partition capacity hint, to keep pre-allocation modest
+/// even for huge inputs (the tables grow on demand past this).
+const MAX_PREALLOC_ENTRIES: u64 = 1 << 16;
+
+fn capacity_hint(m: usize, space: u64, p: usize) -> usize {
+    let per_core_rows = (m / p.max(1)) as u64 + 1;
+    let per_core_keys = space.div_ceil(p as u64);
+    per_core_rows.min(per_core_keys).min(MAX_PREALLOC_ENTRIES) as usize
+}
+
+/// Builds the potential table on a single thread (the speedup baseline and
+/// the reference implementation for equivalence tests).
+pub fn sequential_build(data: &Dataset) -> Result<BuiltTable, CoreError> {
+    if data.num_samples() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let codec = KeyCodec::new(data.schema());
+    let mut table =
+        CountTable::with_capacity(capacity_hint(data.num_samples(), codec.state_space(), 1));
+    let mut stats = ThreadStats::default();
+    for row in data.rows() {
+        table.increment(codec.encode(row), 1);
+        stats.rows_encoded += 1;
+        stats.local_updates += 1;
+    }
+    stats.probes = table.probes();
+    Ok(BuiltTable {
+        table: PotentialTable::from_parts(codec, KeyPartitioner::modulo(1), vec![table]),
+        stats: BuildStats {
+            per_thread: vec![stats],
+        },
+    })
+}
+
+/// Builds the potential table with `p` threads using the paper's wait-free
+/// two-stage primitive and its `key % P` partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_core::construct::{sequential_build, waitfree_build};
+/// use wfbn_data::{Generator, Schema, UniformIndependent};
+///
+/// let data = UniformIndependent::new(Schema::uniform(10, 2).unwrap()).generate(5_000, 1);
+/// let seq = sequential_build(&data).unwrap();
+/// let par = waitfree_build(&data, 4).unwrap();
+/// assert_eq!(seq.table.to_sorted_vec(), par.table.to_sorted_vec());
+/// ```
+pub fn waitfree_build(data: &Dataset, p: usize) -> Result<BuiltTable, CoreError> {
+    if p == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    waitfree_build_with(data, KeyPartitioner::modulo(p))
+}
+
+/// Endpoints owned by one worker thread: its producers toward every other
+/// thread (`None` at its own index) and the consumers of queues addressed to
+/// it (`None` at its own index).
+struct Endpoints {
+    producers: Vec<Option<Producer<u64>>>,
+    consumers: Vec<Option<Consumer<u64>>>,
+}
+
+/// Builds the queue matrix `Q` of Algorithm 1: one SPSC channel per ordered
+/// pair `(from, to)`, `from ≠ to`, and deals the endpoints out per thread.
+fn queue_matrix(p: usize) -> Vec<Endpoints> {
+    let mut endpoints: Vec<Endpoints> = (0..p)
+        .map(|_| Endpoints {
+            producers: (0..p).map(|_| None).collect(),
+            consumers: (0..p).map(|_| None).collect(),
+        })
+        .collect();
+    for from in 0..p {
+        for to in 0..p {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = channel::<u64>();
+            endpoints[from].producers[to] = Some(tx);
+            endpoints[to].consumers[from] = Some(rx);
+        }
+    }
+    endpoints
+}
+
+/// Builds the potential table with an explicit key partitioner (the thread
+/// count is the partitioner's partition count).
+pub fn waitfree_build_with(
+    data: &Dataset,
+    partitioner: KeyPartitioner,
+) -> Result<BuiltTable, CoreError> {
+    let p = partitioner.partitions();
+    if p == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    if data.num_samples() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let codec = KeyCodec::new(data.schema());
+    if p == 1 {
+        // Degenerate case: no queues, no barrier.
+        let mut built = sequential_build(data)?;
+        if Some(&partitioner) != built.table.partitioner() {
+            let (c, _, parts) = built.table.into_parts();
+            built.table = PotentialTable::from_parts(c, partitioner, parts);
+        }
+        return Ok(built);
+    }
+
+    let m = data.num_samples();
+    let chunks = row_chunks(m, p);
+    let barrier = SpinBarrier::new(p);
+    let endpoints = queue_matrix(p);
+    let hint = capacity_hint(m, codec.state_space(), p);
+    let n = codec.num_vars();
+
+    let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let codec = &codec;
+        let partitioner = &partitioner;
+        let barrier = &barrier;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut ep)| {
+                let chunk = chunks[t];
+                std::thread::Builder::new()
+                    .name(format!("wfbn-build-{t}"))
+                    .spawn_scoped(s, move || {
+                        let mut table = CountTable::with_capacity(hint);
+                        let mut stats = ThreadStats::default();
+
+                        // ---- Stage 1 (Algorithm 1) ----
+                        for row in data.row_range(chunk.start, chunk.end).chunks_exact(n) {
+                            let key = codec.encode(row);
+                            stats.rows_encoded += 1;
+                            let owner = partitioner.owner(key);
+                            if owner == t {
+                                table.increment(key, 1);
+                                stats.local_updates += 1;
+                            } else {
+                                ep.producers[owner]
+                                    .as_mut()
+                                    .expect("producer to every foreign thread")
+                                    .push(key);
+                                stats.forwarded += 1;
+                            }
+                        }
+                        // Close this thread's outgoing queues. Not required
+                        // for correctness (the barrier already separates the
+                        // stages) but keeps the termination protocol uniform
+                        // with the pipelined variant.
+                        ep.producers.clear();
+
+                        // ---- The single synchronization step ----
+                        barrier.wait();
+
+                        // ---- Stage 2 (Algorithm 2) ----
+                        for consumer in ep.consumers.iter_mut().flatten() {
+                            while let Some(key) = consumer.try_pop() {
+                                debug_assert_eq!(partitioner.owner(key), t);
+                                table.increment(key, 1);
+                                stats.drained += 1;
+                            }
+                        }
+                        stats.probes = table.probes();
+                        (table, stats)
+                    })
+                    .expect("failed to spawn build thread")
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            results[t] = Some(h.join().expect("build thread panicked"));
+        }
+    });
+
+    let mut partitions = Vec::with_capacity(p);
+    let mut per_thread = Vec::with_capacity(p);
+    for r in results {
+        let (table, stats) = r.expect("every thread reports");
+        partitions.push(table);
+        per_thread.push(stats);
+    }
+    Ok(BuiltTable {
+        table: PotentialTable::from_parts(codec, partitioner, partitions),
+        stats: BuildStats { per_thread },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_data::{CorrelatedChain, Generator, Schema, UniformIndependent, ZipfIndependent};
+
+    fn uniform_data(n: usize, r: u16, m: usize, seed: u64) -> Dataset {
+        UniformIndependent::new(Schema::uniform(n, r).unwrap()).generate(m, seed)
+    }
+
+    #[test]
+    fn sequential_counts_every_row() {
+        let data = uniform_data(6, 2, 2000, 3);
+        let built = sequential_build(&data).unwrap();
+        assert_eq!(built.table.total_count(), 2000);
+        assert_eq!(built.stats.total_rows(), 2000);
+        assert_eq!(built.stats.total_forwarded(), 0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_many_thread_counts() {
+        let data = uniform_data(8, 3, 5000, 11);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let built = waitfree_build(&data, p).unwrap();
+            assert_eq!(built.table.to_sorted_vec(), reference, "mismatch at p={p}");
+            assert_eq!(built.table.total_count(), 5000);
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_for_all_partitioners() {
+        let data = uniform_data(10, 2, 3000, 5);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        let space = 1u64 << 10;
+        for part in [
+            KeyPartitioner::modulo(4),
+            KeyPartitioner::range(4, space),
+            KeyPartitioner::hashed(4),
+        ] {
+            let built = waitfree_build_with(&data, part).unwrap();
+            assert_eq!(built.table.to_sorted_vec(), reference, "{}", part.name());
+        }
+    }
+
+    #[test]
+    fn equivalence_on_skewed_and_correlated_data() {
+        let schema = Schema::new(vec![2, 3, 4, 2, 5]).unwrap();
+        for data in [
+            ZipfIndependent::new(schema.clone(), 1.5)
+                .unwrap()
+                .generate(4000, 2),
+            CorrelatedChain::new(schema, 0.9).unwrap().generate(4000, 2),
+        ] {
+            let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+            for p in [2usize, 5] {
+                assert_eq!(
+                    waitfree_build(&data, p).unwrap().table.to_sorted_vec(),
+                    reference
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_fraction_matches_theory_for_uniform_keys() {
+        // With uniform keys and modulo(P), a key is foreign w.p. (P−1)/P.
+        let data = uniform_data(12, 2, 20_000, 7);
+        for p in [2usize, 4, 8] {
+            let built = waitfree_build(&data, p).unwrap();
+            let expected = (p as f64 - 1.0) / p as f64;
+            let got = built.stats.forward_fraction();
+            assert!(
+                (got - expected).abs() < 0.02,
+                "p={p}: got {got}, expected {expected}"
+            );
+            assert_eq!(built.stats.total_forwarded(), built.stats.total_drained());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let data = uniform_data(4, 2, 3, 9);
+        let built = waitfree_build(&data, 8).unwrap();
+        assert_eq!(built.table.total_count(), 3);
+        assert_eq!(built.stats.total_rows(), 3);
+    }
+
+    #[test]
+    fn single_row_dataset() {
+        let schema = Schema::uniform(5, 2).unwrap();
+        let data = Dataset::from_rows(schema, &[&[1, 0, 1, 0, 1]]).unwrap();
+        let built = waitfree_build(&data, 4).unwrap();
+        assert_eq!(built.table.num_entries(), 1);
+        let key = built.table.codec().encode(&[1, 0, 1, 0, 1]);
+        assert_eq!(built.table.count_of(key), 1);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = Dataset::from_rows(schema, &[]).unwrap();
+        assert_eq!(
+            sequential_build(&data).unwrap_err(),
+            CoreError::EmptyDataset
+        );
+        assert_eq!(
+            waitfree_build(&data, 4).unwrap_err(),
+            CoreError::EmptyDataset
+        );
+        assert_eq!(
+            waitfree_build(&data, 0).unwrap_err(),
+            CoreError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn every_key_lands_in_its_owning_partition() {
+        let data = uniform_data(9, 2, 5000, 13);
+        let built = waitfree_build(&data, 4).unwrap();
+        let part = *built.table.partitioner().unwrap();
+        for (p_idx, t) in built.table.partitions().iter().enumerate() {
+            for (key, _) in t.iter() {
+                assert_eq!(part.owner(key), p_idx);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input_counts_correctly() {
+        // All rows identical: one key with count m, forwarded by all
+        // non-owner threads.
+        let schema = Schema::uniform(6, 2).unwrap();
+        let rows: Vec<&[u16]> = (0..997).map(|_| &[1u16, 0, 1, 1, 0, 1] as &[u16]).collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let built = waitfree_build(&data, 4).unwrap();
+        assert_eq!(built.table.num_entries(), 1);
+        assert_eq!(built.table.total_count(), 997);
+    }
+
+    #[test]
+    fn deterministic_table_regardless_of_scheduling() {
+        // Run the same parallel build many times: the resulting multiset of
+        // (key, count) pairs must be identical every time.
+        let data = uniform_data(8, 2, 2000, 21);
+        let reference = waitfree_build(&data, 4).unwrap().table.to_sorted_vec();
+        for _ in 0..10 {
+            assert_eq!(
+                waitfree_build(&data, 4).unwrap().table.to_sorted_vec(),
+                reference
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Information-theoretic kernels: entropy, mutual information (paper Eq. 1)
+//! and conditional mutual information (paper Eq. 2).
+//!
+//! All quantities are computed from *count* marginals and normalized at the
+//! end (the paper's footnote 2), in **nats** (natural logarithm). Convert
+//! with [`nats_to_bits`] when a base-2 threshold is more natural.
+//!
+//! Zero cells contribute zero by the standard convention
+//! `0 · log(0/q) = 0`; the plug-in estimator never divides by an observed
+//! count of zero because a joint cell can only be non-zero if both of its
+//! marginals are.
+
+use crate::marginal::MarginalTable;
+
+/// Converts nats to bits (`x / ln 2`).
+pub fn nats_to_bits(x: f64) -> f64 {
+    x / core::f64::consts::LN_2
+}
+
+/// Shannon entropy `H(V)` in nats of a marginal table.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_core::{construct::sequential_build, entropy, marginal::marginalize};
+/// use wfbn_data::{Dataset, Schema};
+///
+/// let schema = Schema::uniform(1, 2).unwrap();
+/// let d = Dataset::from_rows(schema, &[&[0], &[1], &[0], &[1]]).unwrap();
+/// let t = sequential_build(&d).unwrap().table;
+/// let m = marginalize(&t, &[0], 1).unwrap();
+/// let h = entropy::entropy(&m);
+/// assert!((entropy::nats_to_bits(h) - 1.0).abs() < 1e-12); // fair coin: 1 bit
+/// ```
+pub fn entropy(marginal: &MarginalTable) -> f64 {
+    let m = marginal.total() as f64;
+    let mut h = 0.0;
+    for idx in 0..marginal.num_cells() {
+        let c = marginal.count_at(idx);
+        if c > 0 {
+            let p = c as f64 / m;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Mutual information `I(X; Y)` in nats from their joint marginal (Eq. 1).
+///
+/// The two singleton marginals are *derived* from the pair by collapsing —
+/// the paper's optimization that replaces three marginalization passes with
+/// one.
+///
+/// # Panics
+///
+/// Panics if `pair` does not range over exactly two variables.
+pub fn mutual_information(pair: &MarginalTable) -> f64 {
+    assert_eq!(pair.vars().len(), 2, "expected a pairwise joint marginal");
+    let px = pair.collapse(&[0]);
+    let py = pair.collapse(&[1]);
+    let m = pair.total() as f64;
+    let rx = pair.arities()[0] as usize;
+    let ry = pair.arities()[1] as usize;
+    let mut mi = 0.0;
+    for y in 0..ry {
+        let cy = py.count_at(y);
+        if cy == 0 {
+            continue;
+        }
+        for x in 0..rx {
+            let cxy = pair.count_at(y * rx + x);
+            if cxy == 0 {
+                continue;
+            }
+            let cx = px.count_at(x);
+            let pxy = cxy as f64 / m;
+            // p(x,y) / (p(x)·p(y)) = m·c(x,y) / (c(x)·c(y)).
+            mi += pxy * ((m * cxy as f64) / (cx as f64 * cy as f64)).ln();
+        }
+    }
+    // Clamp tiny negative rounding residue: MI is non-negative.
+    mi.max(0.0)
+}
+
+/// Conditional mutual information `I(X; Y | Z)` in nats (Eq. 2), where the
+/// input ranges over `(X, Y, Z₁, …, Z_k)` — positions 0 and 1 are the
+/// tested pair and every remaining position belongs to the conditioning set
+/// **Z**. With an empty **Z** (a two-variable marginal) this reduces to
+/// [`mutual_information`], matching the paper's remark after Eq. 2.
+///
+/// Identity used: `I(X;Y|Z) = Σ p(x,y,z) · ln[ p(x,y,z)·p(z) / (p(x,z)·p(y,z)) ]`.
+///
+/// # Panics
+///
+/// Panics if `joint` has fewer than two variables.
+pub fn conditional_mutual_information(joint: &MarginalTable) -> f64 {
+    let k = joint.vars().len();
+    assert!(k >= 2, "need at least the tested pair");
+    if k == 2 {
+        return mutual_information(joint);
+    }
+    let m = joint.total() as f64;
+    let z_positions: Vec<usize> = (2..k).collect();
+    let xz_positions: Vec<usize> = core::iter::once(0).chain(2..k).collect();
+    let yz_positions: Vec<usize> = (1..k).collect();
+    let pz = joint.collapse(&z_positions);
+    let pxz = joint.collapse(&xz_positions);
+    let pyz = joint.collapse(&yz_positions);
+
+    let rx = joint.arities()[0] as usize;
+    let ry = joint.arities()[1] as usize;
+    let z_cells = pz.num_cells();
+
+    let mut cmi = 0.0;
+    for zi in 0..z_cells {
+        let cz = pz.count_at(zi);
+        if cz == 0 {
+            continue;
+        }
+        for y in 0..ry {
+            let cyz = pyz.count_at(zi * ry + y);
+            if cyz == 0 {
+                continue;
+            }
+            for x in 0..rx {
+                // joint index: x fastest, then y, then z digits.
+                let cxyz = joint.count_at((zi * ry + y) * rx + x);
+                if cxyz == 0 {
+                    continue;
+                }
+                let cxz = pxz.count_at(zi * rx + x);
+                let pxyz = cxyz as f64 / m;
+                cmi += pxyz * ((cxyz as f64 * cz as f64) / (cxz as f64 * cyz as f64)).ln();
+            }
+        }
+    }
+    cmi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::sequential_build;
+    use crate::marginal::marginalize;
+    use wfbn_data::{CorrelatedChain, Dataset, Generator, Schema, UniformIndependent};
+
+    fn pair_marginal(data: &Dataset, a: usize, b: usize) -> MarginalTable {
+        let t = sequential_build(data).unwrap().table;
+        marginalize(&t, &[a, b], 1).unwrap()
+    }
+
+    #[test]
+    fn identical_variables_have_mi_equal_to_entropy() {
+        // X = Y uniform binary: I(X;Y) = H(X) = ln 2.
+        let schema = Schema::uniform(2, 2).unwrap();
+        let rows: Vec<Vec<u16>> = (0..1000).map(|i| vec![(i % 2) as u16; 2]).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let data = Dataset::from_rows(schema, &refs).unwrap();
+        let pair = pair_marginal(&data, 0, 1);
+        let mi = mutual_information(&pair);
+        assert!((mi - core::f64::consts::LN_2).abs() < 1e-12, "mi={mi}");
+        assert!((nats_to_bits(mi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_variables_have_near_zero_mi() {
+        let schema = Schema::uniform(2, 3).unwrap();
+        let data = UniformIndependent::new(schema).generate(50_000, 77);
+        let mi = mutual_information(&pair_marginal(&data, 0, 1));
+        assert!(mi >= 0.0);
+        assert!(mi < 5e-4, "mi={mi}");
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let schema = Schema::new(vec![2, 4]).unwrap();
+        let data = CorrelatedChain::new(schema, 0.6)
+            .unwrap()
+            .generate(20_000, 5);
+        // Swap roles by comparing I from (0,1) with manual recomputation on
+        // the transposed pair: symmetry of the formula.
+        let pair = pair_marginal(&data, 0, 1);
+        let mi_xy = mutual_information(&pair);
+        // I(Y;X) via entropies: I = H(X) + H(Y) − H(X,Y).
+        let hx = entropy(&pair.collapse(&[0]));
+        let hy = entropy(&pair.collapse(&[1]));
+        let hxy = entropy(&pair);
+        assert!((mi_xy - (hx + hy - hxy)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn deterministic_function_mi_equals_marginal_entropy() {
+        // Y = f(X) with X uniform over 4 states, f collapsing to 2 states:
+        // I(X;Y) = H(Y) = ln 2.
+        let schema = Schema::new(vec![4, 2]).unwrap();
+        let rows: Vec<Vec<u16>> = (0..4000u32)
+            .map(|i| {
+                let x = (i % 4) as u16;
+                vec![x, x % 2]
+            })
+            .collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let data = Dataset::from_rows(schema, &refs).unwrap();
+        let mi = mutual_information(&pair_marginal(&data, 0, 1));
+        assert!((mi - core::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_reduces_to_mi_for_empty_conditioning_set() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = CorrelatedChain::new(schema, 0.8)
+            .unwrap()
+            .generate(10_000, 2);
+        let pair = pair_marginal(&data, 0, 1);
+        assert_eq!(
+            conditional_mutual_information(&pair),
+            mutual_information(&pair)
+        );
+    }
+
+    #[test]
+    fn chain_cmi_vanishes_given_middle_variable() {
+        // X₀ → X₁ → X₂: I(X₀;X₂) is clearly positive but I(X₀;X₂|X₁) ≈ 0.
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = CorrelatedChain::new(schema, 0.85)
+            .unwrap()
+            .generate(80_000, 13);
+        let t = sequential_build(&data).unwrap().table;
+        let pair = marginalize(&t, &[0, 2], 1).unwrap();
+        let mi = mutual_information(&pair);
+        // Joint over (X0, X2, X1): tested pair first, conditioner last.
+        let triple_raw = marginalize(&t, &[0, 1, 2], 1).unwrap();
+        // Reorder positions so (X0, X2 | X1): take the (0,2) pair as the
+        // first two positions. MarginalTable stores vars sorted, so build
+        // the (x, y, z) ordering by collapsing nothing — instead express the
+        // CMI via a marginal whose first two positions are the tested pair.
+        // vars [0,1,2] has X1 in the middle; we need (X0, X2, X1). Use the
+        // dedicated helper below.
+        let cmi = cmi_of(&triple_raw, 0, 2, &[1]);
+        assert!(mi > 0.05, "marginal dependence expected, got {mi}");
+        assert!(cmi < 0.01, "conditional independence expected, got {cmi}");
+    }
+
+    /// Computes I(x; y | z) from a marginal over all of them by reordering
+    /// into the (x, y, z…) layout `conditional_mutual_information` expects.
+    fn cmi_of(joint: &MarginalTable, x: usize, y: usize, z: &[usize]) -> f64 {
+        let order: Vec<usize> = [x, y].into_iter().chain(z.iter().copied()).collect();
+        conditional_mutual_information(&joint.reorder(&order))
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution_is_log_cells() {
+        let schema = Schema::new(vec![4]).unwrap();
+        let rows: Vec<Vec<u16>> = (0..4000).map(|i| vec![(i % 4) as u16]).collect();
+        let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let data = Dataset::from_rows(schema, &refs).unwrap();
+        let t = sequential_build(&data).unwrap().table;
+        let m = marginalize(&t, &[0], 1).unwrap();
+        assert!((entropy(&m) - 4f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the core primitives.
+
+use core::fmt;
+
+/// Errors surfaced by table construction and marginalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The dataset has no rows; a potential table would be empty and every
+    /// probability undefined.
+    EmptyDataset,
+    /// Zero threads requested.
+    ZeroThreads,
+    /// A marginalization was requested over an empty or invalid variable set.
+    BadVariableSet {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A variable index exceeds the schema width.
+    VariableOutOfRange {
+        /// The offending index.
+        var: usize,
+        /// Number of variables in the schema.
+        num_vars: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDataset => write!(f, "dataset contains no samples"),
+            CoreError::ZeroThreads => write!(f, "at least one thread is required"),
+            CoreError::BadVariableSet { reason } => {
+                write!(f, "invalid variable set: {reason}")
+            }
+            CoreError::VariableOutOfRange { var, num_vars } => {
+                write!(f, "variable {var} out of range (schema has {num_vars})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::EmptyDataset.to_string().contains("no samples"));
+        assert!(CoreError::ZeroThreads.to_string().contains("thread"));
+        assert!(CoreError::VariableOutOfRange {
+            var: 9,
+            num_vars: 4
+        }
+        .to_string()
+        .contains("9"));
+    }
+}

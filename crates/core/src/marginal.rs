@@ -1,0 +1,534 @@
+//! The parallel marginalization primitive (paper Algorithm 3).
+//!
+//! Marginalization sums the potential table over every variable *not* in the
+//! set of interest **V**. The naïve formulation iterates the full state
+//! space — `O(∏ r_j)`, exponential in `n`. The paper's observation: real
+//! tables are *sparse* (at most `m` distinct state strings were ever
+//! observed), so it suffices to iterate the stored entries. For each entry,
+//! only the variables in **V** are decoded from the key (one divide+modulo
+//! each — [`KeyCodec::marginal_key`]); the count is accumulated into a dense
+//! marginal table of size `∏_{v∈V} r_v`.
+//!
+//! Parallelization is pure data parallelism: each thread scans a disjoint
+//! subset of the partitions into a *private* partial marginal, and the
+//! partials are summed at the end ("merge" step of Algorithm 3). No thread
+//! ever reads another's partition — the cache-friendliness claim of the
+//! paper.
+
+use crate::codec::KeyCodec;
+use crate::error::CoreError;
+use crate::potential::PotentialTable;
+use wfbn_concurrent::run_on_threads;
+
+/// Refuse to materialize marginal tables above this many cells (2^28 cells
+/// = 2 GiB of counts); marginals in structure learning are tiny (pairs and
+/// triples), so hitting this indicates a caller bug.
+const MAX_MARGINAL_CELLS: u64 = 1 << 28;
+
+/// A dense marginal count table over an ordered set of variables.
+///
+/// Cell order is mixed-radix with the *first* variable fastest, matching
+/// [`KeyCodec::marginal_key`].
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_core::{construct::sequential_build, marginal::marginalize};
+/// use wfbn_data::{Dataset, Schema};
+///
+/// let schema = Schema::uniform(3, 2).unwrap();
+/// let d = Dataset::from_rows(
+///     schema,
+///     &[&[0, 0, 1], &[0, 1, 1], &[1, 1, 0], &[0, 1, 0]],
+/// )
+/// .unwrap();
+/// let table = sequential_build(&d).unwrap().table;
+/// let m = marginalize(&table, &[1], 1).unwrap();
+/// assert_eq!(m.count(&[0]), 1); // X₁ = 0 observed once
+/// assert_eq!(m.count(&[1]), 3);
+/// assert_eq!(m.prob(&[1]), 0.75);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalTable {
+    vars: Vec<usize>,
+    arities: Vec<u64>,
+    counts: Vec<u64>,
+    /// Total observations in the source table (the paper's `m`; divisor for
+    /// probabilities — footnote 2 of the paper).
+    total: u64,
+}
+
+impl MarginalTable {
+    /// Creates a zeroed marginal table (used by the accumulation loops).
+    fn zeroed(codec: &KeyCodec, vars: &[usize], total: u64) -> Result<Self, CoreError> {
+        codec.validate_vars(vars)?;
+        let arities: Vec<u64> = vars.iter().map(|&v| codec.arity(v)).collect();
+        let cells: u64 = arities.iter().product();
+        if cells > MAX_MARGINAL_CELLS {
+            return Err(CoreError::BadVariableSet {
+                reason: "marginal state space too large to materialize",
+            });
+        }
+        Ok(Self {
+            vars: vars.to_vec(),
+            arities,
+            counts: vec![0; cells as usize],
+            total,
+        })
+    }
+
+    /// The variables this marginal ranges over (strictly increasing).
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Arity of each marginal variable, in `vars` order.
+    pub fn arities(&self) -> &[u64] {
+        &self.arities
+    }
+
+    /// Number of cells (`∏ r_v`).
+    pub fn num_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations `m` in the source potential table.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all cells (equals [`total`](Self::total) for a full marginal).
+    pub fn sum(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mixed-radix cell index of a marginal state assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length or any state is out of range.
+    pub fn index_of(&self, states: &[u16]) -> usize {
+        assert_eq!(states.len(), self.vars.len(), "wrong assignment width");
+        let mut idx = 0u64;
+        let mut stride = 1u64;
+        for (&s, &r) in states.iter().zip(&self.arities) {
+            assert!(u64::from(s) < r, "state {s} out of range (arity {r})");
+            idx += u64::from(s) * stride;
+            stride *= r;
+        }
+        idx as usize
+    }
+
+    /// Count of one marginal state assignment.
+    pub fn count(&self, states: &[u16]) -> u64 {
+        self.counts[self.index_of(states)]
+    }
+
+    /// Count by raw cell index.
+    pub fn count_at(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Probability of one marginal state assignment (count / m).
+    pub fn prob(&self, states: &[u16]) -> f64 {
+        self.count(states) as f64 / self.total as f64
+    }
+
+    /// Probability by raw cell index.
+    pub fn prob_at(&self, idx: usize) -> f64 {
+        self.counts[idx] as f64 / self.total as f64
+    }
+
+    /// All cells as probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let m = self.total as f64;
+        self.counts.iter().map(|&c| c as f64 / m).collect()
+    }
+
+    /// Sums this marginal down to the variables at `keep` (positions into
+    /// [`vars`](Self::vars), strictly increasing).
+    ///
+    /// This is the paper's optimization for Equation 1: compute the pairwise
+    /// joint P(x, y) once, then *derive* P(x) and P(y) from it instead of
+    /// rescanning the potential table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty, out of range, or not strictly increasing.
+    pub fn collapse(&self, keep: &[usize]) -> MarginalTable {
+        assert!(!keep.is_empty(), "keep set must be non-empty");
+        assert!(
+            keep.windows(2).all(|w| w[0] < w[1]) && *keep.last().unwrap() < self.vars.len(),
+            "keep positions must be strictly increasing and in range"
+        );
+        let kept_vars: Vec<usize> = keep.iter().map(|&k| self.vars[k]).collect();
+        let kept_arities: Vec<u64> = keep.iter().map(|&k| self.arities[k]).collect();
+        let cells: u64 = kept_arities.iter().product();
+        let mut counts = vec![0u64; cells as usize];
+        // For each source cell, compute the destination index by extracting
+        // the kept digits.
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mut rest = idx as u64;
+            let mut dst = 0u64;
+            let mut dst_stride = 1u64;
+            let mut keep_iter = keep.iter().peekable();
+            for (pos, &r) in self.arities.iter().enumerate() {
+                let digit = rest % r;
+                rest /= r;
+                if keep_iter.peek() == Some(&&pos) {
+                    keep_iter.next();
+                    dst += digit * dst_stride;
+                    dst_stride *= r;
+                }
+            }
+            counts[dst as usize] += c;
+        }
+        MarginalTable {
+            vars: kept_vars,
+            arities: kept_arities,
+            counts,
+            total: self.total,
+        }
+    }
+
+    /// Builds a marginal from raw parts (internal; callers go through
+    /// [`marginalize`] or [`MarginalTable::reorder`]).
+    pub(crate) fn from_raw_parts(
+        vars: Vec<usize>,
+        arities: Vec<u64>,
+        counts: Vec<u64>,
+        total: u64,
+    ) -> Self {
+        debug_assert_eq!(vars.len(), arities.len());
+        debug_assert_eq!(
+            counts.len() as u64,
+            arities.iter().product::<u64>(),
+            "cell count must match the arity product"
+        );
+        Self {
+            vars,
+            arities,
+            counts,
+            total,
+        }
+    }
+
+    /// Returns the same marginal with its variables permuted into `order`.
+    ///
+    /// `order` must be a permutation of [`vars`](Self::vars). This is how a
+    /// sorted marginal from [`marginalize`] is arranged into the
+    /// pair-first layout that
+    /// [`conditional_mutual_information`](crate::entropy::conditional_mutual_information)
+    /// expects (`X`, `Y`, then the conditioning set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the marginal's variables.
+    pub fn reorder(&self, order: &[usize]) -> MarginalTable {
+        assert_eq!(order.len(), self.vars.len(), "order must cover all vars");
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|&v| {
+                self.vars
+                    .iter()
+                    .position(|&w| w == v)
+                    .unwrap_or_else(|| panic!("variable {v} not in marginal"))
+            })
+            .collect();
+        {
+            let mut sorted = positions.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), positions.len(), "order contains duplicates");
+        }
+        let new_arities: Vec<u64> = positions.iter().map(|&p| self.arities[p]).collect();
+        let mut new_counts = vec![0u64; self.counts.len()];
+        let mut digits = vec![0u64; self.vars.len()];
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mut rest = idx as u64;
+            for (d, &r) in digits.iter_mut().zip(&self.arities) {
+                *d = rest % r;
+                rest /= r;
+            }
+            let mut new_idx = 0u64;
+            let mut stride = 1u64;
+            for (&p, &r) in positions.iter().zip(&new_arities) {
+                new_idx += digits[p] * stride;
+                stride *= r;
+            }
+            new_counts[new_idx as usize] += c;
+        }
+        Self::from_raw_parts(order.to_vec(), new_arities, new_counts, self.total)
+    }
+
+    /// Adds another partial marginal over the same variables (merge step).
+    fn absorb(&mut self, other: &MarginalTable) {
+        debug_assert_eq!(self.vars, other.vars);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Computes the marginal over `vars` from a potential table using `threads`
+/// parallel scanners (Algorithm 3).
+///
+/// `vars` must be strictly increasing and within the schema. `threads` is
+/// clamped to the number of partitions (a thread scans whole partitions).
+pub fn marginalize(
+    table: &PotentialTable,
+    vars: &[usize],
+    threads: usize,
+) -> Result<MarginalTable, CoreError> {
+    if threads == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    let codec = table.codec();
+    let total = table.total_count();
+    let template = MarginalTable::zeroed(codec, vars, total)?;
+    let p = table.num_partitions();
+    let t = threads.min(p);
+
+    if t == 1 {
+        let mut out = template;
+        for part in table.partitions() {
+            accumulate_partition(codec, part, vars, &mut out);
+        }
+        return Ok(out);
+    }
+
+    // Deal whole partitions to threads round-robin; each thread fills a
+    // private partial marginal (no shared writes), then the partials merge.
+    let partials = run_on_threads(t, |tid| {
+        let mut local = template.clone();
+        let mut part_idx = tid;
+        while part_idx < p {
+            accumulate_partition(codec, table.partition(part_idx), vars, &mut local);
+            part_idx += t;
+        }
+        local
+    });
+    let mut out = template;
+    for partial in &partials {
+        out.absorb(partial);
+    }
+    Ok(out)
+}
+
+/// Scans one partition into a partial marginal (the per-core loop body of
+/// Algorithm 3).
+fn accumulate_partition(
+    codec: &KeyCodec,
+    part: &crate::count_table::CountTable,
+    vars: &[usize],
+    out: &mut MarginalTable,
+) {
+    for (key, count) in part.iter() {
+        let idx = codec.marginal_key(key, vars) as usize;
+        out.counts[idx] += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{sequential_build, waitfree_build};
+    use wfbn_data::{CorrelatedChain, Dataset, Generator, Schema, UniformIndependent};
+
+    fn table(data: &Dataset, p: usize) -> PotentialTable {
+        waitfree_build(data, p).unwrap().table
+    }
+
+    /// Brute-force marginal straight from the dataset, for cross-checking.
+    fn brute_marginal(data: &Dataset, vars: &[usize]) -> Vec<u64> {
+        let arities: Vec<u64> = vars
+            .iter()
+            .map(|&v| u64::from(data.schema().arity(v)))
+            .collect();
+        let cells: u64 = arities.iter().product();
+        let mut counts = vec![0u64; cells as usize];
+        for row in data.rows() {
+            let mut idx = 0u64;
+            let mut stride = 1u64;
+            for (&v, &r) in vars.iter().zip(&arities) {
+                idx += u64::from(row[v]) * stride;
+                stride *= r;
+            }
+            counts[idx as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let schema = Schema::new(vec![2, 3, 2, 4, 2]).unwrap();
+        let data = UniformIndependent::new(schema).generate(5_000, 31);
+        let t = table(&data, 4);
+        for vars in [vec![0usize], vec![2], vec![0, 1], vec![1, 3], vec![0, 2, 4]] {
+            let expected = brute_marginal(&data, &vars);
+            for threads in [1usize, 2, 4] {
+                let m = marginalize(&t, &vars, threads).unwrap();
+                assert_eq!(m.counts, expected, "vars={vars:?} threads={threads}");
+                assert_eq!(m.sum(), 5_000);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_normalize_to_one() {
+        let schema = Schema::uniform(6, 2).unwrap();
+        let data = CorrelatedChain::new(schema, 0.7)
+            .unwrap()
+            .generate(3_000, 8);
+        let t = table(&data, 3);
+        let m = marginalize(&t, &[1, 4], 2).unwrap();
+        let total: f64 = m.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collapse_derives_singletons_from_pair() {
+        let schema = Schema::new(vec![2, 3, 4]).unwrap();
+        let data = UniformIndependent::new(schema).generate(4_000, 12);
+        let t = table(&data, 2);
+        let pair = marginalize(&t, &[0, 2], 1).unwrap();
+        let px = pair.collapse(&[0]);
+        let py = pair.collapse(&[1]);
+        assert_eq!(px.counts, brute_marginal(&data, &[0]));
+        assert_eq!(py.counts, brute_marginal(&data, &[2]));
+        assert_eq!(px.vars(), &[0]);
+        assert_eq!(py.vars(), &[2]);
+        assert_eq!(px.total(), 4_000);
+    }
+
+    #[test]
+    fn collapse_of_triple_to_pair() {
+        let schema = Schema::uniform(5, 2).unwrap();
+        let data = CorrelatedChain::new(schema, 0.5)
+            .unwrap()
+            .generate(2_000, 9);
+        let t = table(&data, 2);
+        let triple = marginalize(&t, &[0, 2, 3], 1).unwrap();
+        let pair = triple.collapse(&[0, 2]);
+        assert_eq!(pair.counts, brute_marginal(&data, &[0, 3]));
+    }
+
+    #[test]
+    fn marginal_over_all_vars_is_the_table_itself() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(1_000, 3);
+        let t = table(&data, 2);
+        let m = marginalize(&t, &[0, 1, 2, 3], 2).unwrap();
+        // Every observed key's count must appear at its own cell.
+        for (key, count) in t.iter() {
+            assert_eq!(m.count_at(key as usize), count);
+        }
+    }
+
+    #[test]
+    fn index_of_round_trips() {
+        let schema = Schema::new(vec![2, 3, 4]).unwrap();
+        let data = UniformIndependent::new(schema).generate(100, 5);
+        let t = table(&data, 1);
+        let m = marginalize(&t, &[1, 2], 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s1 in 0..3u16 {
+            for s2 in 0..4u16 {
+                assert!(seen.insert(m.index_of(&[s1, s2])));
+            }
+        }
+        assert_eq!(seen.len(), m.num_cells());
+    }
+
+    #[test]
+    fn reorder_permutes_dimensions() {
+        let schema = Schema::new(vec![2, 3, 4]).unwrap();
+        let data = UniformIndependent::new(schema).generate(2_000, 44);
+        let t = table(&data, 2);
+        let sorted = marginalize(&t, &[0, 1, 2], 1).unwrap();
+        let perm = sorted.reorder(&[2, 0, 1]);
+        assert_eq!(perm.vars(), &[2, 0, 1]);
+        assert_eq!(perm.arities(), &[4, 2, 3]);
+        for s0 in 0..2u16 {
+            for s1 in 0..3u16 {
+                for s2 in 0..4u16 {
+                    assert_eq!(sorted.count(&[s0, s1, s2]), perm.count(&[s2, s0, s1]));
+                }
+            }
+        }
+        // Round trip back to sorted order.
+        let back = perm.reorder(&[0, 1, 2]);
+        assert_eq!(back, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in marginal")]
+    fn reorder_rejects_foreign_variable() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(100, 1);
+        let t = table(&data, 1);
+        let m = marginalize(&t, &[0, 1], 1).unwrap();
+        let _ = m.reorder(&[0, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(100, 5);
+        let t = table(&data, 2);
+        assert!(matches!(
+            marginalize(&t, &[], 1),
+            Err(CoreError::BadVariableSet { .. })
+        ));
+        assert!(matches!(
+            marginalize(&t, &[3, 1], 1),
+            Err(CoreError::BadVariableSet { .. })
+        ));
+        assert!(matches!(
+            marginalize(&t, &[9], 1),
+            Err(CoreError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            marginalize(&t, &[0], 0),
+            Err(CoreError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn threads_beyond_partitions_are_clamped() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(500, 2);
+        let t = table(&data, 2);
+        let a = marginalize(&t, &[0, 3], 16).unwrap();
+        let b = marginalize(&t, &[0, 3], 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_on_rebalanced_arbitrary_placement() {
+        // Marginalization must not depend on key placement (§IV-C).
+        let schema = Schema::uniform(5, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(2_000, 6);
+        let keyed = sequential_build(&data).unwrap().table;
+        let expected = marginalize(&keyed, &[1, 3], 1).unwrap();
+        // Scatter entries across 3 partitions ignoring key ownership.
+        let codec = keyed.codec().clone();
+        let mut parts = vec![
+            crate::count_table::CountTable::new(),
+            crate::count_table::CountTable::new(),
+            crate::count_table::CountTable::new(),
+        ];
+        for (i, (k, c)) in keyed.iter().enumerate() {
+            parts[i % 3].increment(k, c);
+        }
+        let arbitrary = PotentialTable::from_parts_unpartitioned(codec, parts);
+        let got = marginalize(&arbitrary, &[1, 3], 3).unwrap();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,200 @@
+//! Key-space partitioning: which core owns which keys.
+//!
+//! The wait-free primitive divides the key range `[0, ∏ r_j)` into `P`
+//! disjoint parts, one per core (paper §IV-B). The paper's Algorithm 1 uses
+//! `index = key % P`; this module also provides a contiguous-range
+//! partitioner as an ablation point. Which is better depends on the key
+//! distribution:
+//!
+//! * `Modulo` interleaves the key space, so *clustered* keys (skewed data
+//!   concentrated near key 0) still spread across cores. Its weakness is
+//!   pathological strides (data whose keys are all ≡ c mod P).
+//! * `Range` gives each core one contiguous span. Clustered keys then all
+//!   land on core 0 — the imbalance the Zipf ablation demonstrates.
+//!
+//! A `Hashed` partitioner (mix then modulo) is also provided; it is robust
+//! to *any* input distribution at the cost of one extra mix per key.
+
+/// Strategy assigning each key to its owning core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPartitioner {
+    /// `owner(key) = key % p` — Algorithm 1's choice.
+    Modulo {
+        /// Number of cores `P`.
+        p: usize,
+    },
+    /// `owner(key) = key / ceil(space / p)` — contiguous spans.
+    Range {
+        /// Number of cores `P`.
+        p: usize,
+        /// Size of the key space (`∏ r_j`).
+        space: u64,
+    },
+    /// `owner(key) = mix64(key) % p` — distribution-oblivious.
+    Hashed {
+        /// Number of cores `P`.
+        p: usize,
+    },
+}
+
+impl KeyPartitioner {
+    /// The paper's modulo partitioner.
+    pub fn modulo(p: usize) -> Self {
+        assert!(p > 0, "need at least one partition");
+        KeyPartitioner::Modulo { p }
+    }
+
+    /// Contiguous-range partitioner over a key space of `space` keys.
+    pub fn range(p: usize, space: u64) -> Self {
+        assert!(p > 0, "need at least one partition");
+        assert!(space > 0, "key space must be non-empty");
+        KeyPartitioner::Range { p, space }
+    }
+
+    /// Hash-based partitioner.
+    pub fn hashed(p: usize) -> Self {
+        assert!(p > 0, "need at least one partition");
+        KeyPartitioner::Hashed { p }
+    }
+
+    /// Number of partitions `P`.
+    #[inline]
+    pub fn partitions(&self) -> usize {
+        match *self {
+            KeyPartitioner::Modulo { p }
+            | KeyPartitioner::Range { p, .. }
+            | KeyPartitioner::Hashed { p } => p,
+        }
+    }
+
+    /// The core that owns `key`.
+    #[inline]
+    pub fn owner(&self, key: u64) -> usize {
+        match *self {
+            KeyPartitioner::Modulo { p } => (key % p as u64) as usize,
+            KeyPartitioner::Range { p, space } => {
+                let span = space.div_ceil(p as u64);
+                ((key / span) as usize).min(p - 1)
+            }
+            KeyPartitioner::Hashed { p } => (wfbn_concurrent::mix64(key) % p as u64) as usize,
+        }
+    }
+
+    /// Short human-readable name (for bench output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyPartitioner::Modulo { .. } => "modulo",
+            KeyPartitioner::Range { .. } => "range",
+            KeyPartitioner::Hashed { .. } => "hashed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_are_in_range() {
+        let space = 10_000u64;
+        for p in [1usize, 2, 3, 7, 32] {
+            for part in [
+                KeyPartitioner::modulo(p),
+                KeyPartitioner::range(p, space),
+                KeyPartitioner::hashed(p),
+            ] {
+                assert_eq!(part.partitions(), p);
+                for key in (0..space).step_by(37) {
+                    assert!(part.owner(key) < p, "{part:?} key={key}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_matches_paper() {
+        let part = KeyPartitioner::modulo(4);
+        assert_eq!(part.owner(0), 0);
+        assert_eq!(part.owner(5), 1);
+        assert_eq!(part.owner(7), 3);
+    }
+
+    #[test]
+    fn range_spans_are_contiguous_and_complete() {
+        let space = 103u64;
+        let p = 4;
+        let part = KeyPartitioner::range(p, space);
+        let mut prev = 0usize;
+        let mut counts = vec![0u64; p];
+        for key in 0..space {
+            let o = part.owner(key);
+            assert!(o >= prev, "owners must be monotone in key");
+            prev = o;
+            counts[o] += 1;
+        }
+        assert_eq!(counts.iter().sum::<u64>(), space);
+        // Spans differ by at most span size rounding.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn uniform_keys_balance_under_all_partitioners() {
+        let space = 1u64 << 20;
+        let p = 8;
+        for part in [
+            KeyPartitioner::modulo(p),
+            KeyPartitioner::range(p, space),
+            KeyPartitioner::hashed(p),
+        ] {
+            let mut counts = vec![0u64; p];
+            for key in (0..space).step_by(11) {
+                counts[part.owner(key)] += 1;
+            }
+            let min = *counts.iter().min().unwrap() as f64;
+            let max = *counts.iter().max().unwrap() as f64;
+            assert!(max / min < 1.2, "{}: {counts:?}", part.name());
+        }
+    }
+
+    #[test]
+    fn clustered_keys_expose_range_imbalance() {
+        // All keys in the bottom 1/16 of the space.
+        let space = 1u64 << 16;
+        let p = 4;
+        let keys: Vec<u64> = (0..space / 16).collect();
+        let range = KeyPartitioner::range(p, space);
+        let modulo = KeyPartitioner::modulo(p);
+        let mut range_counts = vec![0u64; p];
+        let mut mod_counts = vec![0u64; p];
+        for &k in &keys {
+            range_counts[range.owner(k)] += 1;
+            mod_counts[modulo.owner(k)] += 1;
+        }
+        // Range puts everything on core 0; modulo balances.
+        assert_eq!(range_counts[0] as usize, keys.len());
+        assert!(mod_counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn strided_keys_expose_modulo_imbalance() {
+        // Keys all ≡ 0 (mod 4): modulo(4) degenerates, hashed does not.
+        let p = 4;
+        let keys: Vec<u64> = (0..4096u64).map(|i| i * 4).collect();
+        let modulo = KeyPartitioner::modulo(p);
+        let hashed = KeyPartitioner::hashed(p);
+        let mut mod_counts = vec![0u64; p];
+        let mut hash_counts = vec![0u64; p];
+        for &k in &keys {
+            mod_counts[modulo.owner(k)] += 1;
+            hash_counts[hashed.owner(k)] += 1;
+        }
+        assert_eq!(mod_counts[0] as usize, keys.len());
+        assert!(hash_counts.iter().all(|&c| c > 500), "{hash_counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = KeyPartitioner::modulo(0);
+    }
+}

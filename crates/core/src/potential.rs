@@ -1,0 +1,254 @@
+//! The distributed potential table.
+//!
+//! A potential table records, for every observed state string, the number of
+//! its occurrences in the training data (counts, not probabilities — the
+//! paper's footnote 2: normalization is deferred to marginalization time).
+//! Physically it is `P` private [`CountTable`]s plus a [`Placement`]
+//! describing how keys map to partitions, and the [`KeyCodec`] needed to
+//! interpret keys.
+//!
+//! Two placements exist because the paper needs both: construction requires
+//! keys to live in their owner's partition (that is what makes the build
+//! wait-free), but §IV-C observes that *marginalization* has no such
+//! constraint — entries may be moved freely between partitions to balance
+//! load. A rebalanced table ([`crate::rebalance`]) therefore carries the
+//! [`Placement::Arbitrary`] marker instead of a key partitioner.
+
+use crate::codec::KeyCodec;
+use crate::count_table::CountTable;
+use crate::partition::KeyPartitioner;
+
+/// How keys are distributed over the table's partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Every key lives in the partition its [`KeyPartitioner`] assigns —
+    /// the invariant the wait-free build establishes.
+    Keyed(KeyPartitioner),
+    /// Entries may live anywhere (e.g. after load rebalancing). Lookups
+    /// scan; marginalization is unaffected.
+    Arbitrary,
+}
+
+/// A potential table distributed over `P` per-core partitions.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_core::construct::sequential_build;
+/// use wfbn_data::{Dataset, Schema};
+///
+/// let schema = Schema::uniform(2, 2).unwrap();
+/// let d = Dataset::from_rows(schema, &[&[0, 1], &[0, 1], &[1, 0]]).unwrap();
+/// let table = sequential_build(&d).unwrap().table;
+/// let key_01 = table.codec().encode(&[0, 1]);
+/// assert_eq!(table.count_of(key_01), 2);
+/// assert_eq!(table.total_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PotentialTable {
+    codec: KeyCodec,
+    placement: Placement,
+    partitions: Vec<CountTable>,
+}
+
+impl PotentialTable {
+    /// Assembles a key-partitioned potential table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of partitions disagrees with the partitioner, or
+    /// (debug only) if some key is stored in a partition that does not own
+    /// it.
+    pub fn from_parts(
+        codec: KeyCodec,
+        partitioner: KeyPartitioner,
+        partitions: Vec<CountTable>,
+    ) -> Self {
+        assert_eq!(
+            partitions.len(),
+            partitioner.partitions(),
+            "partition count mismatch"
+        );
+        #[cfg(debug_assertions)]
+        for (p, t) in partitions.iter().enumerate() {
+            for (key, _) in t.iter() {
+                debug_assert_eq!(partitioner.owner(key), p, "misplaced key {key}");
+            }
+        }
+        Self {
+            codec,
+            placement: Placement::Keyed(partitioner),
+            partitions,
+        }
+    }
+
+    /// Assembles a table whose entries may live in any partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty.
+    pub fn from_parts_unpartitioned(codec: KeyCodec, partitions: Vec<CountTable>) -> Self {
+        assert!(!partitions.is_empty(), "need at least one partition");
+        Self {
+            codec,
+            placement: Placement::Arbitrary,
+            partitions,
+        }
+    }
+
+    /// The key codec for this table's schema.
+    pub fn codec(&self) -> &KeyCodec {
+        &self.codec
+    }
+
+    /// How keys are placed across partitions.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The key-space partitioner, if the table is key-partitioned.
+    pub fn partitioner(&self) -> Option<&KeyPartitioner> {
+        match &self.placement {
+            Placement::Keyed(p) => Some(p),
+            Placement::Arbitrary => None,
+        }
+    }
+
+    /// Number of partitions `P`.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// One partition's private count table.
+    pub fn partition(&self, p: usize) -> &CountTable {
+        &self.partitions[p]
+    }
+
+    /// All partitions, in core order.
+    pub fn partitions(&self) -> &[CountTable] {
+        &self.partitions
+    }
+
+    /// The count of one key — routed to its owner when key-partitioned,
+    /// otherwise found by scanning the partitions.
+    pub fn count_of(&self, key: u64) -> u64 {
+        match &self.placement {
+            Placement::Keyed(part) => self.partitions[part.owner(key)].get(key),
+            Placement::Arbitrary => self.partitions.iter().map(|t| t.get(key)).sum(),
+        }
+    }
+
+    /// Total number of observations recorded (= `m` after a full build).
+    pub fn total_count(&self) -> u64 {
+        self.partitions.iter().map(CountTable::total_count).sum()
+    }
+
+    /// Number of distinct state strings observed.
+    ///
+    /// (For [`Placement::Arbitrary`] this assumes rebalancing kept keys
+    /// unique across partitions, which [`crate::rebalance`] guarantees.)
+    pub fn num_entries(&self) -> usize {
+        self.partitions.iter().map(CountTable::len).sum()
+    }
+
+    /// Iterates over every `(key, count)` pair across all partitions.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.partitions.iter().flat_map(CountTable::iter)
+    }
+
+    /// All entries as a key-sorted vector (cross-implementation comparisons).
+    pub fn to_sorted_vec(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.iter().collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Per-partition entry counts (load-balance diagnostics).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(CountTable::len).collect()
+    }
+
+    /// Decomposes the table into its parts (used by rebalancing).
+    pub fn into_parts(self) -> (KeyCodec, Placement, Vec<CountTable>) {
+        (self.codec, self.placement, self.partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_data::Schema;
+
+    fn small_table() -> PotentialTable {
+        let codec = KeyCodec::new(&Schema::uniform(4, 2).unwrap());
+        let part = KeyPartitioner::modulo(3);
+        let mut tables = vec![CountTable::new(), CountTable::new(), CountTable::new()];
+        for key in 0..16u64 {
+            tables[part.owner(key)].increment(key, key + 1);
+        }
+        PotentialTable::from_parts(codec, part, tables)
+    }
+
+    #[test]
+    fn lookup_routes_to_owner() {
+        let t = small_table();
+        for key in 0..16u64 {
+            assert_eq!(t.count_of(key), key + 1);
+        }
+        assert_eq!(t.num_entries(), 16);
+        assert_eq!(t.total_count(), (1..=16u64).sum());
+        assert!(t.partitioner().is_some());
+    }
+
+    #[test]
+    fn arbitrary_placement_lookup_scans() {
+        let codec = KeyCodec::new(&Schema::uniform(4, 2).unwrap());
+        let mut a = CountTable::new();
+        let mut b = CountTable::new();
+        a.increment(3, 5); // key 3 in partition 0 — "misplaced" but legal here
+        b.increment(8, 2);
+        let t = PotentialTable::from_parts_unpartitioned(codec, vec![a, b]);
+        assert_eq!(t.count_of(3), 5);
+        assert_eq!(t.count_of(8), 2);
+        assert_eq!(t.count_of(1), 0);
+        assert!(t.partitioner().is_none());
+        assert_eq!(*t.placement(), Placement::Arbitrary);
+    }
+
+    #[test]
+    fn iter_covers_all_partitions() {
+        let t = small_table();
+        let mut v = t.to_sorted_vec();
+        v.dedup();
+        assert_eq!(v.len(), 16);
+        assert_eq!(v[0], (0, 1));
+        assert_eq!(v[15], (15, 16));
+    }
+
+    #[test]
+    fn partition_sizes_report() {
+        let t = small_table();
+        let sizes = t.partition_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 16);
+        assert_eq!(sizes.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count mismatch")]
+    fn wrong_partition_count_panics() {
+        let codec = KeyCodec::new(&Schema::uniform(2, 2).unwrap());
+        let _ =
+            PotentialTable::from_parts(codec, KeyPartitioner::modulo(2), vec![CountTable::new()]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "misplaced key")]
+    fn misplaced_key_caught_in_debug() {
+        let codec = KeyCodec::new(&Schema::uniform(2, 2).unwrap());
+        let part = KeyPartitioner::modulo(2);
+        let mut t0 = CountTable::new();
+        t0.increment(1, 1); // key 1 belongs to partition 1, not 0
+        let _ = PotentialTable::from_parts(codec, part, vec![t0, CountTable::new()]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Load rebalancing of the distributed potential table (paper §IV-C).
+//!
+//! The wait-free build leaves each partition holding the keys its core owns;
+//! with skewed data (e.g. Zipf states under a range partitioner) the
+//! partitions can end up very unequal, and since marginalization walks whole
+//! partitions, the largest one bounds the parallel time. The paper:
+//! *"If the hashtables are unbalanced, entries can be moved between
+//! hashtables to make them balanced. The requirement that each hashtable has
+//! a range of keys is necessary only in the wait-free table construction
+//! primitive; there is no such constraint for the marginalization
+//! primitive."*
+//!
+//! [`rebalance`] therefore redistributes entries greedily so every partition
+//! holds `⌈E/P⌉` or `⌊E/P⌋` entries, and marks the result
+//! [`Placement::Arbitrary`](crate::potential::Placement::Arbitrary) — lookups degrade to a scan, marginalization is
+//! unaffected (verified in tests).
+
+use crate::count_table::CountTable;
+use crate::potential::PotentialTable;
+
+/// Ratio `max/mean` of partition entry counts (1.0 = perfectly balanced).
+pub fn imbalance(table: &PotentialTable) -> f64 {
+    let sizes = table.partition_sizes();
+    let total: usize = sizes.iter().sum();
+    if total == 0 || sizes.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / sizes.len() as f64;
+    let max = *sizes.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+/// Redistributes entries so partition sizes differ by at most one entry.
+///
+/// Keeps the partition count; changes the placement to
+/// [`Placement::Arbitrary`](crate::potential::Placement::Arbitrary). Entries are moved from over-full to under-full
+/// partitions; untouched partitions are reused as-is (no rehash cost for
+/// already-balanced tables).
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_core::construct::waitfree_build_with;
+/// use wfbn_core::partition::KeyPartitioner;
+/// use wfbn_core::rebalance::{imbalance, rebalance};
+/// use wfbn_data::{Generator, Schema, ZipfIndependent};
+///
+/// // Zipf keys under a range partitioner: nearly everything on core 0.
+/// let schema = Schema::uniform(12, 2).unwrap();
+/// let data = ZipfIndependent::new(schema.clone(), 2.0).unwrap().generate(5_000, 1);
+/// let part = KeyPartitioner::range(4, schema.state_space_size());
+/// let skewed = waitfree_build_with(&data, part).unwrap().table;
+/// let balanced = rebalance(skewed);
+/// assert!(imbalance(&balanced) < 1.05);
+/// ```
+pub fn rebalance(table: PotentialTable) -> PotentialTable {
+    let p = table.num_partitions();
+    let total_entries = table.num_entries();
+    let (codec, _placement, mut parts) = table.into_parts();
+    if p <= 1 || total_entries == 0 {
+        return PotentialTable::from_parts_unpartitioned(codec, parts);
+    }
+
+    // Target size per partition: first `extra` partitions take one more.
+    let base = total_entries / p;
+    let extra = total_entries % p;
+    let target = |idx: usize| base + usize::from(idx < extra);
+
+    // Collect surplus entries from over-full partitions.
+    let mut surplus: Vec<(u64, u64)> = Vec::new();
+    for (idx, part) in parts.iter_mut().enumerate() {
+        let t = target(idx);
+        if part.len() > t {
+            let all: Vec<(u64, u64)> = part.iter().collect();
+            let (keep, give) = all.split_at(t);
+            surplus.extend_from_slice(give);
+            let mut rebuilt = CountTable::with_capacity(t);
+            for &(k, c) in keep {
+                rebuilt.increment(k, c);
+            }
+            *part = rebuilt;
+        }
+    }
+    // Refill under-full partitions.
+    let mut surplus = surplus.into_iter();
+    for (idx, part) in parts.iter_mut().enumerate() {
+        let t = target(idx);
+        while part.len() < t {
+            let (k, c) = surplus.next().expect("surplus covers all deficits");
+            part.increment(k, c);
+        }
+    }
+    debug_assert!(surplus.next().is_none(), "all surplus must be placed");
+    PotentialTable::from_parts_unpartitioned(codec, parts)
+}
+
+/// Rebalances only when the imbalance ratio exceeds `threshold` (≥ 1.0);
+/// otherwise returns the table unchanged. The build/marginalize pipeline
+/// calls this with a small threshold (e.g. 1.25) so balanced tables skip the
+/// rehash entirely.
+pub fn rebalance_if_needed(table: PotentialTable, threshold: f64) -> PotentialTable {
+    assert!(threshold >= 1.0, "threshold below 1.0 is meaningless");
+    if imbalance(&table) > threshold {
+        rebalance(table)
+    } else {
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{sequential_build, waitfree_build, waitfree_build_with};
+    use crate::marginal::marginalize;
+    use crate::partition::KeyPartitioner;
+    use crate::potential::Placement;
+    use wfbn_data::{Generator, Schema, UniformIndependent, ZipfIndependent};
+
+    #[test]
+    fn preserves_every_entry() {
+        let schema = Schema::uniform(10, 2).unwrap();
+        let data = ZipfIndependent::new(schema.clone(), 1.5)
+            .unwrap()
+            .generate(4_000, 6);
+        let part = KeyPartitioner::range(4, schema.state_space_size());
+        let built = waitfree_build_with(&data, part).unwrap().table;
+        let before = built.to_sorted_vec();
+        let balanced = rebalance(built);
+        assert_eq!(balanced.to_sorted_vec(), before);
+        assert_eq!(balanced.partitioner(), None);
+    }
+
+    #[test]
+    fn achieves_per_entry_balance() {
+        let schema = Schema::uniform(10, 2).unwrap();
+        let data = ZipfIndependent::new(schema.clone(), 2.0)
+            .unwrap()
+            .generate(3_000, 9);
+        let part = KeyPartitioner::range(4, schema.state_space_size());
+        let built = waitfree_build_with(&data, part).unwrap().table;
+        assert!(imbalance(&built) > 1.5, "workload should start skewed");
+        let balanced = rebalance(built);
+        let sizes = balanced.partition_sizes();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes={sizes:?}");
+    }
+
+    #[test]
+    fn marginalization_unaffected() {
+        let schema = Schema::new(vec![2, 3, 2, 2]).unwrap();
+        let data = ZipfIndependent::new(schema, 1.0)
+            .unwrap()
+            .generate(2_000, 3);
+        let built = waitfree_build(&data, 4).unwrap().table;
+        let expected = marginalize(&built, &[0, 2], 2).unwrap();
+        let balanced = rebalance(built);
+        let got = marginalize(&balanced, &[0, 2], 4).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn single_partition_is_noop_shape() {
+        let schema = Schema::uniform(5, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(500, 2);
+        let built = sequential_build(&data).unwrap().table;
+        let before = built.to_sorted_vec();
+        let balanced = rebalance(built);
+        assert_eq!(balanced.num_partitions(), 1);
+        assert_eq!(balanced.to_sorted_vec(), before);
+    }
+
+    #[test]
+    fn if_needed_skips_balanced_tables() {
+        let schema = Schema::uniform(10, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(5_000, 4);
+        let built = waitfree_build(&data, 4).unwrap().table;
+        // Uniform keys + modulo: already balanced, placement must survive.
+        let kept = rebalance_if_needed(built, 1.5);
+        assert!(kept.partitioner().is_some(), "should not have rebalanced");
+        assert!(matches!(kept.placement(), Placement::Keyed(_)));
+    }
+
+    #[test]
+    fn imbalance_metric_sanity() {
+        let schema = Schema::uniform(8, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(2_000, 8);
+        let t = waitfree_build(&data, 4).unwrap().table;
+        let r = imbalance(&t);
+        assert!(
+            (1.0..1.3).contains(&r),
+            "uniform data should be balanced, r={r}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn threshold_below_one_panics() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let data = UniformIndependent::new(schema).generate(100, 1);
+        let t = sequential_build(&data).unwrap().table;
+        let _ = rebalance_if_needed(t, 0.5);
+    }
+}

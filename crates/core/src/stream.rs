@@ -1,0 +1,324 @@
+//! Incremental (streaming) table construction.
+//!
+//! Training data often arrives in batches — log shipments, sensor windows,
+//! mini-epochs. Because the potential table is a pure count structure, the
+//! wait-free primitive composes over batches: each `absorb` runs the
+//! two-stage algorithm on the new rows against the *persistent* per-core
+//! tables, and the result after any sequence of batches equals a one-shot
+//! build over their concatenation (verified by tests). The key-ownership
+//! invariant (core `p` is the unique writer of partition `p`) holds across
+//! the whole stream, so no locking is ever needed between batches either.
+
+use crate::codec::KeyCodec;
+use crate::construct::BuiltTable;
+use crate::count_table::CountTable;
+use crate::error::CoreError;
+use crate::partition::KeyPartitioner;
+use crate::potential::PotentialTable;
+use crate::stats::{BuildStats, ThreadStats};
+use wfbn_concurrent::{channel, row_chunks, Consumer, Producer, SpinBarrier};
+use wfbn_data::{Dataset, Schema};
+
+/// Builds a potential table from a stream of dataset batches.
+///
+/// # Examples
+///
+/// ```
+/// use wfbn_core::construct::waitfree_build;
+/// use wfbn_core::stream::StreamingBuilder;
+/// use wfbn_data::{Generator, Schema, UniformIndependent};
+///
+/// let schema = Schema::uniform(8, 2).unwrap();
+/// let gen = UniformIndependent::new(schema.clone());
+/// let (a, b) = (gen.generate(3_000, 1), gen.generate(2_000, 2));
+///
+/// let mut builder = StreamingBuilder::new(&schema, 4).unwrap();
+/// builder.absorb(&a).unwrap();
+/// builder.absorb(&b).unwrap();
+/// let streamed = builder.finish().unwrap();
+/// assert_eq!(streamed.table.total_count(), 5_000);
+/// ```
+#[derive(Debug)]
+pub struct StreamingBuilder {
+    schema: Schema,
+    codec: KeyCodec,
+    partitioner: KeyPartitioner,
+    tables: Vec<CountTable>,
+    stats: BuildStats,
+    rows_absorbed: u64,
+}
+
+impl StreamingBuilder {
+    /// Creates a builder over `threads` persistent partitions, using the
+    /// paper's `key % P` partitioner.
+    pub fn new(schema: &Schema, threads: usize) -> Result<Self, CoreError> {
+        if threads == 0 {
+            return Err(CoreError::ZeroThreads);
+        }
+        Ok(Self {
+            schema: schema.clone(),
+            codec: KeyCodec::new(schema),
+            partitioner: KeyPartitioner::modulo(threads),
+            tables: (0..threads).map(|_| CountTable::new()).collect(),
+            stats: BuildStats {
+                per_thread: vec![ThreadStats::default(); threads],
+            },
+            rows_absorbed: 0,
+        })
+    }
+
+    /// Number of worker threads / partitions.
+    pub fn threads(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Rows absorbed so far across all batches.
+    pub fn rows_absorbed(&self) -> u64 {
+        self.rows_absorbed
+    }
+
+    /// Absorbs one batch with the two-stage wait-free algorithm.
+    ///
+    /// Empty batches are a no-op. The batch schema must equal the
+    /// builder's.
+    pub fn absorb(&mut self, batch: &Dataset) -> Result<(), CoreError> {
+        if batch.schema() != &self.schema {
+            return Err(CoreError::BadVariableSet {
+                reason: "batch schema differs from the builder's schema",
+            });
+        }
+        let m = batch.num_samples();
+        if m == 0 {
+            return Ok(());
+        }
+        let p = self.tables.len();
+        if p == 1 {
+            let table = &mut self.tables[0];
+            let st = &mut self.stats.per_thread[0];
+            for row in batch.rows() {
+                table.increment(self.codec.encode(row), 1);
+                st.rows_encoded += 1;
+                st.local_updates += 1;
+            }
+            st.probes = table.probes();
+            self.rows_absorbed += m as u64;
+            return Ok(());
+        }
+
+        let chunks = row_chunks(m, p);
+        let barrier = SpinBarrier::new(p);
+        let codec = &self.codec;
+        let partitioner = &self.partitioner;
+        let n = codec.num_vars();
+
+        // Queue matrix for this batch.
+        struct Endpoints {
+            producers: Vec<Option<Producer<u64>>>,
+            consumers: Vec<Option<Consumer<u64>>>,
+        }
+        let mut endpoints: Vec<Endpoints> = (0..p)
+            .map(|_| Endpoints {
+                producers: (0..p).map(|_| None).collect(),
+                consumers: (0..p).map(|_| None).collect(),
+            })
+            .collect();
+        for from in 0..p {
+            for to in 0..p {
+                if from != to {
+                    let (tx, rx) = channel::<u64>();
+                    endpoints[from].producers[to] = Some(tx);
+                    endpoints[to].consumers[from] = Some(rx);
+                }
+            }
+        }
+
+        // Move the persistent tables into the worker threads and collect
+        // them back afterwards (each thread exclusively owns its table for
+        // the duration — the same invariant as the one-shot build).
+        let tables = std::mem::take(&mut self.tables);
+        let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let barrier = &barrier;
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .zip(tables)
+                .enumerate()
+                .map(|(t, (mut ep, mut table))| {
+                    let chunk = chunks[t];
+                    std::thread::Builder::new()
+                        .name(format!("wfbn-stream-{t}"))
+                        .spawn_scoped(s, move || {
+                            let mut stats = ThreadStats::default();
+                            for row in batch.row_range(chunk.start, chunk.end).chunks_exact(n) {
+                                let key = codec.encode(row);
+                                stats.rows_encoded += 1;
+                                let owner = partitioner.owner(key);
+                                if owner == t {
+                                    table.increment(key, 1);
+                                    stats.local_updates += 1;
+                                } else {
+                                    ep.producers[owner]
+                                        .as_mut()
+                                        .expect("producer exists")
+                                        .push(key);
+                                    stats.forwarded += 1;
+                                }
+                            }
+                            ep.producers.clear();
+                            barrier.wait();
+                            for consumer in ep.consumers.iter_mut().flatten() {
+                                while let Some(key) = consumer.try_pop() {
+                                    table.increment(key, 1);
+                                    stats.drained += 1;
+                                }
+                            }
+                            (table, stats)
+                        })
+                        .expect("failed to spawn stream thread")
+                })
+                .collect();
+            for (t, h) in handles.into_iter().enumerate() {
+                results[t] = Some(h.join().expect("stream thread panicked"));
+            }
+        });
+
+        self.tables = Vec::with_capacity(p);
+        for (t, r) in results.into_iter().enumerate() {
+            let (table, st) = r.expect("every thread reports");
+            let agg = &mut self.stats.per_thread[t];
+            agg.rows_encoded += st.rows_encoded;
+            agg.local_updates += st.local_updates;
+            agg.forwarded += st.forwarded;
+            agg.drained += st.drained;
+            agg.probes = table.probes();
+            self.tables.push(table);
+        }
+        self.rows_absorbed += m as u64;
+        Ok(())
+    }
+
+    /// A snapshot of the current table (clones the partitions; the builder
+    /// keeps absorbing).
+    pub fn snapshot(&self) -> Result<PotentialTable, CoreError> {
+        if self.rows_absorbed == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
+        Ok(PotentialTable::from_parts(
+            self.codec.clone(),
+            self.partitioner,
+            self.tables.clone(),
+        ))
+    }
+
+    /// Finalizes the stream into a table + accumulated statistics.
+    pub fn finish(self) -> Result<BuiltTable, CoreError> {
+        if self.rows_absorbed == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
+        Ok(BuiltTable {
+            table: PotentialTable::from_parts(self.codec, self.partitioner, self.tables),
+            stats: self.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::sequential_build;
+    use wfbn_data::{Generator, UniformIndependent, ZipfIndependent};
+
+    fn concat(parts: &[&Dataset]) -> Dataset {
+        let schema = parts[0].schema().clone();
+        let mut flat = Vec::new();
+        for p in parts {
+            flat.extend_from_slice(p.flat());
+        }
+        Dataset::from_flat_unchecked(schema, flat)
+    }
+
+    #[test]
+    fn stream_equals_one_shot_build() {
+        let schema = Schema::uniform(10, 2).unwrap();
+        let gen = UniformIndependent::new(schema.clone());
+        let batches: Vec<Dataset> = (0..5).map(|i| gen.generate(777 + i, i as u64)).collect();
+        let refs: Vec<&Dataset> = batches.iter().collect();
+        let reference = sequential_build(&concat(&refs))
+            .unwrap()
+            .table
+            .to_sorted_vec();
+        for threads in [1usize, 3, 4] {
+            let mut b = StreamingBuilder::new(&schema, threads).unwrap();
+            for batch in &batches {
+                b.absorb(batch).unwrap();
+            }
+            let built = b.finish().unwrap();
+            assert_eq!(built.table.to_sorted_vec(), reference, "threads={threads}");
+            assert_eq!(
+                built.stats.total_rows(),
+                reference.iter().map(|&(_, c)| c).sum()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_reflect_each_prefix() {
+        let schema = Schema::uniform(6, 2).unwrap();
+        let gen = UniformIndependent::new(schema.clone());
+        let a = gen.generate(400, 1);
+        let b = gen.generate(600, 2);
+        let mut builder = StreamingBuilder::new(&schema, 2).unwrap();
+        builder.absorb(&a).unwrap();
+        let snap1 = builder.snapshot().unwrap();
+        assert_eq!(snap1.total_count(), 400);
+        assert_eq!(
+            snap1.to_sorted_vec(),
+            sequential_build(&a).unwrap().table.to_sorted_vec()
+        );
+        builder.absorb(&b).unwrap();
+        let snap2 = builder.snapshot().unwrap();
+        assert_eq!(snap2.total_count(), 1000);
+        assert_eq!(builder.rows_absorbed(), 1000);
+    }
+
+    #[test]
+    fn empty_batches_are_noops_and_empty_streams_error() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let empty = Dataset::from_rows(schema.clone(), &[]).unwrap();
+        let mut b = StreamingBuilder::new(&schema, 2).unwrap();
+        b.absorb(&empty).unwrap();
+        assert!(matches!(b.snapshot(), Err(CoreError::EmptyDataset)));
+        assert!(matches!(b.finish(), Err(CoreError::EmptyDataset)));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let other = Schema::uniform(4, 3).unwrap();
+        let batch = UniformIndependent::new(other).generate(10, 1);
+        let mut b = StreamingBuilder::new(&schema, 2).unwrap();
+        assert!(matches!(
+            b.absorb(&batch),
+            Err(CoreError::BadVariableSet { .. })
+        ));
+        assert!(StreamingBuilder::new(&schema, 0).is_err());
+    }
+
+    #[test]
+    fn skewed_batches_accumulate_correctly() {
+        let schema = Schema::uniform(8, 2).unwrap();
+        let zipf = ZipfIndependent::new(schema.clone(), 2.0).unwrap();
+        let uni = UniformIndependent::new(schema.clone());
+        let batches = [zipf.generate(2_000, 1), uni.generate(2_000, 2)];
+        let refs: Vec<&Dataset> = batches.iter().collect();
+        let reference = sequential_build(&concat(&refs))
+            .unwrap()
+            .table
+            .to_sorted_vec();
+        let mut b = StreamingBuilder::new(&schema, 4).unwrap();
+        for batch in &batches {
+            b.absorb(batch).unwrap();
+        }
+        assert_eq!(b.finish().unwrap().table.to_sorted_vec(), reference);
+    }
+}

@@ -1,0 +1,571 @@
+//! Wide-key (128-bit) variant of the primitives, for networks beyond the
+//! 64-bit key range.
+//!
+//! The paper's motivation is scaling structure learning to "networks with
+//! hundreds of nodes"; the mixed-radix key of Eq. 3 outgrows a `u64` at 64
+//! binary variables. This module re-instantiates the pipeline over `u128`
+//! keys — codec, open-addressed count table, the two-stage wait-free build,
+//! and marginalization — supporting up to 127 binary variables (or any
+//! arity mix whose state-space product fits `u128`).
+//!
+//! Because [`wfbn_data::Schema`] deliberately enforces the 64-bit bound for
+//! the primary pipeline, the wide path accepts raw row-major state buffers
+//! plus an explicit arity list. Everything else (algorithms, invariants,
+//! statistics) mirrors the 64-bit implementation, and the tests pin the two
+//! against each other on inputs both can represent.
+
+use crate::error::CoreError;
+use wfbn_concurrent::{channel, mix64, row_chunks, Consumer, Producer, SpinBarrier};
+
+/// Empty-slot sentinel of the wide count table.
+const EMPTY: u128 = u128::MAX;
+
+/// Full-avalanche mix of a `u128` (two dependent `mix64` rounds).
+#[inline]
+fn mix128(x: u128) -> u64 {
+    mix64((x >> 64) as u64 ^ mix64(x as u64))
+}
+
+/// Mixed-radix codec over `u128` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideCodec {
+    arities: Vec<u128>,
+    strides: Vec<u128>,
+    state_space: u128,
+}
+
+impl WideCodec {
+    /// Builds a codec; errors if the state space does not fit below
+    /// `u128::MAX` (one value is reserved as the table sentinel) or any
+    /// arity is below 2.
+    pub fn new(arities: &[u16]) -> Result<Self, CoreError> {
+        if arities.is_empty() {
+            return Err(CoreError::BadVariableSet {
+                reason: "empty arity list",
+            });
+        }
+        let mut strides = Vec::with_capacity(arities.len());
+        let mut acc: u128 = 1;
+        for (j, &r) in arities.iter().enumerate() {
+            if r < 2 {
+                return Err(CoreError::VariableOutOfRange {
+                    var: j,
+                    num_vars: arities.len(),
+                });
+            }
+            strides.push(acc);
+            acc = acc
+                .checked_mul(u128::from(r))
+                .ok_or(CoreError::BadVariableSet {
+                    reason: "state space exceeds the 128-bit key range",
+                })?;
+        }
+        if acc == u128::MAX {
+            return Err(CoreError::BadVariableSet {
+                reason: "state space exceeds the 128-bit key range",
+            });
+        }
+        Ok(Self {
+            arities: arities.iter().map(|&r| u128::from(r)).collect(),
+            strides,
+            state_space: acc,
+        })
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Total number of distinct keys.
+    pub fn state_space(&self) -> u128 {
+        self.state_space
+    }
+
+    /// Encodes a state string (Eq. 3, 128-bit).
+    #[inline]
+    pub fn encode(&self, row: &[u16]) -> u128 {
+        debug_assert_eq!(row.len(), self.arities.len());
+        let mut key = 0u128;
+        for (j, &s) in row.iter().enumerate() {
+            debug_assert!(u128::from(s) < self.arities[j]);
+            key += u128::from(s) * self.strides[j];
+        }
+        key
+    }
+
+    /// Decodes variable `j` from a key (Eq. 4, 128-bit).
+    #[inline]
+    pub fn decode_var(&self, key: u128, j: usize) -> u16 {
+        ((key / self.strides[j]) % self.arities[j]) as u16
+    }
+
+    /// The marginal rank of `key` over `vars` (order respected).
+    #[inline]
+    pub fn marginal_key(&self, key: u128, vars: &[usize]) -> u64 {
+        let mut mkey = 0u64;
+        let mut mstride = 1u64;
+        for &v in vars {
+            mkey += u64::from(self.decode_var(key, v)) * mstride;
+            mstride *= self.arities[v] as u64;
+        }
+        mkey
+    }
+}
+
+/// Open-addressed `u128 → u64` count table (the wide partition type).
+#[derive(Debug, Clone)]
+pub struct WideCountTable {
+    keys: Vec<u128>,
+    counts: Vec<u64>,
+    len: usize,
+    mask: usize,
+}
+
+impl Default for WideCountTable {
+    fn default() -> Self {
+        Self::with_capacity(16)
+    }
+}
+
+impl WideCountTable {
+    /// Creates a table sized for roughly `entries` keys.
+    pub fn with_capacity(entries: usize) -> Self {
+        let slots = (entries.max(1) * 10 / 7 + 1).next_power_of_two().max(16);
+        Self {
+            keys: vec![EMPTY; slots],
+            counts: vec![0; slots],
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `by` to `key`'s count.
+    pub fn increment(&mut self, key: u128, by: u64) {
+        assert_ne!(key, EMPTY, "key u128::MAX is reserved");
+        if (self.len + 1) * 10 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mut slot = (mix128(key) as usize) & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                self.counts[slot] += by;
+                return;
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.counts[slot] = by;
+                self.len += 1;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Returns `key`'s count (0 if absent).
+    pub fn get(&self, key: u128) -> u64 {
+        let mut slot = (mix128(key) as usize) & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return self.counts[slot];
+            }
+            if k == EMPTY {
+                return 0;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_slots]);
+        self.mask = new_slots - 1;
+        self.len = 0;
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if key != EMPTY {
+                let mut slot = (mix128(key) as usize) & self.mask;
+                loop {
+                    if self.keys[slot] == EMPTY {
+                        self.keys[slot] = key;
+                        self.counts[slot] = count;
+                        self.len += 1;
+                        break;
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+            }
+        }
+    }
+
+    /// Iterates `(key, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, u64)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &c)| (k, c))
+    }
+}
+
+/// A wide potential table: the wide codec plus `P` partitions.
+#[derive(Debug, Clone)]
+pub struct WidePotentialTable {
+    codec: WideCodec,
+    partitions: Vec<WideCountTable>,
+}
+
+impl WidePotentialTable {
+    /// The codec.
+    pub fn codec(&self) -> &WideCodec {
+        &self.codec
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total observation count.
+    pub fn total_count(&self) -> u64 {
+        self.partitions
+            .iter()
+            .flat_map(WideCountTable::iter)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Distinct state strings observed.
+    pub fn num_entries(&self) -> usize {
+        self.partitions.iter().map(WideCountTable::len).sum()
+    }
+
+    /// Count of one key.
+    pub fn count_of(&self, key: u128) -> u64 {
+        let p = (key % self.partitions.len() as u128) as usize;
+        self.partitions[p].get(key)
+    }
+
+    /// All entries, key-sorted (test comparisons).
+    pub fn to_sorted_vec(&self) -> Vec<(u128, u64)> {
+        let mut v: Vec<(u128, u64)> = self
+            .partitions
+            .iter()
+            .flat_map(WideCountTable::iter)
+            .collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Dense marginal counts over `vars` (strictly increasing), scanning
+    /// partitions in parallel with `threads` threads (Algorithm 3, wide).
+    pub fn marginal_counts(&self, vars: &[usize], threads: usize) -> Result<Vec<u64>, CoreError> {
+        if threads == 0 {
+            return Err(CoreError::ZeroThreads);
+        }
+        if vars.is_empty() || vars.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CoreError::BadVariableSet {
+                reason: "variables must be non-empty and strictly increasing",
+            });
+        }
+        for &v in vars {
+            if v >= self.codec.num_vars() {
+                return Err(CoreError::VariableOutOfRange {
+                    var: v,
+                    num_vars: self.codec.num_vars(),
+                });
+            }
+        }
+        // Same materialization guard as the narrow path (2^28 cells): the
+        // checked product also prevents a silent u64 wrap for very wide
+        // variable subsets.
+        const MAX_MARGINAL_CELLS: u64 = 1 << 28;
+        let cells = vars
+            .iter()
+            .try_fold(1u64, |acc, &v| {
+                acc.checked_mul(self.codec.arities[v] as u64)
+            })
+            .filter(|&c| c <= MAX_MARGINAL_CELLS)
+            .ok_or(CoreError::BadVariableSet {
+                reason: "marginal state space too large to materialize",
+            })?;
+        let p = self.partitions.len();
+        let t = threads.min(p);
+        let partials = wfbn_concurrent::run_on_threads(t, |tid| {
+            let mut local = vec![0u64; cells as usize];
+            let mut idx = tid;
+            while idx < p {
+                for (key, count) in self.partitions[idx].iter() {
+                    local[self.codec.marginal_key(key, vars) as usize] += count;
+                }
+                idx += t;
+            }
+            local
+        });
+        let mut out = vec![0u64; cells as usize];
+        for partial in &partials {
+            for (a, b) in out.iter_mut().zip(partial) {
+                *a += b;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Builds a wide potential table from a raw row-major state buffer with the
+/// two-stage wait-free primitive.
+///
+/// `states.len()` must be a multiple of `arities.len()`.
+pub fn waitfree_build_wide(
+    states: &[u16],
+    arities: &[u16],
+    threads: usize,
+) -> Result<WidePotentialTable, CoreError> {
+    if threads == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    let codec = WideCodec::new(arities)?;
+    let n = codec.num_vars();
+    if states.len() % n != 0 {
+        return Err(CoreError::BadVariableSet {
+            reason: "state buffer is not a whole number of rows",
+        });
+    }
+    let m = states.len() / n;
+    if m == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let p = threads;
+    if p == 1 {
+        let mut table = WideCountTable::with_capacity(m.min(1 << 16));
+        for row in states.chunks_exact(n) {
+            table.increment(codec.encode(row), 1);
+        }
+        return Ok(WidePotentialTable {
+            codec,
+            partitions: vec![table],
+        });
+    }
+
+    let chunks = row_chunks(m, p);
+    let barrier = SpinBarrier::new(p);
+    struct Endpoints {
+        producers: Vec<Option<Producer<u128>>>,
+        consumers: Vec<Option<Consumer<u128>>>,
+    }
+    let mut endpoints: Vec<Endpoints> = (0..p)
+        .map(|_| Endpoints {
+            producers: (0..p).map(|_| None).collect(),
+            consumers: (0..p).map(|_| None).collect(),
+        })
+        .collect();
+    for from in 0..p {
+        for to in 0..p {
+            if from != to {
+                let (tx, rx) = channel::<u128>();
+                endpoints[from].producers[to] = Some(tx);
+                endpoints[to].consumers[from] = Some(rx);
+            }
+        }
+    }
+
+    let mut results: Vec<Option<WideCountTable>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let codec = &codec;
+        let barrier = &barrier;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut ep)| {
+                let chunk = chunks[t];
+                std::thread::Builder::new()
+                    .name(format!("wfbn-wide-{t}"))
+                    .spawn_scoped(s, move || {
+                        let mut table = WideCountTable::with_capacity((m / p + 1).min(1 << 16));
+                        for row in states[chunk.start * n..chunk.end * n].chunks_exact(n) {
+                            let key = codec.encode(row);
+                            let owner = (key % p as u128) as usize;
+                            if owner == t {
+                                table.increment(key, 1);
+                            } else {
+                                ep.producers[owner]
+                                    .as_mut()
+                                    .expect("producer exists")
+                                    .push(key);
+                            }
+                        }
+                        ep.producers.clear();
+                        barrier.wait();
+                        for consumer in ep.consumers.iter_mut().flatten() {
+                            while let Some(key) = consumer.try_pop() {
+                                table.increment(key, 1);
+                            }
+                        }
+                        table
+                    })
+                    .expect("failed to spawn wide build thread")
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            results[t] = Some(h.join().expect("wide build thread panicked"));
+        }
+    });
+
+    Ok(WidePotentialTable {
+        codec,
+        partitions: results.into_iter().map(|r| r.expect("reported")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::waitfree_build;
+    use wfbn_data::{Generator, Schema, UniformIndependent};
+
+    #[test]
+    fn codec_round_trips_beyond_64_bits() {
+        let arities = vec![2u16; 100];
+        let codec = WideCodec::new(&arities).unwrap();
+        assert_eq!(codec.state_space(), 1u128 << 100);
+        let row: Vec<u16> = (0..100).map(|i| (i % 2) as u16).collect();
+        let key = codec.encode(&row);
+        for (j, &s) in row.iter().enumerate() {
+            assert_eq!(codec.decode_var(key, j), s);
+        }
+        // The top bit region is actually exercised.
+        let ones = vec![1u16; 100];
+        assert_eq!(codec.encode(&ones), (1u128 << 100) - 1);
+    }
+
+    #[test]
+    fn codec_rejects_overflow_and_bad_arity() {
+        assert!(WideCodec::new(&vec![2u16; 128]).is_err());
+        assert!(WideCodec::new(&vec![2u16; 127]).is_ok());
+        assert!(WideCodec::new(&[2, 1, 2]).is_err());
+        assert!(WideCodec::new(&[]).is_err());
+    }
+
+    #[test]
+    fn wide_build_matches_narrow_build_on_shared_range() {
+        // On ≤ 63 variables both pipelines apply; their count multisets
+        // must agree key-for-key.
+        let schema = Schema::uniform(12, 2).unwrap();
+        let data = UniformIndependent::new(schema.clone()).generate(5_000, 3);
+        let narrow = waitfree_build(&data, 4).unwrap().table;
+        let wide = waitfree_build_wide(data.flat(), schema.arities(), 4).unwrap();
+        let narrow_v: Vec<(u128, u64)> = narrow
+            .to_sorted_vec()
+            .into_iter()
+            .map(|(k, c)| (u128::from(k), c))
+            .collect();
+        assert_eq!(wide.to_sorted_vec(), narrow_v);
+        assert_eq!(wide.total_count(), 5_000);
+    }
+
+    #[test]
+    fn hundred_variable_network_builds_and_marginalizes() {
+        // 100 binary variables: impossible for the u64 pipeline, fine here.
+        let n = 100;
+        let m = 3_000;
+        // Deterministic pseudo-random rows.
+        let mut states = Vec::with_capacity(n * m);
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..(n * m) {
+            x = wfbn_concurrent::mix64(x);
+            states.push((x & 1) as u16);
+        }
+        let arities = vec![2u16; n];
+        let table = waitfree_build_wide(&states, &arities, 4).unwrap();
+        assert_eq!(table.total_count(), m as u64);
+        // Single-variable marginal equals a direct column count.
+        let marg = table.marginal_counts(&[37], 4).unwrap();
+        let direct = states.chunks_exact(n).filter(|row| row[37] == 1).count() as u64;
+        assert_eq!(marg[1], direct);
+        assert_eq!(marg[0] + marg[1], m as u64);
+        // Pair marginal sums to m as well.
+        let pair = table.marginal_counts(&[10, 90], 2).unwrap();
+        assert_eq!(pair.iter().sum::<u64>(), m as u64);
+    }
+
+    #[test]
+    fn wide_build_is_deterministic_and_thread_invariant() {
+        let arities = vec![3u16; 50];
+        let mut states = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..(50 * 1000) {
+            x = wfbn_concurrent::mix64(x);
+            states.push((x % 3) as u16);
+        }
+        let a = waitfree_build_wide(&states, &arities, 1)
+            .unwrap()
+            .to_sorted_vec();
+        for p in [2usize, 4, 8] {
+            let b = waitfree_build_wide(&states, &arities, p)
+                .unwrap()
+                .to_sorted_vec();
+            assert_eq!(a, b, "p={p}");
+        }
+    }
+
+    #[test]
+    fn wide_table_errors() {
+        let arities = vec![2u16; 10];
+        assert!(matches!(
+            waitfree_build_wide(&[], &arities, 2),
+            Err(CoreError::EmptyDataset)
+        ));
+        assert!(matches!(
+            waitfree_build_wide(&[0, 1, 0], &arities, 2),
+            Err(CoreError::BadVariableSet { .. })
+        ));
+        assert!(matches!(
+            waitfree_build_wide(&[0; 10], &arities, 0),
+            Err(CoreError::ZeroThreads)
+        ));
+        // Oversized marginal subsets are rejected, not wrapped/allocated:
+        // 70 binary vars would need 2^70 cells (u64 product would wrap).
+        let wide_arities = vec![2u16; 80];
+        let rows: Vec<u16> = vec![0; 160];
+        let big = waitfree_build_wide(&rows, &wide_arities, 2).unwrap();
+        let all_vars: Vec<usize> = (0..70).collect();
+        assert!(matches!(
+            big.marginal_counts(&all_vars, 2),
+            Err(CoreError::BadVariableSet { .. })
+        ));
+        let t = waitfree_build_wide(&[0; 20], &arities, 2).unwrap();
+        assert!(t.marginal_counts(&[], 1).is_err());
+        assert!(t.marginal_counts(&[3, 1], 1).is_err());
+        assert!(t.marginal_counts(&[99], 1).is_err());
+    }
+
+    #[test]
+    fn wide_count_table_matches_reference_counts() {
+        let mut t = WideCountTable::default();
+        let mut reference = std::collections::HashMap::new();
+        let mut x = 1u64;
+        for _ in 0..20_000 {
+            x = wfbn_concurrent::mix64(x);
+            let key = (u128::from(x) << 64) | u128::from(x % 997);
+            t.increment(key, 1);
+            *reference.entry(key).or_insert(0u64) += 1;
+        }
+        assert_eq!(t.len(), reference.len());
+        for (&k, &c) in &reference {
+            assert_eq!(t.get(k), c);
+        }
+        assert_eq!(t.get(12345), 0);
+    }
+}

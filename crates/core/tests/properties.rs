@@ -1,0 +1,203 @@
+//! Property-based tests for the core primitives.
+//!
+//! Strategy: generate random schemas (mixed arities) and random conformant
+//! datasets, then assert the algebraic invariants that must hold for *every*
+//! input — equivalence of all build schedules, codec bijectivity,
+//! marginalization consistency, and information-theoretic inequalities.
+
+use proptest::prelude::*;
+use wfbn_core::allpairs::{all_pairs_mi, all_pairs_mi_fused};
+use wfbn_core::construct::{sequential_build, waitfree_build, waitfree_build_with};
+use wfbn_core::entropy::{conditional_mutual_information, entropy, mutual_information};
+use wfbn_core::marginal::marginalize;
+use wfbn_core::partition::KeyPartitioner;
+use wfbn_core::pipeline::pipelined_build;
+use wfbn_core::rebalance::rebalance;
+use wfbn_core::KeyCodec;
+use wfbn_data::{Dataset, Schema};
+
+/// A random schema of 1–6 variables with arities 2–5.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2u16..=5, 1..=6).prop_map(|arities| Schema::new(arities).unwrap())
+}
+
+/// A random dataset of 1–300 rows conforming to a random schema.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    schema_strategy().prop_flat_map(|schema| {
+        let n = schema.num_vars();
+        let arities: Vec<u16> = schema.arities().to_vec();
+        prop::collection::vec(
+            prop::collection::vec(0u16..5, n).prop_map(move |mut row| {
+                for (s, &r) in row.iter_mut().zip(&arities) {
+                    *s %= r;
+                }
+                row
+            }),
+            1..=300,
+        )
+        .prop_map(move |rows| {
+            let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+            Dataset::from_rows(schema.clone(), &refs).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips_every_row(data in dataset_strategy()) {
+        let codec = KeyCodec::new(data.schema());
+        for row in data.rows() {
+            let key = codec.encode(row);
+            prop_assert!(key < codec.state_space());
+            prop_assert_eq!(codec.decode_full(key), row.to_vec());
+        }
+    }
+
+    #[test]
+    fn all_build_schedules_agree(data in dataset_strategy(), p in 1usize..=6) {
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        let two_stage = waitfree_build(&data, p).unwrap();
+        let pipelined = pipelined_build(&data, p).unwrap();
+        prop_assert_eq!(two_stage.table.to_sorted_vec(), reference.clone());
+        prop_assert_eq!(pipelined.table.to_sorted_vec(), reference);
+        // Conservation: every row was either applied locally or forwarded
+        // and drained, never both, never lost.
+        for stats in [&two_stage.stats, &pipelined.stats] {
+            prop_assert_eq!(stats.total_rows() as usize, data.num_samples());
+            prop_assert_eq!(stats.total_forwarded(), stats.total_drained());
+            prop_assert_eq!(
+                stats.total_local() + stats.total_forwarded(),
+                stats.total_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioner_choice_never_changes_the_table(data in dataset_strategy(), p in 1usize..=5) {
+        let space = data.schema().state_space_size();
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        for part in [
+            KeyPartitioner::modulo(p),
+            KeyPartitioner::range(p, space),
+            KeyPartitioner::hashed(p),
+        ] {
+            prop_assert_eq!(
+                waitfree_build_with(&data, part).unwrap().table.to_sorted_vec(),
+                reference.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn table_mass_equals_sample_count(data in dataset_strategy(), p in 1usize..=6) {
+        let built = waitfree_build(&data, p).unwrap();
+        prop_assert_eq!(built.table.total_count() as usize, data.num_samples());
+        prop_assert!(built.table.num_entries() <= data.num_samples());
+    }
+
+    #[test]
+    fn marginal_sums_to_m_and_matches_brute_force(
+        data in dataset_strategy(),
+        p in 1usize..=4,
+        threads in 1usize..=4,
+    ) {
+        let table = waitfree_build(&data, p).unwrap().table;
+        let n = data.num_vars();
+        // Take every single variable and the first pair (if any).
+        let mut var_sets: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+        if n >= 2 {
+            var_sets.push(vec![0, n - 1]);
+        }
+        for vars in var_sets {
+            let marg = marginalize(&table, &vars, threads).unwrap();
+            prop_assert_eq!(marg.sum() as usize, data.num_samples());
+            // Brute force from the raw data.
+            for idx in 0..marg.num_cells() {
+                let mut rest = idx as u64;
+                let states: Vec<u16> = marg
+                    .arities()
+                    .iter()
+                    .map(|&r| {
+                        let s = (rest % r) as u16;
+                        rest /= r;
+                        s
+                    })
+                    .collect();
+                let expected = data
+                    .rows()
+                    .filter(|row| {
+                        vars.iter().zip(&states).all(|(&v, &s)| row[v] == s)
+                    })
+                    .count() as u64;
+                prop_assert_eq!(marg.count_at(idx), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn rebalanced_tables_preserve_content_and_marginals(data in dataset_strategy(), p in 2usize..=5) {
+        let built = waitfree_build(&data, p).unwrap().table;
+        let before = built.to_sorted_vec();
+        let n = data.num_vars();
+        let marg_before = marginalize(&built, &[n - 1], 1).unwrap();
+        let balanced = rebalance(built);
+        prop_assert_eq!(balanced.to_sorted_vec(), before);
+        let marg_after = marginalize(&balanced, &[n - 1], p).unwrap();
+        prop_assert_eq!(marg_after, marg_before);
+        let sizes = balanced.partition_sizes();
+        let (min, max) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn information_inequalities_hold(data in dataset_strategy()) {
+        let n = data.num_vars();
+        prop_assume!(n >= 2);
+        let table = sequential_build(&data).unwrap().table;
+        let pair = marginalize(&table, &[0, 1], 1).unwrap();
+        let mi = mutual_information(&pair);
+        let hx = entropy(&pair.collapse(&[0]));
+        let hy = entropy(&pair.collapse(&[1]));
+        let hxy = entropy(&pair);
+        // 0 ≤ I(X;Y) ≤ min(H(X), H(Y)), and I = H(X)+H(Y)−H(X,Y).
+        prop_assert!(mi >= 0.0);
+        prop_assert!(mi <= hx.min(hy) + 1e-9);
+        prop_assert!((mi - (hx + hy - hxy)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmi_is_nonnegative_and_consistent(data in dataset_strategy()) {
+        let n = data.num_vars();
+        prop_assume!(n >= 3);
+        let table = sequential_build(&data).unwrap().table;
+        let triple = marginalize(&table, &[0, 1, 2], 1).unwrap();
+        let cmi = conditional_mutual_information(&triple.reorder(&[0, 1, 2]));
+        prop_assert!(cmi >= 0.0);
+        // Chain rule check: I(X;Y,Z) = I(X;Y) + I(X;Z|Y) — verify both
+        // decompositions of I(X; Y,Z) agree.
+        let ixz_given_y = conditional_mutual_information(&triple.reorder(&[0, 2, 1]));
+        let ixy = mutual_information(&marginalize(&table, &[0, 1], 1).unwrap());
+        let ixz = mutual_information(&marginalize(&table, &[0, 2], 1).unwrap());
+        let ixy_given_z = conditional_mutual_information(&triple.reorder(&[0, 1, 2]));
+        let lhs = ixy + ixz_given_y;
+        let rhs = ixz + ixy_given_z;
+        prop_assert!((lhs - rhs).abs() < 1e-9, "chain rule violated: {} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn all_pairs_schedules_agree_on_random_data(data in dataset_strategy(), p in 1usize..=4) {
+        prop_assume!(data.num_vars() >= 2);
+        let table = waitfree_build(&data, p).unwrap().table;
+        let pairwise = all_pairs_mi(&table, p);
+        let fused = all_pairs_mi_fused(&table, p);
+        prop_assert!(pairwise.max_abs_diff(&fused) < 1e-12);
+        // Spot-check against a direct computation for the (0, 1) pair.
+        let direct = mutual_information(&marginalize(&table, &[0, 1], 1).unwrap());
+        prop_assert!((pairwise.get(0, 1) - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1 @@
+//! Host package for the repository-root `examples/` binaries.

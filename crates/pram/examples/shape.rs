@@ -1,0 +1,22 @@
+use wfbn_data::{Generator, Schema, UniformIndependent};
+use wfbn_pram::*;
+fn main() {
+    let d = UniformIndependent::new(Schema::uniform(30, 2).unwrap()).generate(50_000, 7);
+    let model = CostModel::default();
+    let (base, table) = simulate_sequential_build(&d, &model);
+    println!("cores  wf_speedup  tbb_speedup  allpairs_speedup");
+    let tbb1 = simulate_striped_build(&d, 1, sim_locked::DEFAULT_STRIPES, &model);
+    let ap1 = simulate_all_pairs_mi(&table, 1, &model);
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let (wf, _) = simulate_waitfree_build(&d, p, &model);
+        let tbb = simulate_striped_build(&d, p, sim_locked::DEFAULT_STRIPES, &model);
+        let ap = simulate_all_pairs_mi(&table, p, &model);
+        println!(
+            "{:5}  {:10.2}  {:11.2}  {:10.2}",
+            p,
+            base.elapsed_cycles / wf.elapsed_cycles,
+            tbb1.elapsed_cycles / tbb.elapsed_cycles,
+            ap1.elapsed_cycles / ap.elapsed_cycles
+        );
+    }
+}

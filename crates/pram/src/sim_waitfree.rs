@@ -1,0 +1,208 @@
+//! Simulated executions of the sequential and wait-free builds.
+//!
+//! The *real* data structures run (keys are actually encoded, hash probes
+//! actually happen, queue routing is actually decided); only the threads are
+//! simulated. Per-core cycle totals come from the executed operation counts
+//! × the [`CostModel`] charges, and the makespan is
+//! `max(stage 1) + barrier + max(stage 2)` — the exact synchronization
+//! structure of Algorithms 1 and 2.
+
+use crate::cost::CostModel;
+use crate::report::SimPoint;
+use wfbn_concurrent::row_chunks;
+use wfbn_core::codec::KeyCodec;
+use wfbn_core::count_table::CountTable;
+use wfbn_core::partition::KeyPartitioner;
+use wfbn_core::potential::PotentialTable;
+use wfbn_data::Dataset;
+
+/// Simulates the single-threaded reference build. Returns the point and the
+/// finished table (reusable by the marginalization simulations).
+pub fn simulate_sequential_build(data: &Dataset, model: &CostModel) -> (SimPoint, PotentialTable) {
+    let codec = KeyCodec::new(data.schema());
+    let n = codec.num_vars();
+    let mut table = CountTable::with_capacity(data.num_samples().min(1 << 16));
+    let mut cycles = 0.0;
+    for row in data.rows() {
+        let key = codec.encode(row);
+        cycles += model.encode_row(n);
+        let probes_before = table.probes();
+        table.increment(key, 1);
+        cycles += (table.probes() - probes_before) as f64 * model.probe + model.update;
+    }
+    let point = SimPoint {
+        cores: 1,
+        elapsed_cycles: cycles,
+        per_core_cycles: vec![cycles],
+    };
+    let table = PotentialTable::from_parts(codec, KeyPartitioner::modulo(1), vec![table]);
+    (point, table)
+}
+
+/// Simulates the wait-free two-stage build on `p` cores. Returns the point
+/// and the finished (distributed) table.
+pub fn simulate_waitfree_build(
+    data: &Dataset,
+    p: usize,
+    model: &CostModel,
+) -> (SimPoint, PotentialTable) {
+    assert!(p > 0, "need at least one simulated core");
+    if p == 1 {
+        return simulate_sequential_build(data, model);
+    }
+    let codec = KeyCodec::new(data.schema());
+    let partitioner = KeyPartitioner::modulo(p);
+    let n = codec.num_vars();
+    let m = data.num_samples();
+    let chunks = row_chunks(m, p);
+    let hint = (m / p + 1).min(1 << 16);
+
+    let mut tables: Vec<CountTable> = (0..p).map(|_| CountTable::with_capacity(hint)).collect();
+    // queues[owner] holds the foreign keys destined for `owner`, in arrival
+    // order (producer interleaving does not affect cost totals).
+    let mut queues: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut stage1 = vec![0.0f64; p];
+    let mut stage2 = vec![0.0f64; p];
+
+    // ---- Stage 1 on each simulated core. ----
+    for (t, chunk) in chunks.iter().enumerate() {
+        let mut cycles = 0.0;
+        for row in data.row_range(chunk.start, chunk.end).chunks_exact(n) {
+            let key = codec.encode(row);
+            cycles += model.encode_row(n);
+            let owner = partitioner.owner(key);
+            if owner == t {
+                let before = tables[t].probes();
+                tables[t].increment(key, 1);
+                cycles += (tables[t].probes() - before) as f64 * model.probe + model.update;
+            } else {
+                queues[owner].push(key);
+                cycles += model.queue_push;
+            }
+        }
+        stage1[t] = cycles;
+    }
+
+    // ---- Stage 2 on each simulated core. ----
+    for (t, keys) in queues.iter().enumerate() {
+        let mut cycles = 0.0;
+        for &key in keys {
+            debug_assert_eq!(partitioner.owner(key), t);
+            let before = tables[t].probes();
+            tables[t].increment(key, 1);
+            cycles += (tables[t].probes() - before) as f64 * model.probe
+                + model.update
+                + model.queue_pop
+                // The consumer pulls the producer's lines across cores
+                // (socket-aware expected latency), amortized over the keys
+                // sharing each line.
+                + model.remote_transfer_cost(p) / model.keys_per_line;
+        }
+        stage2[t] = cycles;
+    }
+
+    let max1 = stage1.iter().cloned().fold(0.0, f64::max);
+    let max2 = stage2.iter().cloned().fold(0.0, f64::max);
+    let elapsed = max1 + model.barrier(p) + max2;
+    let per_core: Vec<f64> = stage1.iter().zip(&stage2).map(|(a, b)| a + b).collect();
+    let point = SimPoint {
+        cores: p,
+        elapsed_cycles: elapsed,
+        per_core_cycles: per_core,
+    };
+    let table = PotentialTable::from_parts(codec, partitioner, tables);
+    (point, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_core::construct::sequential_build;
+    use wfbn_data::{Generator, Schema, UniformIndependent};
+
+    fn data(n: usize, m: usize) -> Dataset {
+        UniformIndependent::new(Schema::uniform(n, 2).unwrap()).generate(m, 42)
+    }
+
+    #[test]
+    fn simulated_table_is_the_real_table() {
+        let d = data(10, 5_000);
+        let reference = sequential_build(&d).unwrap().table.to_sorted_vec();
+        let model = CostModel::default();
+        for p in [1usize, 2, 4, 8] {
+            let (_, table) = simulate_waitfree_build(&d, p, &model);
+            assert_eq!(table.to_sorted_vec(), reference, "p={p}");
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let d = data(8, 2_000);
+        let model = CostModel::default();
+        let (a, _) = simulate_waitfree_build(&d, 4, &model);
+        let (b, _) = simulate_waitfree_build(&d, 4, &model);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speedup_is_near_linear_like_the_paper() {
+        // Paper headline: 23.5× at 32 cores (efficiency ≈ 0.73). Our model
+        // should land in the same regime: clearly super-10×, sub-ideal.
+        let d = data(30, 20_000);
+        let model = CostModel::default();
+        let (base, _) = simulate_sequential_build(&d, &model);
+        let (p32, _) = simulate_waitfree_build(&d, 32, &model);
+        let speedup = base.elapsed_cycles / p32.elapsed_cycles;
+        assert!(
+            (16.0..=32.0).contains(&speedup),
+            "32-core simulated speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn speedup_is_monotone_through_the_paper_range() {
+        let d = data(30, 20_000);
+        let model = CostModel::default();
+        let (base, _) = simulate_sequential_build(&d, &model);
+        let mut prev = 0.0;
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            let (pt, _) = simulate_waitfree_build(&d, p, &model);
+            let s = base.elapsed_cycles / pt.elapsed_cycles;
+            assert!(s > prev, "speedup must grow: p={p} s={s} prev={prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn runtime_scales_linearly_with_samples() {
+        // Fig. 3a: equal gaps between curves for 0.1M / 1M / 10M samples.
+        let model = CostModel::default();
+        let (small, _) = simulate_waitfree_build(&data(12, 2_000), 4, &model);
+        let (large, _) = simulate_waitfree_build(&data(12, 20_000), 4, &model);
+        let ratio = large.elapsed_cycles / small.elapsed_cycles;
+        assert!(
+            (8.0..=12.0).contains(&ratio),
+            "10× samples ⇒ ≈10× time, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn runtime_scales_linearly_with_variables() {
+        // Fig. 4a: running time linear in n.
+        let model = CostModel::default();
+        let (n30, _) = simulate_waitfree_build(&data(30, 10_000), 4, &model);
+        let (n50, _) = simulate_waitfree_build(&data(50, 10_000), 4, &model);
+        let ratio = n50.elapsed_cycles / n30.elapsed_cycles;
+        assert!(
+            (1.2..=1.8).contains(&ratio),
+            "n 30→50 should grow ≈ encode share × 5/3: {ratio}"
+        );
+    }
+
+    #[test]
+    fn per_core_cycles_are_balanced_on_uniform_data() {
+        let d = data(16, 20_000);
+        let (pt, _) = simulate_waitfree_build(&d, 8, &CostModel::default());
+        assert!(pt.balance() > 0.9, "balance {}", pt.balance());
+    }
+}

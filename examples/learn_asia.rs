@@ -1,0 +1,73 @@
+//! End-to-end structure learning on the Asia ("chest clinic") network.
+//!
+//! ```text
+//! cargo run -p wfbn-examples --release --example learn_asia
+//! ```
+//!
+//! Samples training data from the ground-truth Asia network, runs the full
+//! three-phase Cheng et al. learner (phase 1 on the paper's parallel
+//! primitives), and scores the recovered skeleton and pattern against the
+//! truth.
+
+use wfbn_bn::cheng::ChengLearner;
+use wfbn_bn::metrics::{cpdag_shd, dag_to_cpdag, skeleton_report};
+use wfbn_bn::repository;
+
+const NAMES: [&str; 8] = [
+    "VisitAsia",
+    "Tuberculosis",
+    "Smoking",
+    "LungCancer",
+    "Bronchitis",
+    "Either",
+    "X-ray",
+    "Dyspnoea",
+];
+
+fn main() {
+    let net = repository::asia();
+    let m = 200_000;
+    let data = net.sample(m, 7);
+    println!("sampled {m} patient records from the Asia network\n");
+
+    let learner = ChengLearner {
+        epsilon: 0.001,
+        ..ChengLearner::default()
+    };
+    let result = learner.learn(&data).expect("learning succeeds");
+
+    println!(
+        "phases: {} drafted, {} deferred → {} thickened, {} thinned, {} CI tests\n",
+        result.stats.draft_edges,
+        result.stats.deferred_pairs,
+        result.stats.thickening_added,
+        result.stats.thinning_removed,
+        result.stats.ci_tests,
+    );
+
+    println!("learned pattern:");
+    for (u, v) in result.cpdag.directed_edges() {
+        println!("  {} → {}", NAMES[u], NAMES[v]);
+    }
+    for (u, v) in result.cpdag.undirected_edges() {
+        println!("  {} — {}", NAMES[u], NAMES[v]);
+    }
+
+    let truth = net.dag().skeleton();
+    let report = skeleton_report(&truth, &result.skeleton);
+    println!(
+        "\nskeleton vs truth: precision {:.2}, recall {:.2}, F1 {:.2}, SHD {}",
+        report.precision(),
+        report.recall(),
+        report.f1(),
+        report.shd()
+    );
+    let true_pattern = dag_to_cpdag(net.dag());
+    println!(
+        "pattern (CPDAG) SHD vs truth: {}",
+        cpdag_shd(&true_pattern, &result.cpdag)
+    );
+
+    println!("\nnotes: VisitAsia→Tuberculosis is a 1%-rare event — the hardest");
+    println!("edge in this classic benchmark; misses there are expected at this m.");
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration: ground-truth network → sampled data → wait-free
+//! potential table → three-phase learner → structure metrics, crossing
+//! every crate in the workspace.
+
+use wfbn_bn::cheng::ChengLearner;
+use wfbn_bn::dsep::d_separated;
+use wfbn_bn::metrics::{cpdag_shd, dag_to_cpdag, skeleton_report};
+use wfbn_bn::repository;
+use wfbn_core::allpairs::all_pairs_mi;
+use wfbn_core::construct::waitfree_build;
+use wfbn_core::entropy::nats_to_bits;
+use wfbn_data::csv::{read_csv, write_csv};
+
+#[test]
+fn sprinkler_pipeline_recovers_structure_and_orients_the_collider() {
+    let net = repository::sprinkler();
+    let data = net.sample(60_000, 11);
+    let result = ChengLearner::default()
+        .learn(&data)
+        .expect("learning succeeds");
+
+    let truth = net.dag().skeleton();
+    let report = skeleton_report(&truth, &result.skeleton);
+    assert_eq!(report.shd(), 0, "learned {:?}", result.skeleton.edges());
+
+    // Sprinkler's only v-structure: Sprinkler → WetGrass ← Rain.
+    assert!(
+        result.cpdag.is_directed(1, 3),
+        "Sprinkler → WetGrass missing"
+    );
+    assert!(result.cpdag.is_directed(2, 3), "Rain → WetGrass missing");
+    // Pattern distance to the true CPDAG is small.
+    assert!(cpdag_shd(&dag_to_cpdag(net.dag()), &result.cpdag) <= 1);
+}
+
+#[test]
+fn learned_independencies_match_d_separation_oracle() {
+    // Graphical independence statements of the true network should show up
+    // as near-zero MI in the learned matrix, and dependences as larger MI.
+    let net = repository::cancer();
+    let data = net.sample(60_000, 3);
+    let table = waitfree_build(&data, 4).expect("non-empty").table;
+    let mi = all_pairs_mi(&table, 4);
+    let g = net.dag();
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            let independent = d_separated(g, i, j, &[]);
+            let bits = nats_to_bits(mi.get(i, j));
+            if independent {
+                assert!(bits < 0.005, "({i},{j}) d-separated but MI = {bits}");
+            }
+        }
+    }
+    // Cancer–X-ray is a direct edge; with P(cancer) ≈ 1.2% its mutual
+    // information is small in absolute terms (≈ 0.018 bits analytically)
+    // but far above the sampling-noise floor of the independent pairs.
+    assert!(nats_to_bits(mi.get(2, 3)) > 0.01);
+}
+
+#[test]
+fn csv_round_trip_preserves_learning_outcome() {
+    let net = repository::sprinkler();
+    let data = net.sample(30_000, 21);
+    let mut buf = Vec::new();
+    write_csv(&data, &mut buf).expect("write CSV");
+    let restored = read_csv(data.schema().clone(), buf.as_slice()).expect("read CSV");
+    assert_eq!(data, restored);
+
+    let a = ChengLearner::default()
+        .learn(&data)
+        .expect("learn original");
+    let b = ChengLearner::default()
+        .learn(&restored)
+        .expect("learn restored");
+    assert_eq!(a.skeleton.edges(), b.skeleton.edges());
+}
+
+#[test]
+fn thread_count_does_not_change_the_learned_structure() {
+    let net = repository::cancer();
+    let data = net.sample(40_000, 9);
+    let reference = ChengLearner {
+        threads: 1,
+        ..ChengLearner::default()
+    }
+    .learn(&data)
+    .expect("single-thread learn");
+    for threads in [2usize, 4, 8] {
+        let result = ChengLearner {
+            threads,
+            ..ChengLearner::default()
+        }
+        .learn(&data)
+        .expect("multi-thread learn");
+        assert_eq!(
+            result.skeleton.edges(),
+            reference.skeleton.edges(),
+            "threads={threads}"
+        );
+        assert_eq!(result.cpdag, reference.cpdag, "threads={threads}");
+    }
+}
+
+#[test]
+fn alarm_scale_network_runs_through_the_whole_stack() {
+    // 37 nodes / mixed arities: a smoke test at repository scale.
+    let net = repository::alarm_like();
+    let data = net.sample(20_000, 5);
+    let table = waitfree_build(&data, 4).expect("non-empty").table;
+    assert_eq!(table.total_count(), 20_000);
+    let mi = all_pairs_mi(&table, 4);
+    // Every true edge should carry more MI than the median non-edge.
+    let mut edge_mi: Vec<f64> = Vec::new();
+    let mut non_edge_mi: Vec<f64> = Vec::new();
+    let skel = net.dag().skeleton();
+    for (i, j, v) in mi.iter_pairs() {
+        if skel.has_edge(i, j) {
+            edge_mi.push(v);
+        } else {
+            non_edge_mi.push(v);
+        }
+    }
+    non_edge_mi.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median_non_edge = non_edge_mi[non_edge_mi.len() / 2];
+    let strong_edges = edge_mi.iter().filter(|&&v| v > median_non_edge).count();
+    assert!(
+        strong_edges * 10 >= edge_mi.len() * 8,
+        "only {strong_edges}/{} true edges beat the median non-edge MI",
+        edge_mi.len()
+    );
+}

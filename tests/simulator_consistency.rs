@@ -1,0 +1,123 @@
+//! The PRAM simulator must stay faithful to the real implementations:
+//! identical tables, conserved operation counts, and scaling shapes that
+//! match both the paper's figures and the real code's structure.
+
+use wfbn_core::allpairs::all_pairs_mi;
+use wfbn_core::construct::{sequential_build, waitfree_build};
+use wfbn_core::marginal::marginalize;
+use wfbn_data::{Dataset, Generator, Schema, UniformIndependent, ZipfIndependent};
+use wfbn_pram::sim_locked::DEFAULT_STRIPES;
+use wfbn_pram::{
+    simulate_all_pairs_mi, simulate_marginalization, simulate_sequential_build,
+    simulate_striped_build, simulate_waitfree_build, CostModel,
+};
+
+fn uniform(n: usize, m: usize, seed: u64) -> Dataset {
+    UniformIndependent::new(Schema::uniform(n, 2).unwrap()).generate(m, seed)
+}
+
+#[test]
+fn simulated_builds_produce_the_real_tables() {
+    let model = CostModel::default();
+    for data in [
+        uniform(12, 4_000, 1),
+        ZipfIndependent::new(Schema::uniform(12, 2).unwrap(), 1.5)
+            .unwrap()
+            .generate(4_000, 2),
+    ] {
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        let (_, seq_table) = simulate_sequential_build(&data, &model);
+        assert_eq!(seq_table.to_sorted_vec(), reference);
+        for p in [2usize, 4, 16] {
+            let (_, table) = simulate_waitfree_build(&data, p, &model);
+            assert_eq!(table.to_sorted_vec(), reference, "p={p}");
+            // The simulated table must match the real parallel build too.
+            let real = waitfree_build(&data, p).unwrap().table;
+            assert_eq!(table.to_sorted_vec(), real.to_sorted_vec(), "p={p}");
+        }
+    }
+}
+
+#[test]
+fn simulated_marginalization_uses_real_entry_counts() {
+    let model = CostModel::default();
+    let data = uniform(14, 10_000, 3);
+    let (_, table) = simulate_waitfree_build(&data, 4, &model);
+    // Cross-check against real marginalization output (correctness) and
+    // against entry counts (cost accounting).
+    let marg = marginalize(&table, &[0, 7], 4).unwrap();
+    assert_eq!(marg.sum(), 10_000);
+    let pt = simulate_marginalization(&table, &[0, 7], 4, &model);
+    let per_entry = 2.0 * model.decode_var + model.marginal_update + model.row_overhead;
+    let expected_busy: f64 = table.num_entries() as f64 * per_entry;
+    let busy: f64 = pt.per_core_cycles.iter().sum();
+    assert!(
+        (busy - expected_busy).abs() < 1e-6,
+        "busy {busy} vs expected {expected_busy}"
+    );
+}
+
+#[test]
+fn headline_shapes_match_the_paper() {
+    // Paper §V: wait-free hits 23.5× at 32 cores; TBB flattens by 4–16 and
+    // degrades past 16; marginalization and all-pairs MI scale.
+    let model = CostModel::default();
+    let data = uniform(30, 30_000, 7);
+    let (base, table) = simulate_sequential_build(&data, &model);
+
+    // Wait-free headline.
+    let (wf32, _) = simulate_waitfree_build(&data, 32, &model);
+    let wf_speedup = base.elapsed_cycles / wf32.elapsed_cycles;
+    assert!(
+        (18.0..=30.0).contains(&wf_speedup),
+        "wait-free 32-core speedup {wf_speedup} (paper: 23.5)"
+    );
+
+    // TBB-analog rollover.
+    let tbb = |p: usize| simulate_striped_build(&data, p, DEFAULT_STRIPES, &model).elapsed_cycles;
+    let t1 = tbb(1);
+    let s16 = t1 / tbb(16);
+    let s32 = t1 / tbb(32);
+    assert!(s16 > s32, "TBB speedup must degrade 16→32: {s16} vs {s32}");
+    assert!(s16 < 10.0, "TBB speedup must be clearly sub-linear: {s16}");
+
+    // Wait-free dominance and widening gap (Fig. 3).
+    let mut prev_gap = 1.0;
+    for p in [4usize, 16, 32] {
+        let (wf, _) = simulate_waitfree_build(&data, p, &model);
+        let gap = tbb(p) / wf.elapsed_cycles;
+        assert!(gap > prev_gap, "gap must widen at p={p}");
+        prev_gap = gap;
+    }
+
+    // All-pairs MI scales near-linearly (Fig. 5).
+    let ap1 = simulate_all_pairs_mi(&table, 1, &model).elapsed_cycles;
+    let ap32 = simulate_all_pairs_mi(&table, 32, &model).elapsed_cycles;
+    let ap_speedup = ap1 / ap32;
+    assert!(ap_speedup > 20.0, "all-pairs 32-core speedup {ap_speedup}");
+}
+
+#[test]
+fn simulator_is_deterministic_across_runs() {
+    let model = CostModel::default();
+    let data = uniform(16, 5_000, 9);
+    let (a, _) = simulate_waitfree_build(&data, 8, &model);
+    let (b, _) = simulate_waitfree_build(&data, 8, &model);
+    assert_eq!(a, b);
+    let s1 = simulate_striped_build(&data, 8, DEFAULT_STRIPES, &model);
+    let s2 = simulate_striped_build(&data, 8, DEFAULT_STRIPES, &model);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn real_all_pairs_on_simulated_table_matches_real_build() {
+    // Interchangeability: the simulator's table is a first-class
+    // PotentialTable usable by the real primitives.
+    let data = uniform(10, 6_000, 4);
+    let model = CostModel::default();
+    let (_, sim_table) = simulate_waitfree_build(&data, 4, &model);
+    let real_table = waitfree_build(&data, 4).unwrap().table;
+    let a = all_pairs_mi(&sim_table, 2);
+    let b = all_pairs_mi(&real_table, 2);
+    assert!(a.max_abs_diff(&b) < 1e-15);
+}

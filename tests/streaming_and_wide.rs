@@ -1,0 +1,100 @@
+//! Integration coverage for the two capacity extensions: streaming batch
+//! ingestion and 128-bit wide keys, exercised together with the learner and
+//! the simulator.
+
+use wfbn_bn::cheng::ChengLearner;
+use wfbn_bn::repository;
+use wfbn_core::allpairs::all_pairs_mi;
+use wfbn_core::construct::waitfree_build;
+use wfbn_core::entropy::mutual_information;
+use wfbn_core::marginal::marginalize;
+use wfbn_core::stream::StreamingBuilder;
+use wfbn_core::wide::waitfree_build_wide;
+use wfbn_data::{Dataset, Generator, Schema, UniformIndependent};
+
+#[test]
+fn streamed_table_feeds_the_learner_identically() {
+    // Learn from (a) a one-shot table over all data, (b) a streamed table
+    // built from five batches: identical structures.
+    let net = repository::sprinkler();
+    let batches: Vec<Dataset> = (0..5).map(|i| net.sample(10_000, 100 + i)).collect();
+    let mut flat = Vec::new();
+    for b in &batches {
+        flat.extend_from_slice(b.flat());
+    }
+    let all = Dataset::from_flat_unchecked(net.schema().clone(), flat);
+
+    let one_shot = waitfree_build(&all, 4).unwrap().table;
+    let mut builder = StreamingBuilder::new(net.schema(), 4).unwrap();
+    for b in &batches {
+        builder.absorb(b).unwrap();
+    }
+    let streamed = builder.finish().unwrap().table;
+    assert_eq!(streamed.to_sorted_vec(), one_shot.to_sorted_vec());
+
+    let learner = ChengLearner::default();
+    let a = learner.learn_from_table(&one_shot).unwrap();
+    let b = learner.learn_from_table(&streamed).unwrap();
+    assert_eq!(a.skeleton.edges(), b.skeleton.edges());
+    assert_eq!(a.cpdag, b.cpdag);
+}
+
+#[test]
+fn incremental_snapshots_sharpen_mi_estimates() {
+    // As batches accumulate, the MI estimate for an independent pair must
+    // shrink toward zero (plug-in MI bias falls like 1/m).
+    let schema = Schema::uniform(6, 2).unwrap();
+    let gen = UniformIndependent::new(schema.clone());
+    let mut builder = StreamingBuilder::new(&schema, 2).unwrap();
+    let mut last_mi = f64::INFINITY;
+    for round in 0..4 {
+        builder.absorb(&gen.generate(20_000, round)).unwrap();
+        let snap = builder.snapshot().unwrap();
+        let mi = all_pairs_mi(&snap, 2).get(0, 5);
+        assert!(
+            mi < last_mi * 1.5,
+            "round {round}: MI should not blow up ({last_mi} → {mi})"
+        );
+        last_mi = mi;
+    }
+    assert!(last_mi < 5e-4, "80k samples should pin MI near 0: {last_mi}");
+}
+
+#[test]
+fn wide_pipeline_agrees_with_narrow_on_overlap_and_scales_beyond_it() {
+    // Overlap regime (n = 14): wide MI == narrow MI.
+    let schema = Schema::uniform(14, 2).unwrap();
+    let data = UniformIndependent::new(schema.clone()).generate(6_000, 9);
+    let narrow = waitfree_build(&data, 4).unwrap().table;
+    let wide = waitfree_build_wide(data.flat(), schema.arities(), 4).unwrap();
+    for (i, j) in [(0usize, 1usize), (3, 10), (7, 13)] {
+        let narrow_pair = marginalize(&narrow, &[i, j], 2).unwrap();
+        let narrow_mi = mutual_information(&narrow_pair);
+        // Wide marginal counts → MI by the same formula.
+        let counts = wide.marginal_counts(&[i, j], 2).unwrap();
+        let wide_pair = narrow_pair; // same arities/layout: reuse shape
+        assert_eq!(
+            (0..wide_pair.num_cells())
+                .map(|c| wide_pair.count_at(c))
+                .collect::<Vec<_>>(),
+            counts,
+            "pair ({i},{j}) marginals differ"
+        );
+        assert!(narrow_mi >= 0.0);
+    }
+
+    // Beyond-u64 regime: 90 variables, smoke the whole path.
+    let n = 90;
+    let m = 2_000;
+    let mut states = Vec::with_capacity(n * m);
+    let mut x = 5u64;
+    for _ in 0..(n * m) {
+        x = wfbn_concurrent::mix64(x);
+        states.push((x & 1) as u16);
+    }
+    let table = waitfree_build_wide(&states, &vec![2u16; n], 8).unwrap();
+    assert_eq!(table.total_count(), m as u64);
+    assert_eq!(table.codec().state_space(), 1u128 << 90);
+    let marg = table.marginal_counts(&[0, 89], 4).unwrap();
+    assert_eq!(marg.iter().sum::<u64>(), m as u64);
+}
