@@ -305,7 +305,11 @@ impl Factor {
                 *d = rest % r;
                 rest /= r;
             }
-            let didx: usize = digits.iter().zip(&denom_strides).map(|(&d, &s)| d * s).sum();
+            let didx: usize = digits
+                .iter()
+                .zip(&denom_strides)
+                .map(|(&d, &s)| d * s)
+                .sum();
             let b = denom.values[didx];
             values.push(if b == 0.0 {
                 assert!(a == 0.0, "nonzero divided by zero in message quotient");

@@ -356,7 +356,11 @@ mod tests {
 
     #[test]
     fn structure_properties_on_classic_networks() {
-        for net in [repository::sprinkler(), repository::cancer(), repository::asia()] {
+        for net in [
+            repository::sprinkler(),
+            repository::cancer(),
+            repository::asia(),
+        ] {
             let jt = JunctionTree::build(&net);
             assert!(jt.running_intersection_holds());
             // Every family is inside some clique.
@@ -378,8 +382,12 @@ mod tests {
     fn matches_variable_elimination_on_asia() {
         let net = repository::asia();
         let jt = JunctionTree::build(&net);
-        for evidence in [vec![], vec![(6usize, 1u16)], vec![(6, 1), (2, 1)], vec![(7, 1), (0, 1)]]
-        {
+        for evidence in [
+            vec![],
+            vec![(6usize, 1u16)],
+            vec![(6, 1), (2, 1)],
+            vec![(7, 1), (0, 1)],
+        ] {
             let all = jt.all_posteriors(&net, &evidence).unwrap();
             for (target, dist) in all.iter().enumerate() {
                 if evidence.iter().any(|&(v, _)| v == target) {

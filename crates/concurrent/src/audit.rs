@@ -1,0 +1,258 @@
+//! Runtime auditor for the single-writer ownership discipline
+//! (`--features ownership-audit`).
+//!
+//! The paper's construction primitive is race-free by *design*, not by
+//! locking: within each stage every word of shared memory — count-table
+//! slots, queue segment slots — has exactly one writing core. Nothing in the
+//! type system enforces that discipline; a refactor could silently hand two
+//! cores the same partition and the tests would still pass most of the time.
+//!
+//! This module makes the discipline checkable. Instrumented writers report
+//! every write as a `(word range, stage, writer core)` triple into a shadow
+//! map shared by all threads of one build. The auditor panics the moment any
+//! word is written by two distinct cores in the same stage — turning a
+//! probabilistic data race into a deterministic failure with a precise
+//! culprit.
+//!
+//! # Protocol
+//!
+//! 1. The orchestrator creates one [`BuildAudit`] per build.
+//! 2. Each worker calls [`enter`] with its core index; the returned guard
+//!    keeps the thread-local context installed for the worker's lifetime.
+//! 3. Workers call [`set_stage`] when they cross a stage boundary (the
+//!    barrier).
+//! 4. Instrumented data structures call [`record_write`] on every shared-word
+//!    write and [`retire_range`] when an allocation is freed or recycled (so
+//!    allocator address reuse cannot produce false conflicts).
+//!
+//! Threads that never call [`enter`] pay nothing and record nothing, so
+//! un-instrumented tests are unaffected even when the feature is on.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Stage identifier; the two-stage primitive uses 1 and 2.
+pub type Stage = u8;
+
+/// Last-writer record per 8-byte word address.
+type Shadow = HashMap<usize, (Stage, usize)>;
+
+/// Shadow map shared by every worker of one construction run.
+///
+/// Cloning is cheap (an `Arc` bump); give each worker thread a clone and let
+/// it [`enter`].
+#[derive(Clone, Debug, Default)]
+pub struct BuildAudit {
+    shadow: Arc<Mutex<Shadow>>,
+}
+
+impl BuildAudit {
+    /// Creates an empty shadow map for one build.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct words recorded so far (diagnostic).
+    pub fn words_recorded(&self) -> usize {
+        lock(&self.shadow).len()
+    }
+}
+
+struct Ctx {
+    shadow: Arc<Mutex<Shadow>>,
+    core: usize,
+    stage: Stage,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn lock(m: &Mutex<Shadow>) -> std::sync::MutexGuard<'_, Shadow> {
+    // A panic in one worker (e.g. a reported conflict) must not cascade into
+    // opaque poison errors on the others.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs `audit` as this thread's recorder, acting as core `core`,
+/// starting in stage 1. Recording stops when the returned guard drops.
+#[must_use = "dropping the guard immediately uninstalls the audit context"]
+pub fn enter(audit: &BuildAudit, core: usize) -> CoreGuard {
+    CTX.with(|c| {
+        let prev = c.borrow_mut().replace(Ctx {
+            shadow: Arc::clone(&audit.shadow),
+            core,
+            stage: 1,
+        });
+        assert!(
+            prev.is_none(),
+            "audit::enter called twice on one thread without dropping the guard"
+        );
+    });
+    CoreGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Uninstalls the thread's audit context on drop (returned by [`enter`]).
+pub struct CoreGuard {
+    /// The guard must drop on the thread that entered.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for CoreGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Marks the calling worker as having crossed into `stage`. No-op on
+/// un-entered threads.
+pub fn set_stage(stage: Stage) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            ctx.stage = stage;
+        }
+    });
+}
+
+/// Reports a write of `bytes` bytes at `ptr` by the calling worker.
+///
+/// No-op on un-entered threads. Word granularity is 8 bytes: two cores
+/// writing distinct bytes of one word is still a violation (and on real
+/// hardware, still a race on the containing cache word).
+///
+/// # Panics
+///
+/// Panics if any touched word was already written by a *different* core in
+/// the *same* stage of this build.
+pub fn record_write(ptr: *const u8, bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        let Some(ctx) = borrow.as_ref() else { return };
+        let start = (ptr as usize) & !7;
+        let end = ptr as usize + bytes;
+        let mut shadow = lock(&ctx.shadow);
+        let mut word = start;
+        while word < end {
+            match shadow.insert(word, (ctx.stage, ctx.core)) {
+                Some((stage, core)) if stage == ctx.stage && core != ctx.core => {
+                    panic!(
+                        "single-writer violation: word {word:#x} written by core {core} \
+                         and core {} in stage {stage}",
+                        ctx.core
+                    );
+                }
+                _ => {}
+            }
+            word += 8;
+        }
+    });
+}
+
+/// Forgets every record overlapping `[ptr, ptr + bytes)`.
+///
+/// Call when an audited allocation is freed or handed back to the allocator
+/// (table growth, queue segment reclamation): a later allocation may reuse
+/// the address range for memory owned by a different core, which must not be
+/// mistaken for a conflict. No-op on un-entered threads.
+pub fn retire_range(ptr: *const u8, bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        let Some(ctx) = borrow.as_ref() else { return };
+        let start = (ptr as usize) & !7;
+        let end = ptr as usize + bytes;
+        let mut shadow = lock(&ctx.shadow);
+        let mut word = start;
+        while word < end {
+            shadow.remove(&word);
+            word += 8;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_as(audit: &BuildAudit, core: usize, stage: Stage, ptr: *const u8, bytes: usize) {
+        let _g = enter(audit, core);
+        set_stage(stage);
+        record_write(ptr, bytes);
+    }
+
+    #[test]
+    fn same_core_may_rewrite_its_words() {
+        let audit = BuildAudit::new();
+        let word = 0u64;
+        let p = (&raw const word).cast::<u8>();
+        write_as(&audit, 0, 1, p, 8);
+        write_as(&audit, 0, 1, p, 8);
+        assert_eq!(audit.words_recorded(), 1);
+    }
+
+    #[test]
+    fn different_stages_may_hand_a_word_over() {
+        // Stage 2 of the primitive drains keys into words that the *owner*
+        // wrote in stage 1; cross-stage handover is legal by design.
+        let audit = BuildAudit::new();
+        let word = 0u64;
+        let p = (&raw const word).cast::<u8>();
+        write_as(&audit, 0, 1, p, 8);
+        write_as(&audit, 1, 2, p, 8);
+    }
+
+    #[test]
+    fn two_cores_same_stage_same_word_panics() {
+        let audit = BuildAudit::new();
+        let word = 0u64;
+        let p = (&raw const word).cast::<u8>();
+        write_as(&audit, 0, 1, p, 8);
+        let err = std::panic::catch_unwind(|| write_as(&audit, 1, 1, p, 8))
+            .expect_err("conflict must panic");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("single-writer violation"), "{msg}");
+    }
+
+    #[test]
+    fn sub_word_writes_conflict_on_the_containing_word() {
+        let audit = BuildAudit::new();
+        let word = [0u8; 8];
+        write_as(&audit, 0, 1, word.as_ptr(), 1);
+        // SAFETY: index 7 is in bounds of the 8-byte array.
+        let last_byte = unsafe { word.as_ptr().add(7) };
+        let err = std::panic::catch_unwind(|| write_as(&audit, 1, 1, last_byte, 1))
+            .expect_err("bytes of one word share ownership");
+        drop(err);
+    }
+
+    #[test]
+    fn retired_ranges_can_be_reclaimed_by_another_core() {
+        let audit = BuildAudit::new();
+        let words = [0u64; 4];
+        let p = words.as_ptr().cast::<u8>();
+        write_as(&audit, 0, 1, p, 32);
+        {
+            let _g = enter(&audit, 0);
+            retire_range(p, 32);
+        }
+        // Same addresses, same stage, different core: legal after retirement
+        // (models allocator reuse).
+        write_as(&audit, 1, 1, p, 32);
+    }
+
+    #[test]
+    fn unentered_threads_record_nothing() {
+        let audit = BuildAudit::new();
+        let word = 0u64;
+        record_write((&raw const word).cast(), 8);
+        assert_eq!(audit.words_recorded(), 0);
+    }
+}

@@ -9,7 +9,7 @@
 //! to the OS so that oversubscribed configurations (more threads than cores —
 //! the situation on small CI machines) still make progress.
 
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 
 /// How many busy-wait iterations to perform before yielding to the scheduler.
 const SPINS_BEFORE_YIELD: u32 = 1 << 10;
@@ -85,10 +85,10 @@ impl SpinBarrier {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
                 if spins < SPINS_BEFORE_YIELD {
-                    core::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                     spins += 1;
                 } else {
-                    std::thread::yield_now();
+                    crate::sync::thread::yield_now();
                 }
             }
             false

@@ -22,22 +22,35 @@
 //! * [`scope`] — a thin wrapper over [`std::thread::scope`] that runs a
 //!   closure once per thread index and collects the results in index order.
 //!
-//! Everything here is dependency-free; the only `unsafe` lives in the SPSC
-//! queue and is documented inline.
+//! Everything here is dependency-free in normal builds; the only `unsafe`
+//! lives in the SPSC queue and is documented inline (each block carries a
+//! `// SAFETY:` comment, enforced by `tools/check_safety_comments.sh`).
+//!
+//! Two opt-in cargo features back the verification layer:
+//!
+//! * `loom` — swaps the [`sync`]-module shim from `core`/`std` primitives to
+//!   the loom model checker's instrumented doubles and shrinks
+//!   [`spsc::SEG_CAP`] to 2, enabling the interleaving-exploring suites in
+//!   `tests/loom.rs`.
+//! * `ownership-audit` — enables the [`audit`] shadow map, which panics the
+//!   moment any shared word is written by two cores in the same stage.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "ownership-audit")]
+pub mod audit;
 pub mod barrier;
 pub mod hash;
 pub mod pad;
 pub mod partition;
 pub mod scope;
 pub mod spsc;
+mod sync;
 
 pub use barrier::SpinBarrier;
 pub use hash::{mix64, FxBuildHasher, FxHasher};
 pub use pad::CachePadded;
 pub use partition::{pair_count, pairs_for_thread, row_chunks, RowChunk};
 pub use scope::run_on_threads;
-pub use spsc::{channel, Consumer, Producer};
+pub use spsc::{channel, Consumer, Producer, SEG_CAP};

@@ -22,10 +22,10 @@
 //! the same segment — the `len` counter — which is the minimum communication
 //! any queue must perform.
 
+use crate::sync::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
 use core::ptr::{self, NonNull};
-use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of element slots per segment.
@@ -33,7 +33,17 @@ use std::sync::Arc;
 /// Large enough to amortize allocation (one allocation per 512 pushes),
 /// small enough that a nearly-empty queue wastes little memory when a
 /// construction run forwards few foreign keys.
-const SEG_CAP: usize = 512;
+///
+/// Public so tests can construct inputs that land exactly on segment
+/// boundaries — the seams where the publication protocol does real work.
+#[cfg(not(feature = "loom"))]
+pub const SEG_CAP: usize = 512;
+
+/// Under the loom model the segment capacity shrinks to 2 so that a handful
+/// of pushes crosses segment boundaries and the explorer reaches the
+/// segment-linking code within its preemption bound.
+#[cfg(feature = "loom")]
+pub const SEG_CAP: usize = 2;
 
 struct Segment<T> {
     /// Slots `[0, len)` are committed by the producer.
@@ -55,7 +65,7 @@ impl<T> Segment<T> {
             next: AtomicPtr::new(ptr::null_mut()),
             slots: core::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
         });
-        // Box never returns null.
+        // SAFETY: Box::into_raw never returns null.
         unsafe { NonNull::new_unchecked(Box::into_raw(seg)) }
     }
 }
@@ -69,9 +79,11 @@ struct Shared<T> {
     closed: AtomicBool,
 }
 
-// The chain is freed exactly once (by whichever endpoint drops the last Arc),
-// and Arc's reference counting provides the necessary ordering.
+// SAFETY: the chain is freed exactly once (by whichever endpoint drops the
+// last Arc), and Arc's reference counting provides the necessary ordering.
 unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: the only shared mutation goes through atomics; slot access is
+// partitioned between the unique producer and unique consumer.
 unsafe impl<T: Send> Sync for Shared<T> {}
 
 impl<T> Drop for Shared<T> {
@@ -79,6 +91,10 @@ impl<T> Drop for Shared<T> {
         // Both endpoints are gone; we have exclusive access to the chain.
         let mut seg_ptr = *self.head.get_mut();
         while !seg_ptr.is_null() {
+            // Hand the segment's words back to the ownership auditor before
+            // the allocator can recycle them for another core.
+            #[cfg(feature = "ownership-audit")]
+            crate::audit::retire_range(seg_ptr.cast::<u8>(), core::mem::size_of::<Segment<T>>());
             // SAFETY: the pointer came from Box::into_raw and no endpoint can
             // touch it any more.
             let mut seg = unsafe { Box::from_raw(seg_ptr) };
@@ -182,7 +198,10 @@ impl<T> Producer<T> {
         // consumer does not read them; we are the only writer.
         unsafe {
             let tail = self.tail.as_ref();
-            (*tail.slots[self.idx].get()).write(value);
+            let slot = tail.slots[self.idx].get();
+            (*slot).write(value);
+            #[cfg(feature = "ownership-audit")]
+            crate::audit::record_write(slot.cast::<u8>(), core::mem::size_of::<T>());
             // Release: publish the slot write above.
             tail.len.store(self.idx + 1, Ordering::Release);
         }
@@ -234,6 +253,13 @@ impl<T> Consumer<T> {
             self.head = next;
             self.idx = 0;
             self.shared.head.store(next.as_ptr(), Ordering::Relaxed);
+            // The segment's slots go back to the allocator; a later
+            // allocation owned by any core may legitimately reuse them.
+            #[cfg(feature = "ownership-audit")]
+            crate::audit::retire_range(
+                old.as_ptr().cast::<u8>(),
+                core::mem::size_of::<Segment<T>>(),
+            );
             // SAFETY: every slot of `old` was consumed, the producer moved on
             // when it linked `next`, and no other thread can reach `old`
             // (shared.head now points past it).
@@ -384,8 +410,10 @@ mod tests {
         for _ in 0..(SEG_CAP * 3 + 5) {
             tx.push(Tracked::new());
         }
-        // Consume a prefix spanning one segment boundary.
-        for _ in 0..(SEG_CAP + 10) {
+        // Consume a prefix spanning one segment boundary (SEG_CAP + 1 stays
+        // below the 3 * SEG_CAP + 5 pushed for every SEG_CAP, including the
+        // loom-shrunk one).
+        for _ in 0..(SEG_CAP + 1) {
             drop(rx.try_pop().expect("committed element"));
         }
         drop(tx);

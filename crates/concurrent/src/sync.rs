@@ -1,0 +1,30 @@
+//! Facade over the synchronization primitives the crate's lock-free code is
+//! written against.
+//!
+//! Everything in [`spsc`](crate::spsc) and [`barrier`](crate::barrier) imports
+//! its atomics, spin hints, and yield calls from here instead of from
+//! `core`/`std` directly. In a normal build the re-exports below *are* the
+//! standard types, so there is zero abstraction cost. Under
+//! `--features loom` they swap to the `loom` model checker's instrumented
+//! doubles, whose every shared-memory access is a scheduling point — which is
+//! what lets `tests/loom.rs` drive the queue and barrier through every
+//! interleaving within the preemption bound rather than the one the host
+//! scheduler happened to pick.
+//!
+//! Rules for code using this module:
+//!
+//! * never name `core::sync::atomic` / `std::thread` directly in the
+//!   primitives — always go through `crate::sync`;
+//! * spin loops must call [`hint::spin_loop`] or [`thread::yield_now`] from
+//!   here, so that under the model (which serializes threads) the spin cedes
+//!   the scheduler baton instead of spinning forever.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(feature = "loom")]
+pub(crate) use loom::{hint, thread};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::{hint, thread};

@@ -1,7 +1,7 @@
 //! Property-based tests for the concurrency substrate.
 
 use proptest::prelude::*;
-use wfbn_concurrent::{channel, mix64, pair_count, pairs_for_thread, row_chunks};
+use wfbn_concurrent::{channel, mix64, pair_count, pairs_for_thread, row_chunks, SEG_CAP};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -30,6 +30,37 @@ proptest! {
         }
         prop_assert_eq!(rx.try_pop(), None);
         prop_assert_eq!(tx.pushed(), rx.popped() + model.len() as u64);
+    }
+
+    #[test]
+    fn spsc_matches_model_at_segment_boundaries(
+        segs in 0usize..3,
+        around in 0usize..3,
+        pop_stride in 1usize..5,
+    ) {
+        // Push counts pinned to SEG_CAP−1 / SEG_CAP / SEG_CAP+1 per multiple
+        // of the segment capacity: the seams where the producer links a new
+        // segment and the consumer frees an exhausted one — exactly where an
+        // off-by-one in the publication protocol would hide from uniformly
+        // random sizes. Pops are interleaved every `pop_stride` pushes so
+        // the consumer crosses boundaries at a different phase than the
+        // producer.
+        let n = (SEG_CAP * segs + around).saturating_sub(1);
+        let (mut tx, mut rx) = channel::<u64>();
+        let mut model = std::collections::VecDeque::new();
+        for i in 0..n as u64 {
+            tx.push(i);
+            model.push_back(i);
+            if (i + 1) % pop_stride as u64 == 0 {
+                prop_assert_eq!(rx.try_pop(), model.pop_front());
+            }
+        }
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(rx.try_pop(), Some(expected));
+        }
+        prop_assert_eq!(rx.try_pop(), None);
+        prop_assert_eq!(tx.pushed(), n as u64);
+        prop_assert_eq!(rx.popped(), n as u64);
     }
 
     #[test]

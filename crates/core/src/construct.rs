@@ -157,10 +157,14 @@ pub fn waitfree_build_with(
     let n = codec.num_vars();
 
     let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+    #[cfg(feature = "ownership-audit")]
+    let build_audit = wfbn_concurrent::audit::BuildAudit::new();
     std::thread::scope(|s| {
         let codec = &codec;
         let partitioner = &partitioner;
         let barrier = &barrier;
+        #[cfg(feature = "ownership-audit")]
+        let build_audit = &build_audit;
         let handles: Vec<_> = endpoints
             .into_iter()
             .enumerate()
@@ -169,6 +173,11 @@ pub fn waitfree_build_with(
                 std::thread::Builder::new()
                     .name(format!("wfbn-build-{t}"))
                     .spawn_scoped(s, move || {
+                        // Core `t` reports every table/queue write to the
+                        // shadow map; any word two cores write in one stage
+                        // aborts the build with the culprits named.
+                        #[cfg(feature = "ownership-audit")]
+                        let _audit = wfbn_concurrent::audit::enter(build_audit, t);
                         let mut table = CountTable::with_capacity(hint);
                         let mut stats = ThreadStats::default();
 
@@ -196,6 +205,8 @@ pub fn waitfree_build_with(
 
                         // ---- The single synchronization step ----
                         barrier.wait();
+                        #[cfg(feature = "ownership-audit")]
+                        wfbn_concurrent::audit::set_stage(2);
 
                         // ---- Stage 2 (Algorithm 2) ----
                         for consumer in ep.consumers.iter_mut().flatten() {
@@ -227,6 +238,86 @@ pub fn waitfree_build_with(
         table: PotentialTable::from_parts(codec, partitioner, partitions),
         stats: BuildStats { per_thread },
     })
+}
+
+#[cfg(all(test, feature = "loom"))]
+mod loom_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Model-checks the stage-1 → barrier → stage-2 handoff.
+    ///
+    /// `waitfree_build_with` spawns scoped std threads, which the model
+    /// checker cannot schedule, so this test runs a distilled two-core
+    /// instance of the *same protocol* — the body of the worker closure:
+    /// classify-and-forward over the real [`queue_matrix`], close the
+    /// producers, cross the real [`SpinBarrier`], drain into the real
+    /// [`CountTable`] — with loom-owned threads. Every schedule within the
+    /// preemption bound must yield the same per-partition counts.
+    #[test]
+    fn two_stage_handoff_produces_exact_counts_under_every_schedule() {
+        loom::model(|| {
+            const P: usize = 2;
+            // Per-core input keys; ownership is key % 2. Core 0 forwards one
+            // key, core 1 forwards two (enough to cross a loom-sized
+            // segment boundary of the forwarding queue).
+            let inputs: [Vec<u64>; P] = [vec![0, 1, 2], vec![3, 4, 6]];
+            let barrier = Arc::new(SpinBarrier::new(P));
+            let handles: Vec<_> = queue_matrix(P)
+                .into_iter()
+                .zip(inputs)
+                .enumerate()
+                .map(|(t, (mut ep, keys))| {
+                    let barrier = Arc::clone(&barrier);
+                    loom::thread::spawn(move || {
+                        let mut table = CountTable::with_capacity(4);
+                        // ---- Stage 1 ----
+                        for key in keys {
+                            let owner = (key % P as u64) as usize;
+                            if owner == t {
+                                table.increment(key, 1);
+                            } else {
+                                ep.producers[owner]
+                                    .as_mut()
+                                    .expect("producer to every foreign thread")
+                                    .push(key);
+                            }
+                        }
+                        ep.producers.clear();
+                        // ---- The single synchronization step ----
+                        barrier.wait();
+                        // ---- Stage 2 ----
+                        for consumer in ep.consumers.iter_mut().flatten() {
+                            while let Some(key) = consumer.try_pop() {
+                                assert_eq!(
+                                    (key % P as u64) as usize,
+                                    t,
+                                    "drained a key we do not own"
+                                );
+                                table.increment(key, 1);
+                            }
+                        }
+                        table
+                    })
+                })
+                .collect();
+            let mut merged: Vec<(u64, u64)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap().iter().collect::<Vec<_>>())
+                .collect();
+            merged.sort_unstable();
+            assert_eq!(
+                merged,
+                vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (6, 1)],
+                "handoff lost, duplicated, or misrouted a key"
+            );
+        });
+        assert!(
+            loom::explored_interleavings() >= 2,
+            "model explored only {} schedule(s)",
+            loom::explored_interleavings()
+        );
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,18 @@ impl CountTable {
         (wfbn_concurrent::mix64(key) as usize) & self.mask
     }
 
+    /// Reports the key and count words of `slot` to the ownership auditor.
+    #[cfg(feature = "ownership-audit")]
+    #[inline]
+    fn record_slot(&self, slot: usize) {
+        use core::mem::size_of;
+        wfbn_concurrent::audit::record_write((&raw const self.keys[slot]).cast(), size_of::<u64>());
+        wfbn_concurrent::audit::record_write(
+            (&raw const self.counts[slot]).cast(),
+            size_of::<u64>(),
+        );
+    }
+
     /// Adds `by` to `key`'s count, inserting the key if absent.
     ///
     /// # Panics
@@ -132,12 +144,16 @@ impl CountTable {
             let k = self.keys[slot];
             if k == key {
                 self.counts[slot] += by;
+                #[cfg(feature = "ownership-audit")]
+                self.record_slot(slot);
                 return;
             }
             if k == EMPTY {
                 self.keys[slot] = key;
                 self.counts[slot] = by;
                 self.len += 1;
+                #[cfg(feature = "ownership-audit")]
+                self.record_slot(slot);
                 return;
             }
             slot = (slot + 1) & self.mask;
@@ -183,6 +199,19 @@ impl CountTable {
         let new_slots = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
         let old_counts = std::mem::replace(&mut self.counts, vec![0; new_slots]);
+        // The old arrays go back to the allocator below; a later allocation
+        // owned by another core may reuse their addresses.
+        #[cfg(feature = "ownership-audit")]
+        {
+            wfbn_concurrent::audit::retire_range(
+                old_keys.as_ptr().cast(),
+                core::mem::size_of_val(old_keys.as_slice()),
+            );
+            wfbn_concurrent::audit::retire_range(
+                old_counts.as_ptr().cast(),
+                core::mem::size_of_val(old_counts.as_slice()),
+            );
+        }
         self.mask = new_slots - 1;
         self.len = 0;
         for (key, count) in old_keys.into_iter().zip(old_counts) {
@@ -195,6 +224,8 @@ impl CountTable {
                         self.keys[slot] = key;
                         self.counts[slot] = count;
                         self.len += 1;
+                        #[cfg(feature = "ownership-audit")]
+                        self.record_slot(slot);
                         break;
                     }
                     slot = (slot + 1) & self.mask;
@@ -225,6 +256,22 @@ impl CountTable {
         let mut v: Vec<(u64, u64)> = self.iter().collect();
         v.sort_unstable_by_key(|&(k, _)| k);
         v
+    }
+}
+
+#[cfg(feature = "ownership-audit")]
+impl Drop for CountTable {
+    fn drop(&mut self) {
+        // Release the table's words from the shadow map so a reused
+        // allocation cannot be mistaken for a cross-core conflict.
+        wfbn_concurrent::audit::retire_range(
+            self.keys.as_ptr().cast(),
+            core::mem::size_of_val(self.keys.as_slice()),
+        );
+        wfbn_concurrent::audit::retire_range(
+            self.counts.as_ptr().cast(),
+            core::mem::size_of_val(self.counts.as_slice()),
+        );
     }
 }
 

@@ -112,9 +112,13 @@ pub fn pipelined_build_with(
     };
 
     let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+    #[cfg(feature = "ownership-audit")]
+    let build_audit = wfbn_concurrent::audit::BuildAudit::new();
     std::thread::scope(|s| {
         let codec = &codec;
         let partitioner = &partitioner;
+        #[cfg(feature = "ownership-audit")]
+        let build_audit = &build_audit;
         let handles: Vec<_> = endpoints
             .into_iter()
             .enumerate()
@@ -123,6 +127,12 @@ pub fn pipelined_build_with(
                 std::thread::Builder::new()
                     .name(format!("wfbn-pipe-{t}"))
                     .spawn_scoped(s, move || {
+                        // The pipelined variant has one logical stage: core
+                        // `t` is the sole writer of partition `t` and of its
+                        // outgoing queue slots for the whole run, so every
+                        // write is audited under stage 1.
+                        #[cfg(feature = "ownership-audit")]
+                        let _audit = wfbn_concurrent::audit::enter(build_audit, t);
                         let mut table = CountTable::with_capacity(hint);
                         let mut stats = ThreadStats::default();
                         let mut rows = data.row_range(chunk.start, chunk.end).chunks_exact(n);

@@ -366,7 +366,6 @@ mod tests {
         assert_eq!(empty.empirical_frequency(0, 0), 0.0);
     }
 
-
     #[test]
     fn split_at_partitions_rows() {
         let d = Dataset::from_rows(schema23(), &[&[0, 0], &[1, 1], &[1, 2], &[0, 2]]).unwrap();
@@ -389,7 +388,9 @@ mod tests {
 
     #[test]
     fn shuffled_split_preserves_the_multiset() {
-        let rows: Vec<Vec<u16>> = (0..100).map(|i| vec![(i % 2) as u16, (i % 3) as u16]).collect();
+        let rows: Vec<Vec<u16>> = (0..100)
+            .map(|i| vec![(i % 2) as u16, (i % 3) as u16])
+            .collect();
         let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
         let d = Dataset::from_rows(schema23(), &refs).unwrap();
         let (train, test) = d.shuffled_split(0.8, 7);

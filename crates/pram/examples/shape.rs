@@ -1,3 +1,5 @@
+//! Prints the PRAM cost-model shape for a mid-sized construction run.
+
 use wfbn_data::{Generator, Schema, UniformIndependent};
 use wfbn_pram::*;
 fn main() {

@@ -51,13 +51,19 @@ fn incremental_snapshots_sharpen_mi_estimates() {
         builder.absorb(&gen.generate(20_000, round)).unwrap();
         let snap = builder.snapshot().unwrap();
         let mi = all_pairs_mi(&snap, 2).get(0, 5);
+        // The multiplicative check needs an absolute allowance of the
+        // plug-in bias scale (≈ (r−1)²/(2m·ln 2) ≈ 4e-5 at m = 20k): near
+        // zero the estimate fluctuates by that much in either direction.
         assert!(
-            mi < last_mi * 1.5,
+            mi < last_mi * 1.5 + 5e-5,
             "round {round}: MI should not blow up ({last_mi} → {mi})"
         );
         last_mi = mi;
     }
-    assert!(last_mi < 5e-4, "80k samples should pin MI near 0: {last_mi}");
+    assert!(
+        last_mi < 5e-4,
+        "80k samples should pin MI near 0: {last_mi}"
+    );
 }
 
 #[test]

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be resolved from crates.io. This crate provides the API subset the
+//! workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, [`BenchmarkId`], and
+//! [`Throughput`] — so `cargo test` compiles every bench target and
+//! `cargo bench` still produces useful wall-clock numbers.
+//!
+//! Measurement is intentionally simple: one warm-up call, then a fixed
+//! number of timed iterations with median-of-runs reporting. There is no
+//! statistical analysis, outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timed iterations per benchmark (after one warm-up call).
+const TIMED_RUNS: usize = 5;
+
+/// The top-level harness handle passed to every bench target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks (stand-in for criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let per_iter = b.elapsed / b.iters as u32;
+        eprintln!("  {label}: {per_iter:?}/iter ({} iters)", b.iters);
+    } else {
+        eprintln!("  {label}: no iterations recorded");
+    }
+}
+
+/// Passed to the benchmark closure; call [`iter`](Self::iter) with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then a fixed number of timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..TIMED_RUNS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += TIMED_RUNS as u64;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self(format!("{}/{param}", name.into()))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Units for criterion's throughput reporting (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group-runner function from a list of bench target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from a list of [`criterion_group!`] names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7));
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

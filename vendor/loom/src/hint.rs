@@ -1,0 +1,7 @@
+//! Model-aware spin hints (subset of `loom::hint`).
+
+/// In a model execution, spinning burns the serialized scheduler's only
+/// baton, so the spin hint is a voluntary yield instead of a CPU pause.
+pub fn spin_loop() {
+    crate::rt::yield_now_point();
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build environment has no network access, so the real `loom` cannot be
+//! resolved from crates.io. This crate implements the same *shape* of tool —
+//! run a closure under every schedule of its threads' shared-memory accesses
+//! — with a smaller state space model:
+//!
+//! * **What is explored.** Every atomic load/store/RMW is a scheduling
+//!   point. The runtime serializes threads (exactly one runs at a time) and
+//!   performs a depth-first search over all scheduler choices at those
+//!   points, bounded by a configurable *preemption bound* (CHESS-style: at
+//!   most `k` involuntary context switches per execution; forced switches —
+//!   blocking, termination, `yield_now` — are free). With bound `k`, every
+//!   concurrency bug reachable with ≤ `k` preemptions is found; published
+//!   empirical results (Musuvathi & Qadeer, PLDI 2007) show almost all real
+//!   schedule-dependent bugs need ≤ 2.
+//! * **What is NOT modeled.** Memory is sequentially consistent: relaxed /
+//!   acquire / release orderings are all executed as `SeqCst`. This explores
+//!   all *interleavings* but not *weak-memory reorderings*, so a missing
+//!   release/acquire pair that is only observable through store buffering
+//!   will not be caught here — that is what the ThreadSanitizer CI job and
+//!   the `DESIGN.md` happens-before audit are for. Real loom (a C11-model
+//!   explorer) subsumes this checker; swap it back in when the build
+//!   environment can resolve crates.io dependencies.
+//!
+//! Deadlocks (all live threads blocked) and livelocks (step budget
+//! exhaustion) are detected and reported with the failing schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let b = Arc::clone(&a);
+//!     let t = loom::thread::spawn(move || b.fetch_add(1, Ordering::SeqCst));
+//!     a.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(loom::explored_interleavings() >= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hint;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+mod rt;
+
+pub use model::{model, Builder};
+pub use rt::explored_interleavings;

@@ -1,0 +1,65 @@
+//! Entry points: [`model`] and the configurable [`Builder`].
+
+use crate::rt::Explorer;
+
+/// Default CHESS-style preemption bound (see crate docs).
+const DEFAULT_PREEMPTION_BOUND: usize = 2;
+/// Default livelock guard: scheduling points allowed per execution.
+const DEFAULT_MAX_STEPS: usize = 100_000;
+/// Default cap on explored executions (safety valve, not a target).
+const DEFAULT_MAX_ITERATIONS: usize = 200_000;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Configures and runs an exploration (mirrors `loom::model::Builder`).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary context switches per execution; `None` explores
+    /// the full interleaving space (exponential — only for tiny models).
+    /// Overridable with `LOOM_MAX_PREEMPTIONS`.
+    pub preemption_bound: Option<usize>,
+    /// Livelock guard: maximum scheduling points in one execution.
+    pub max_steps: usize,
+    /// Safety valve: maximum executions before giving up with a warning.
+    /// Overridable with `LOOM_MAX_ITERATIONS`.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(
+                env_usize("LOOM_MAX_PREEMPTIONS").unwrap_or(DEFAULT_PREEMPTION_BOUND),
+            ),
+            max_steps: DEFAULT_MAX_STEPS,
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS").unwrap_or(DEFAULT_MAX_ITERATIONS),
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` under every schedule within the configured bounds, panicking
+    /// (with the failing schedule printed to stderr) on the first failure.
+    pub fn check<F: Fn()>(&self, f: F) {
+        let mut explorer = Explorer::new(self.preemption_bound, self.max_steps, self.max_iterations);
+        explorer.check(&f);
+    }
+}
+
+/// Explores `f` with the default [`Builder`]. The workhorse entry point:
+///
+/// ```
+/// loom::model(|| {
+///     // concurrent code using loom::thread + loom::sync
+/// });
+/// ```
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f)
+}

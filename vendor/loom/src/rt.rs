@@ -1,0 +1,407 @@
+//! The serialized-execution scheduler and the DFS schedule explorer.
+//!
+//! One execution = one schedule. Threads run as real OS threads but are
+//! serialized by a baton (`State::active`): only the active thread makes
+//! progress, everyone else blocks on the condvar. At every scheduling point
+//! the runtime either replays a recorded decision (the DFS prefix) or
+//! records a new choice point with the full set of runnable alternatives.
+//! After the execution finishes, the explorer advances the deepest choice
+//! point that still has an untried alternative and re-runs.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel for "no active thread".
+const NONE: usize = usize::MAX;
+
+/// Panic payload used to unwind threads of an execution that has already
+/// failed or been cancelled; filtered everywhere so only the *first* real
+/// panic surfaces.
+pub(crate) struct AbortToken;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Can be scheduled.
+    Runnable,
+    /// Blocked joining the given thread id.
+    Joining(usize),
+    /// Done (or unwound after an abort).
+    Finished,
+}
+
+/// One recorded scheduler decision.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    /// Runnable thread ids at this point, in exploration order (the
+    /// previously active thread first, so the depth-first walk tries the
+    /// preemption-free schedule before any switch).
+    options: Vec<usize>,
+    /// Index into `options` of the branch taken in the current execution.
+    next: usize,
+}
+
+struct State {
+    threads: Vec<Status>,
+    active: usize,
+    /// Decision list: replay prefix (from the explorer) plus decisions
+    /// appended by the current execution.
+    schedule: Vec<Choice>,
+    /// Position of the next decision in `schedule`.
+    cursor: usize,
+    /// Involuntary context switches taken so far in this execution.
+    preemptions: usize,
+    /// Scheduling points so far in this execution (livelock guard).
+    steps: usize,
+    abort: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+    panic_schedule: Option<String>,
+}
+
+/// The per-execution runtime shared by all participating threads.
+pub(crate) struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+    static LAST_EXPLORED: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of interleavings the most recent `model()` call on this thread
+/// explored. Lets tests assert that exploration actually branched.
+pub fn explored_interleavings() -> usize {
+    LAST_EXPLORED.with(|c| c.get())
+}
+
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Scheduling point before a shared-memory access. No-op outside `model()`,
+/// so shimmed types still work in ordinary code when the feature is enabled.
+pub(crate) fn yield_point() {
+    if let Some((rt, tid)) = current() {
+        rt.schedule_point(tid, false);
+    }
+}
+
+/// Voluntary yield: deterministically rotates to another runnable thread
+/// without recording a branch point (keeps spin loops from exploding the
+/// state space) and without charging the preemption budget.
+pub(crate) fn yield_now_point() {
+    if let Some((rt, tid)) = current() {
+        rt.schedule_point(tid, true);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+fn abort_unwind() -> ! {
+    panic::panic_any(AbortToken)
+}
+
+impl Rt {
+    fn new(replay: Vec<Choice>, preemption_bound: Option<usize>, max_steps: usize) -> Self {
+        Rt {
+            state: Mutex::new(State {
+                threads: vec![Status::Runnable],
+                active: 0,
+                schedule: replay,
+                cursor: 0,
+                preemptions: 0,
+                steps: 0,
+                abort: false,
+                panic_payload: None,
+                panic_schedule: None,
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            max_steps,
+        }
+    }
+
+    /// Registers a newly spawned thread; it becomes schedulable immediately.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.threads.push(Status::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Blocks a fresh thread until the scheduler hands it the baton.
+    pub(crate) fn wait_until_scheduled(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.active != tid {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn schedule_point(&self, tid: usize, voluntary: bool) {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        debug_assert_eq!(st.active, tid, "scheduling point from a paused thread");
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let msg = format!(
+                "loom(stand-in): livelock suspected — {} scheduling points in one \
+                 execution (are all spin loops routed through loom::thread::yield_now?)",
+                self.max_steps
+            );
+            self.fail(&mut st, Box::new(msg));
+            drop(st);
+            abort_unwind();
+        }
+        if voluntary {
+            // Deterministic rotation: next runnable thread after us, if any.
+            let n = st.threads.len();
+            for off in 1..n {
+                let cand = (tid + off) % n;
+                if st.threads[cand] == Status::Runnable {
+                    st.active = cand;
+                    break;
+                }
+            }
+        } else {
+            self.choose_next(&mut st);
+        }
+        self.cv.notify_all();
+        while st.active != tid {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Picks the next active thread, replaying the DFS prefix or recording a
+    /// fresh choice point. Also detects deadlock and normal completion.
+    fn choose_next(&self, st: &mut State) {
+        let cur = st.active;
+        let cur_runnable = cur != NONE && st.threads[cur] == Status::Runnable;
+        let mut options = Vec::new();
+        if cur_runnable {
+            options.push(cur);
+        }
+        let budget_left = self
+            .preemption_bound
+            .is_none_or(|b| st.preemptions < b);
+        if !cur_runnable || budget_left {
+            options.extend(
+                (0..st.threads.len())
+                    .filter(|&t| t != cur && st.threads[t] == Status::Runnable),
+            );
+        }
+        if options.is_empty() {
+            if st.threads.iter().all(|&s| s == Status::Finished) {
+                st.active = NONE;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| matches!(st.threads[t], Status::Joining(_)))
+                .collect();
+            let msg = format!("loom(stand-in): deadlock — threads {blocked:?} blocked in join");
+            self.fail(st, Box::new(msg));
+            return;
+        }
+        let chosen = if st.cursor < st.schedule.len() {
+            let c = &st.schedule[st.cursor];
+            debug_assert_eq!(
+                c.options, options,
+                "nondeterministic execution: replay diverged at step {}",
+                st.cursor
+            );
+            c.options[c.next]
+        } else {
+            let first = options[0];
+            st.schedule.push(Choice { options, next: 0 });
+            first
+        };
+        st.cursor += 1;
+        if cur_runnable && chosen != cur {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+    }
+
+    /// Records the first real panic and cancels the execution.
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        if payload.downcast_ref::<AbortToken>().is_some() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        self.fail(&mut st, payload);
+    }
+
+    fn fail(&self, st: &mut State, payload: Box<dyn Any + Send>) {
+        if st.panic_payload.is_none() {
+            let taken: Vec<usize> = st.schedule[..st.cursor.min(st.schedule.len())]
+                .iter()
+                .map(|c| c.options[c.next])
+                .collect();
+            st.panic_schedule = Some(format!("{taken:?}"));
+            st.panic_payload = Some(payload);
+        }
+        st.abort = true;
+        st.active = NONE;
+        self.cv.notify_all();
+    }
+
+    /// Marks `tid` finished, wakes its joiners, and passes the baton on.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[tid] = Status::Finished;
+        for i in 0..st.threads.len() {
+            if st.threads[i] == Status::Joining(tid) {
+                st.threads[i] = Status::Runnable;
+            }
+        }
+        if !st.abort && st.active == tid {
+            self.choose_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks thread `me` until `target` finishes (a scheduling point).
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        if st.threads[target] == Status::Finished {
+            return;
+        }
+        st.threads[me] = Status::Joining(target);
+        self.choose_next(&mut st);
+        self.cv.notify_all();
+        while st.active != me {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Waits until every registered thread has finished or unwound.
+    fn wait_all_done(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.threads.iter().all(|&s| s == Status::Finished) {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Installs (once per process) a panic hook that silences [`AbortToken`]
+/// unwinds so cancelled threads do not spam stderr.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Depth-first explorer over schedules; drives repeated executions.
+pub(crate) struct Explorer {
+    schedule: Vec<Choice>,
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) max_steps: usize,
+    pub(crate) max_iterations: usize,
+}
+
+impl Explorer {
+    pub(crate) fn new(
+        preemption_bound: Option<usize>,
+        max_steps: usize,
+        max_iterations: usize,
+    ) -> Self {
+        Explorer {
+            schedule: Vec::new(),
+            preemption_bound,
+            max_steps,
+            max_iterations,
+        }
+    }
+
+    /// Runs `f` under every explored schedule; panics with the original
+    /// payload (after printing the schedule) if any execution fails.
+    pub(crate) fn check(&mut self, f: &dyn Fn()) {
+        install_quiet_hook();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            let rt = Arc::new(Rt::new(
+                self.schedule.clone(),
+                self.preemption_bound,
+                self.max_steps,
+            ));
+            set_current(Some((Arc::clone(&rt), 0)));
+            let outcome = panic::catch_unwind(panic::AssertUnwindSafe(f));
+            if let Err(payload) = outcome {
+                rt.record_panic(payload);
+            }
+            rt.finish_thread(0);
+            rt.wait_all_done();
+            set_current(None);
+
+            let mut st = rt.state.lock().unwrap();
+            if let Some(payload) = st.panic_payload.take() {
+                let sched = st.panic_schedule.take().unwrap_or_default();
+                LAST_EXPLORED.with(|c| c.set(executions));
+                eprintln!(
+                    "loom(stand-in): execution {executions} failed; thread schedule {sched}"
+                );
+                panic::resume_unwind(payload);
+            }
+            self.schedule = std::mem::take(&mut st.schedule);
+            drop(st);
+
+            if executions >= self.max_iterations {
+                eprintln!(
+                    "loom(stand-in): stopping after {executions} executions \
+                     (LOOM_MAX_ITERATIONS budget); coverage is partial"
+                );
+                break;
+            }
+            if !self.advance() {
+                break;
+            }
+        }
+        LAST_EXPLORED.with(|c| c.set(executions));
+    }
+
+    /// Advances the deepest choice point with an untried alternative.
+    /// Returns `false` when the whole (bounded) space has been explored.
+    fn advance(&mut self) -> bool {
+        while let Some(mut last) = self.schedule.pop() {
+            if last.next + 1 < last.options.len() {
+                last.next += 1;
+                self.schedule.push(last);
+                return true;
+            }
+        }
+        false
+    }
+}

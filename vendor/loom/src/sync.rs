@@ -1,0 +1,149 @@
+//! Model-aware synchronization types (subset of `loom::sync`).
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Atomics whose every access is a scheduling point.
+    //!
+    //! All orderings execute as `SeqCst` (see the crate docs for what that
+    //! means for coverage); the `Ordering` parameter is accepted so shimmed
+    //! code compiles unchanged.
+
+    use crate::rt;
+    use core::sync::atomic as std_atomic;
+    pub use core::sync::atomic::Ordering;
+
+    macro_rules! modeled_atomic {
+        ($(#[$doc:meta] $name:ident, $std:ident, $ty:ty;)*) => {$(
+            #[$doc]
+            #[derive(Debug, Default)]
+            pub struct $name(std_atomic::$std);
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub fn new(v: $ty) -> Self {
+                    Self(std_atomic::$std::new(v))
+                }
+
+                /// Loads the value (scheduling point; executes as `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value (scheduling point; executes as `SeqCst`).
+                pub fn store(&self, v: $ty, _order: Ordering) {
+                    rt::yield_point();
+                    self.0.store(v, Ordering::SeqCst)
+                }
+
+                /// Swaps the value (scheduling point).
+                pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.0.swap(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::yield_point();
+                    self.0
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Exclusive access needs no scheduling point.
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.0.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $ty {
+                    self.0.into_inner()
+                }
+            }
+        )*};
+    }
+
+    modeled_atomic! {
+        /// Model-aware `AtomicBool`.
+        AtomicBool, AtomicBool, bool;
+    }
+
+    macro_rules! modeled_atomic_int {
+        ($(#[$doc:meta] $name:ident, $std:ident, $ty:ty;)*) => {$(
+            modeled_atomic! {
+                #[$doc]
+                $name, $std, $ty;
+            }
+
+            impl $name {
+                /// Wrapping add, returning the previous value (scheduling point).
+                pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.0.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Wrapping subtract, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.0.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Bitwise or, returning the previous value (scheduling point).
+                pub fn fetch_or(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.0.fetch_or(v, Ordering::SeqCst)
+                }
+            }
+        )*};
+    }
+
+    modeled_atomic_int! {
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize;
+        /// Model-aware `AtomicU64`.
+        AtomicU64, AtomicU64, u64;
+        /// Model-aware `AtomicU32`.
+        AtomicU32, AtomicU32, u32;
+    }
+
+    /// Model-aware `AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T>(std_atomic::AtomicPtr<T>);
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer.
+        pub fn new(p: *mut T) -> Self {
+            Self(std_atomic::AtomicPtr::new(p))
+        }
+
+        /// Loads the pointer (scheduling point; executes as `SeqCst`).
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            rt::yield_point();
+            self.0.load(Ordering::SeqCst)
+        }
+
+        /// Stores a pointer (scheduling point; executes as `SeqCst`).
+        pub fn store(&self, p: *mut T, _order: Ordering) {
+            rt::yield_point();
+            self.0.store(p, Ordering::SeqCst)
+        }
+
+        /// Swaps the pointer (scheduling point).
+        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+            rt::yield_point();
+            self.0.swap(p, Ordering::SeqCst)
+        }
+
+        /// Exclusive access needs no scheduling point.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.0.get_mut()
+        }
+    }
+}

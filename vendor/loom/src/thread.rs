@@ -1,0 +1,87 @@
+//! Model-aware threads (subset of `loom::thread`).
+
+use crate::rt;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Handle to a spawned model thread (mirrors `std::thread::JoinHandle`).
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    tid: usize,
+    modeled: bool,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Joining is a scheduling point. If the target thread panicked, this
+    /// unwinds the whole execution so the explorer can report the original
+    /// panic with its schedule.
+    pub fn join(self) -> std::thread::Result<T> {
+        if self.modeled {
+            let (rt, me) = rt::current().expect("join() outside the spawning model execution");
+            rt.join_wait(me, self.tid);
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // The child recorded its panic with the runtime; propagate the
+            // cancellation and let the explorer surface the real payload.
+            Ok(None) => panic::panic_any(rt::AbortToken),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns a thread participating in the current model execution.
+///
+/// Outside `loom::model` this degrades to a plain `std::thread::spawn`, so
+/// code shimmed onto loom types keeps working in ordinary tests.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((rt, _parent)) => {
+            let tid = rt.register_thread();
+            let rt2 = std::sync::Arc::clone(&rt);
+            let inner = std::thread::spawn(move || {
+                rt::set_current(Some((std::sync::Arc::clone(&rt2), tid)));
+                let out = panic::catch_unwind(AssertUnwindSafe(|| {
+                    rt2.wait_until_scheduled(tid);
+                    f()
+                }));
+                let value = match out {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        rt2.record_panic(payload);
+                        None
+                    }
+                };
+                rt2.finish_thread(tid);
+                value
+            });
+            JoinHandle {
+                inner,
+                tid,
+                modeled: true,
+            }
+        }
+        None => {
+            let inner = std::thread::spawn(move || Some(f()));
+            JoinHandle {
+                inner,
+                tid: 0,
+                modeled: false,
+            }
+        }
+    }
+}
+
+/// Voluntarily cedes the processor to another runnable model thread.
+///
+/// Spin loops **must** call this (directly or via `loom::hint::spin_loop`);
+/// a busy-wait without it spins forever under the serialized scheduler and
+/// trips the livelock guard.
+pub fn yield_now() {
+    rt::yield_now_point();
+}

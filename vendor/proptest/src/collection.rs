@@ -1,0 +1,116 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// An inclusive length range for collection strategies.
+///
+/// Converts from `usize` (exact), `Range<usize>` (half-open) and
+/// `RangeInclusive<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below(self.hi - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates a `HashSet` with a target size drawn from `size`.
+///
+/// If the element domain is too small to reach the target size, the set is
+/// returned smaller after a bounded number of attempts (mirroring real
+/// proptest's rejection cap).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

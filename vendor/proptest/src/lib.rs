@@ -1,0 +1,203 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be resolved from crates.io. This crate implements the API subset
+//! the workspace's property tests use: the [`proptest!`] macro, strategy
+//! combinators ([`Strategy::prop_map`], [`Strategy::prop_flat_map`],
+//! [`collection::vec`], [`collection::hash_set`], [`option::of`],
+//! [`arbitrary::any`], ranges and tuples as strategies), the assertion
+//! macros, and [`test_runner::ProptestConfig`].
+//!
+//! # Differences from real proptest
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (via `Debug`) instead of a minimized counterexample.
+//! * **Deterministic seeding.** Each test derives its seed from its fully
+//!   qualified name, so runs are reproducible without a persistence file.
+//!   Set `PROPTEST_SEED=<u64>` to perturb every test's stream at once.
+//! * Strategies generate values directly; there is no intermediate
+//!   `ValueTree`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    // Macros exported with #[macro_export] live at the crate root; re-export
+    // them here so the prelude glob brings them in under edition-2018 paths.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset real proptest accepts that this workspace
+/// uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<u64>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test function at a
+/// time, threading the config expression through.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$cfg:expr]) => {};
+    (
+        [$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Render the inputs *before* the body can move them, so a
+                // failure can report them (there is no shrinking).
+                let mut rendered = String::new();
+                $(
+                    {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(
+                            rendered, "    {} = {:?}", stringify!($arg), &$arg
+                        );
+                    }
+                )+
+                let outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(move || { $body })
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name), case + 1, config.cases, rendered
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_tests!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// inputs. (In this stand-in it panics like `assert!`; the surrounding
+/// runner attaches the generated inputs.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Real proptest rejects the case and draws a replacement (up to a global
+/// rejection budget); this stand-in simply returns from the case body, so
+/// heavy use of `prop_assume!` reduces the effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..100, pair in (0u8..4, 10i32..=20)) {
+            let (a, b) = pair;
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((10..=20).contains(&b));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u16..5, 3..=6),
+            s in prop::collection::hash_set(any::<u64>(), 0..8),
+            o in prop::option::of(1usize..3),
+        ) {
+            prop_assert!((3..=6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!(s.len() < 8);
+            if let Some(x) = o {
+                prop_assert!(x == 1 || x == 2);
+            }
+        }
+
+        #[test]
+        fn maps_compose(len in (1usize..5).prop_map(|n| n * 2),
+                        v in (1usize..4).prop_flat_map(|n| prop::collection::vec(Just(7u8), n))) {
+            prop_assert!(len % 2 == 0);
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x == 7));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("same::name");
+        let mut b = crate::test_runner::TestRng::for_test("same::name");
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..20).map(|_| Strategy::generate(&s, &mut a)).collect();
+        let ys: Vec<u64> = (0..20).map(|_| Strategy::generate(&s, &mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

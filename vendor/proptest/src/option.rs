@@ -1,0 +1,31 @@
+//! `Option` strategies (subset of `proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Probability that [`of`] generates `Some` (real proptest's default).
+const P_SOME: f64 = 0.75;
+
+/// Generates `Some(x)` with `x` from `inner` about 75% of the time, `None`
+/// otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < P_SOME {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

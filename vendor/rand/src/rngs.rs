@@ -1,0 +1,38 @@
+//! Concrete generator types (subset of `rand::rngs`).
+
+use crate::{RngCore, SeedableRng, SplitMix64};
+
+/// A small, fast, deterministic generator (stand-in for `rand`'s
+/// `SmallRng`). Backed by SplitMix64.
+#[derive(Debug, Clone)]
+pub struct SmallRng(SplitMix64);
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self(SplitMix64::new(state))
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+/// The "standard" generator. The real crate uses ChaCha12; this stand-in
+/// shares the SplitMix64 core — deterministic seeding is the only property
+/// the workspace relies on.
+#[derive(Debug, Clone)]
+pub struct StdRng(SplitMix64);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self(SplitMix64::new(state ^ 0x5bf0_3635))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
