@@ -18,6 +18,9 @@ pub struct HarnessArgs {
     /// Run at the paper's full scale (0.1M–10M samples) instead of the
     /// scaled-down defaults.
     pub paper_scale: bool,
+    /// Also run one instrumented pass and emit the per-stage/per-core
+    /// metrics report (JSON, schema `wfbn-metrics-v1`).
+    pub metrics: bool,
     /// Optional directory to write CSV series into.
     pub out_dir: Option<String>,
 }
@@ -33,6 +36,7 @@ impl Default for HarnessArgs {
             mode: Mode::Sim,
             seed: 42,
             paper_scale: false,
+            metrics: false,
             out_dir: None,
         }
     }
@@ -91,6 +95,7 @@ impl HarnessArgs {
                     };
                 }
                 "--paper-scale" => out.paper_scale = true,
+                "--metrics" => out.metrics = true,
                 "--out" => out.out_dir = Some(value_of(&flag)?),
                 "--help" | "-h" => {
                     return Err(ArgError(HELP.to_string()));
@@ -124,6 +129,8 @@ Options:
   --mode         MODE   sim | wall | both (default sim)
   --seed         N      workload RNG seed (default 42)
   --paper-scale         use the paper's full sizes (0.1M/1M/10M samples)
+  --metrics             run one instrumented pass and emit the per-stage
+                        per-core metrics report (JSON, wfbn-metrics-v1)
   --out          DIR    also write CSV series into DIR
   --help, -h            print this help";
 
@@ -164,6 +171,12 @@ mod tests {
         let a = parse("--paper-scale --out /tmp/x").unwrap();
         assert!(a.paper_scale);
         assert_eq!(a.out_dir.as_deref(), Some("/tmp/x"));
+        assert!(!a.metrics);
+    }
+
+    #[test]
+    fn metrics_switch() {
+        assert!(parse("--metrics").unwrap().metrics);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use wfbn_bench::args::HarnessArgs;
 use wfbn_bench::runner::{
-    print_host_banner, sim_striped_series, sim_waitfree_series, uniform_workload,
-    wall_striped_series, wall_waitfree_series,
+    format_stage_breakdown, metrics_waitfree_report, print_host_banner, sim_striped_series,
+    sim_waitfree_series, uniform_workload, wall_striped_series, wall_waitfree_series,
 };
 use wfbn_bench::series::{format_markdown_table, write_csvs, Series};
 
@@ -46,6 +46,14 @@ fn main() {
         if let Some(&last) = s.speedups().last() {
             println!("- {}: final speedup {last:.2}×", s.label);
         }
+    }
+    if args.metrics {
+        let p = *args.cores.iter().max().expect("non-empty cores");
+        let n = *args.vars.iter().max().expect("non-empty vars");
+        let report = metrics_waitfree_report(&uniform_workload(n, m, args.seed), p);
+        println!("## Instrumented build (n = {n}, p = {p})\n");
+        println!("{}", format_stage_breakdown(&report));
+        println!("{}", report.to_json());
     }
     if let Some(dir) = &args.out_dir {
         write_csvs(dir, &all).expect("writing CSV output");

@@ -7,7 +7,8 @@
 
 use wfbn_bench::args::HarnessArgs;
 use wfbn_bench::runner::{
-    print_host_banner, sim_allpairs_series, uniform_workload, wall_allpairs_series,
+    format_stage_breakdown, metrics_allpairs_report, print_host_banner, sim_allpairs_series,
+    uniform_workload, wall_allpairs_series,
 };
 use wfbn_bench::series::{format_markdown_table, write_csvs, Series};
 
@@ -45,6 +46,14 @@ fn main() {
                 s.label
             );
         }
+    }
+    if args.metrics {
+        let p = *args.cores.iter().max().expect("non-empty cores");
+        let n = *args.vars.iter().max().expect("non-empty vars");
+        let report = metrics_allpairs_report(&uniform_workload(n, m, args.seed), p);
+        println!("\n## Instrumented build + all-pairs MI (n = {n}, p = {p})\n");
+        println!("{}", format_stage_breakdown(&report));
+        println!("{}", report.to_json());
     }
     if let Some(dir) = &args.out_dir {
         write_csvs(dir, &all).expect("writing CSV output");

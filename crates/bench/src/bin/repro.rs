@@ -9,10 +9,12 @@
 
 use wfbn_bench::args::HarnessArgs;
 use wfbn_bench::runner::{
-    print_host_banner, sim_allpairs_series, sim_striped_series, sim_waitfree_series,
-    uniform_workload, wall_allpairs_series, wall_striped_series, wall_waitfree_series,
+    format_stage_breakdown, metrics_allpairs_report, print_host_banner, sim_allpairs_series,
+    sim_striped_series, sim_waitfree_series, uniform_workload, wall_allpairs_series,
+    wall_striped_series, wall_waitfree_series,
 };
 use wfbn_bench::series::{format_markdown_table, write_csvs, Series};
+use wfbn_core::obs::{Counter, Stage};
 
 struct Check {
     name: &'static str,
@@ -175,6 +177,56 @@ fn main() {
         }
     }
     everything.extend(fig5);
+
+    // ---------- Instrumented pass (--metrics). ----------
+    if args.metrics {
+        let metrics_m = 100_000;
+        let metrics_n = 30;
+        let p = *args.cores.iter().max().expect("cores");
+        println!("## Instrumented pass — build + all-pairs MI (n = {metrics_n}, m = {metrics_m}, p = {p})\n");
+        let data = uniform_workload(metrics_n, metrics_m, args.seed);
+        let report = metrics_allpairs_report(&data, p);
+        println!("{}", format_stage_breakdown(&report));
+        println!("{}", report.to_json());
+
+        // Conservation checks on the emitted telemetry.
+        let per_core_rows: Vec<u64> = report
+            .cores
+            .iter()
+            .map(|c| c.counter(Counter::RowsEncoded))
+            .collect();
+        let rows: u64 = per_core_rows.iter().sum();
+        checks.push(Check {
+            name: "Metrics: per-core row counts sum to m",
+            pass: rows == metrics_m as u64,
+            detail: format!("{per_core_rows:?} sums to {rows} (m = {metrics_m})"),
+        });
+        checks.push(Check {
+            name: "Metrics: routed keys conserved (local + forwarded = m, forwarded = drained)",
+            pass: report.total(Counter::LocalUpdates) + report.total(Counter::Forwarded)
+                == metrics_m as u64
+                && report.total(Counter::Forwarded) == report.total(Counter::Drained),
+            detail: format!(
+                "{} local + {} forwarded, {} drained",
+                report.total(Counter::LocalUpdates),
+                report.total(Counter::Forwarded),
+                report.total(Counter::Drained)
+            ),
+        });
+        checks.push(Check {
+            name: "Metrics: every stage observed wall time",
+            pass: Stage::ALL
+                .iter()
+                .all(|&s| s == Stage::Barrier || report.stage_total_ns(s) > 0),
+            detail: Stage::ALL
+                .map(|s| format!("{}={}ns", s.name(), report.stage_total_ns(s)))
+                .join(" "),
+        });
+        let json_path = format!("{out_dir}/metrics.json");
+        std::fs::create_dir_all(&out_dir).expect("creating results dir");
+        std::fs::write(&json_path, report.to_json()).expect("writing metrics.json");
+        println!("metrics report written to {json_path}\n");
+    }
 
     // ---------- Verdicts. ----------
     println!("## Reproduction checks\n");

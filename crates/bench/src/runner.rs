@@ -3,7 +3,10 @@
 use crate::series::Series;
 use std::time::Instant;
 use wfbn_baselines::striped::StripedLockBuilder;
-use wfbn_core::construct::waitfree_build;
+use wfbn_core::allpairs::all_pairs_mi_recorded;
+use wfbn_core::construct::{waitfree_build, waitfree_build_recorded};
+use wfbn_core::obs::{Counter, Stage};
+use wfbn_core::{CoreMetrics, MetricsReport};
 use wfbn_data::{Dataset, Generator, Schema, UniformIndependent};
 use wfbn_pram::{
     simulate_all_pairs_mi, simulate_striped_build, simulate_waitfree_build, CostModel,
@@ -133,6 +136,55 @@ pub fn wall_allpairs_series(data: &Dataset, cores: &[usize], label: &str, reps: 
     s
 }
 
+/// Runs one instrumented wait-free build on `p` real threads and returns
+/// the merged per-core metrics report (used by the `--metrics` passes of
+/// the figure binaries).
+pub fn metrics_waitfree_report(data: &Dataset, p: usize) -> MetricsReport {
+    let rec = CoreMetrics::new(p);
+    let built = waitfree_build_recorded(data, p, &rec).expect("non-empty data");
+    std::hint::black_box(built.table.num_entries());
+    rec.snapshot()
+}
+
+/// Runs one instrumented wait-free build followed by instrumented all-pairs
+/// MI on `p` real threads; the returned report covers both phases (the MI
+/// scan shows up under the `marginalize` stage and the `pairs_scanned` /
+/// `entries_scanned` counters).
+pub fn metrics_allpairs_report(data: &Dataset, p: usize) -> MetricsReport {
+    let rec = CoreMetrics::new(p);
+    let table = waitfree_build_recorded(data, p, &rec)
+        .expect("non-empty data")
+        .table;
+    let mi = all_pairs_mi_recorded(&table, p, &rec);
+    std::hint::black_box(mi.num_vars());
+    rec.snapshot()
+}
+
+/// Renders the human-readable per-stage breakdown of a metrics report:
+/// one bullet per stage with the summed and per-core-max wall time, plus
+/// the headline routing counters. The full JSON document is printed
+/// separately — this is the at-a-glance view.
+pub fn format_stage_breakdown(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    for stage in Stage::ALL {
+        let total = report.stage_total_ns(stage) as f64 / 1e6;
+        let max = report.stage_max_ns(stage) as f64 / 1e6;
+        out.push_str(&format!(
+            "- {}: {total:.2} ms summed across cores, {max:.2} ms on the slowest core\n",
+            stage.name()
+        ));
+    }
+    out.push_str(&format!(
+        "- routing: {} rows encoded, {} local, {} forwarded, {} drained, queue HWM {}\n",
+        report.total(Counter::RowsEncoded),
+        report.total(Counter::LocalUpdates),
+        report.total(Counter::Forwarded),
+        report.total(Counter::Drained),
+        report.queue_hwm_max(),
+    ));
+    out
+}
+
 /// Prints the standard banner: host parallelism and mode caveats.
 pub fn print_host_banner(mode: Mode) {
     let host_cores = std::thread::available_parallelism()
@@ -179,6 +231,24 @@ mod tests {
             assert_eq!(s.points.len(), 3);
             assert!(s.points.iter().all(|&(_, secs)| secs > 0.0));
         }
+    }
+
+    #[test]
+    fn metrics_reports_balance_and_format() {
+        let data = uniform_workload(8, 1_000, 3);
+        let build = metrics_waitfree_report(&data, 2);
+        assert_eq!(build.total(Counter::RowsEncoded), 1_000);
+        assert_eq!(
+            build.total(Counter::LocalUpdates) + build.total(Counter::Forwarded),
+            1_000
+        );
+        let full = metrics_allpairs_report(&data, 2);
+        assert!(full.total(Counter::PairsScanned) > 0);
+        let text = format_stage_breakdown(&full);
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.name()), "{text}");
+        }
+        assert!(text.contains("rows encoded"), "{text}");
     }
 
     #[test]

@@ -4,18 +4,25 @@ use crate::args::Flags;
 use crate::commands::load_csv;
 use std::io::Write;
 use std::time::Instant;
-use wfbn_core::construct::waitfree_build;
+use wfbn_core::construct::{waitfree_build, waitfree_build_recorded};
 use wfbn_core::rebalance::imbalance;
+use wfbn_core::CoreMetrics;
 
 /// Runs the subcommand.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["metrics"])?;
     let path: String = flags.require("in")?;
     let threads: usize = flags.get_or("threads", 4)?;
+    let with_metrics = flags.has_switch("metrics");
     let data = load_csv(&path)?;
 
+    let metrics = with_metrics.then(|| CoreMetrics::new(threads));
     let start = Instant::now();
-    let built = waitfree_build(&data, threads).map_err(|e| e.to_string())?;
+    let built = match &metrics {
+        Some(rec) => waitfree_build_recorded(&data, threads, rec),
+        None => waitfree_build(&data, threads),
+    }
+    .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
 
     let w = &mut *out;
@@ -53,7 +60,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     .and_then(|()| {
         writeln!(w, "partition sizes: {:?}", built.table.partition_sizes())
     })
-    .map_err(|e| e.to_string())
+    .map_err(|e| e.to_string())?;
+
+    if let Some(rec) = &metrics {
+        writeln!(out, "{}", rec.snapshot().to_json()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -75,6 +87,24 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("4 samples × 2 variables"), "{text}");
         assert!(text.contains("3 distinct state strings"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_switch_appends_the_json_report() {
+        let dir = std::env::temp_dir().join("wfbn_cli_build_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.csv");
+        std::fs::write(&path, "0,1\n1,0\n0,1\n1,1\n").unwrap();
+        let args: Vec<String> = ["--in", path.to_str().unwrap(), "--threads", "2", "--metrics"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"schema\": \"wfbn-metrics-v1\""), "{text}");
+        assert!(text.contains("\"rows_encoded\""), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

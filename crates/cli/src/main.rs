@@ -55,9 +55,9 @@ Subcommands:
          --net NAME | --uniform N,R | --chain N,RHO | --zipf N,S
          --samples M [--seed S] [--out FILE]
   build  build the potential table from CSV and print statistics
-         --in FILE [--threads P]
+         --in FILE [--threads P] [--metrics]
   mi     all-pairs mutual information screening
-         --in FILE [--threads P] [--top K] [--bits]
+         --in FILE [--threads P] [--top K] [--bits] [--metrics]
   learn  structure learning
          --in FILE [--method cheng|hillclimb|chowliu] [--threads P]
          [--epsilon E] [--alpha A] [--fit]

@@ -117,6 +117,7 @@ pub struct Producer<T> {
     /// Local mirror of `tail.len` (only this thread ever writes it).
     idx: usize,
     pushed: u64,
+    segments_linked: u64,
 }
 
 // SAFETY: the producer is the unique writer of the tail segment; moving it to
@@ -171,6 +172,7 @@ pub fn channel<T>() -> (Producer<T>, Consumer<T>) {
             tail: first,
             idx: 0,
             pushed: 0,
+            segments_linked: 0,
         },
         Consumer {
             shared,
@@ -193,6 +195,7 @@ impl<T> Producer<T> {
             tail.next.store(next.as_ptr(), Ordering::Release);
             self.tail = next;
             self.idx = 0;
+            self.segments_linked += 1;
         }
         // SAFETY: slots at and above `idx` have never been published, so the
         // consumer does not read them; we are the only writer.
@@ -212,6 +215,13 @@ impl<T> Producer<T> {
     /// Total number of elements pushed through this endpoint.
     pub fn pushed(&self) -> u64 {
         self.pushed
+    }
+
+    /// Number of segments this endpoint allocated and linked beyond the
+    /// initial one — i.e. how many times the queue outgrew [`SEG_CAP`].
+    /// Telemetry for the observability layer; local state, wait-free to read.
+    pub fn segments_linked(&self) -> u64 {
+        self.segments_linked
     }
 }
 
@@ -279,6 +289,21 @@ impl<T> Consumer<T> {
     /// Total number of elements popped through this endpoint.
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of committed-but-unconsumed elements visible in the *head*
+    /// segment right now — a wait-free lower bound on the queue's backlog
+    /// (elements in later segments are not counted; walking the chain would
+    /// not be O(1)).
+    ///
+    /// One Acquire load of the head's committed length plus local arithmetic;
+    /// safe to call from the consumer's drain loop at any time. The
+    /// observability layer samples this to maintain queue-depth high-water
+    /// marks.
+    pub fn visible_backlog(&self) -> u64 {
+        // SAFETY: `head` stays alive until this consumer advances past it.
+        let committed = unsafe { self.head.as_ref() }.len.load(Ordering::Acquire);
+        committed.saturating_sub(self.idx) as u64
     }
 
     /// Drains every element that is currently visible.
@@ -441,6 +466,44 @@ mod tests {
         assert_eq!(tx.pushed(), 100);
         let _ = rx.drain_visible().count();
         assert_eq!(rx.popped(), 100);
+    }
+
+    #[test]
+    fn segments_linked_counts_capacity_overflows() {
+        let (mut tx, _rx) = channel();
+        assert_eq!(tx.segments_linked(), 0);
+        for i in 0..SEG_CAP as u64 {
+            tx.push(i);
+        }
+        // The initial segment is exactly full; nothing linked yet.
+        assert_eq!(tx.segments_linked(), 0);
+        tx.push(0);
+        assert_eq!(tx.segments_linked(), 1);
+        for i in 0..(3 * SEG_CAP) as u64 {
+            tx.push(i);
+        }
+        assert_eq!(tx.segments_linked(), 4);
+    }
+
+    #[test]
+    fn visible_backlog_tracks_head_segment_occupancy() {
+        let (mut tx, mut rx) = channel();
+        assert_eq!(rx.visible_backlog(), 0);
+        tx.push(1u64);
+        tx.push(2u64);
+        assert_eq!(rx.visible_backlog(), 2);
+        let _ = rx.try_pop();
+        assert_eq!(rx.visible_backlog(), 1);
+        let _ = rx.try_pop();
+        assert_eq!(rx.visible_backlog(), 0);
+        // A full head segment plus spill into the next: the backlog reports
+        // only the head segment's remainder (documented lower bound).
+        for i in 0..(SEG_CAP as u64 + 5) {
+            tx.push(i);
+        }
+        assert_eq!(rx.visible_backlog(), (SEG_CAP - 2) as u64);
+        while rx.try_pop().is_some() {}
+        assert_eq!(rx.visible_backlog(), 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::error::CoreError;
 use crate::marginal::marginalize;
 use crate::potential::PotentialTable;
 use wfbn_concurrent::{pair_count, pairs_for_thread, run_on_threads};
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
 
 /// Symmetric matrix of pairwise mutual information values (nats).
 #[derive(Debug, Clone, PartialEq)]
@@ -123,10 +124,27 @@ impl MiMatrix {
 /// assert!(mi.get(0, 1) > mi.get(0, 4));
 /// ```
 pub fn all_pairs_mi(table: &PotentialTable, threads: usize) -> MiMatrix {
+    all_pairs_mi_recorded(table, threads, &NoopRecorder)
+}
+
+/// [`all_pairs_mi`] with telemetry: each thread attributes its wall time to
+/// [`Stage::Marginal`] and counts the pairs it evaluated
+/// ([`Counter::PairsScanned`]) and the table entries those per-pair scans
+/// touched ([`Counter::EntriesScanned`] — every pair rescans the whole
+/// table under this schedule, which is exactly the `O(E·n²)` constant the
+/// fused schedule removes).
+pub fn all_pairs_mi_recorded<R: Recorder>(
+    table: &PotentialTable,
+    threads: usize,
+    rec: &R,
+) -> MiMatrix {
     assert!(threads > 0, "need at least one thread");
     let n = table.codec().num_vars();
+    let entries = table.num_entries() as u64;
     let mut matrix = MiMatrix::zeroed(n);
     let per_thread = run_on_threads(threads, |t| {
+        let mut cr = rec.core(t);
+        let t0 = cr.now();
         let mut local: Vec<(usize, usize, f64)> = Vec::new();
         for (i, j) in pairs_for_thread(n, t, threads) {
             // Each pair's marginalization runs sequentially inside its
@@ -134,6 +152,9 @@ pub fn all_pairs_mi(table: &PotentialTable, threads: usize) -> MiMatrix {
             let pair = marginalize(table, &[i, j], 1).expect("pair vars are valid by construction");
             local.push((i, j, mutual_information(&pair)));
         }
+        cr.stage_ns(Stage::Marginal, cr.now().saturating_sub(t0));
+        cr.add(Counter::PairsScanned, local.len() as u64);
+        cr.add(Counter::EntriesScanned, local.len() as u64 * entries);
         local
     });
     for thread_results in per_thread {
@@ -147,6 +168,19 @@ pub fn all_pairs_mi(table: &PotentialTable, threads: usize) -> MiMatrix {
 /// Computes all-pairs MI with the fused table-parallel schedule: one scan of
 /// the table per thread, all pairwise joints accumulated simultaneously.
 pub fn all_pairs_mi_fused(table: &PotentialTable, threads: usize) -> MiMatrix {
+    all_pairs_mi_fused_recorded(table, threads, &NoopRecorder)
+}
+
+/// [`all_pairs_mi_fused`] with telemetry: each scan thread attributes its
+/// wall time to [`Stage::Marginal`] and counts the entries it decoded
+/// ([`Counter::EntriesScanned`] — each entry is read once, unlike the
+/// pair-parallel schedule); the merging core additionally records the
+/// `n(n−1)/2` evaluated pairs under [`Counter::PairsScanned`].
+pub fn all_pairs_mi_fused_recorded<R: Recorder>(
+    table: &PotentialTable,
+    threads: usize,
+    rec: &R,
+) -> MiMatrix {
     assert!(threads > 0, "need at least one thread");
     let codec = table.codec();
     let n = codec.num_vars();
@@ -167,11 +201,15 @@ pub fn all_pairs_mi_fused(table: &PotentialTable, threads: usize) -> MiMatrix {
     let flat = |i: usize, j: usize| i * (2 * n - i - 1) / 2 + (j - i - 1);
 
     let partials = run_on_threads(t, |tid| {
+        let mut cr = rec.core(tid);
+        let t0 = cr.now();
+        let mut scanned = 0u64;
         let mut acc = vec![0u64; cells];
         let mut digits = vec![0u64; n];
         let mut part_idx = tid;
         while part_idx < p {
             for (key, count) in table.partition(part_idx).iter() {
+                scanned += 1;
                 // Decode the full state string once.
                 let mut rest = key;
                 for (d, jj) in digits.iter_mut().zip(0..n) {
@@ -190,6 +228,8 @@ pub fn all_pairs_mi_fused(table: &PotentialTable, threads: usize) -> MiMatrix {
             }
             part_idx += t;
         }
+        cr.stage_ns(Stage::Marginal, cr.now().saturating_sub(t0));
+        cr.add(Counter::EntriesScanned, scanned);
         acc
     });
 
@@ -215,6 +255,10 @@ pub fn all_pairs_mi_fused(table: &PotentialTable, threads: usize) -> MiMatrix {
             matrix.set(i, j, mutual_information(&pair));
         }
     }
+    // The merge/evaluate step runs on the calling thread after the scan
+    // threads have joined, so reusing core 0's handle stays single-writer.
+    let mut cr = rec.core(0);
+    cr.add(Counter::PairsScanned, pair_count(n) as u64);
     matrix
 }
 

@@ -30,6 +30,7 @@ use crate::potential::PotentialTable;
 use crate::stats::{BuildStats, ThreadStats};
 use wfbn_concurrent::{channel, row_chunks, Consumer, Producer, SpinBarrier};
 use wfbn_data::Dataset;
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
 
 /// Result of a construction run: the table plus instrumentation.
 #[derive(Debug)]
@@ -53,6 +54,19 @@ fn capacity_hint(m: usize, space: u64, p: usize) -> usize {
 /// Builds the potential table on a single thread (the speedup baseline and
 /// the reference implementation for equivalence tests).
 pub fn sequential_build(data: &Dataset) -> Result<BuiltTable, CoreError> {
+    sequential_build_recorded(data, &NoopRecorder)
+}
+
+/// [`sequential_build`] with telemetry: stage timing, row/update counters,
+/// and the probe-length histogram flow into core 0 of `rec`.
+///
+/// With [`NoopRecorder`] this monomorphizes to the uninstrumented loop —
+/// every recorder call is an empty inlined body and `now()` never reads the
+/// clock.
+pub fn sequential_build_recorded<R: Recorder>(
+    data: &Dataset,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
     if data.num_samples() == 0 {
         return Err(CoreError::EmptyDataset);
     }
@@ -60,11 +74,18 @@ pub fn sequential_build(data: &Dataset) -> Result<BuiltTable, CoreError> {
     let mut table =
         CountTable::with_capacity(capacity_hint(data.num_samples(), codec.state_space(), 1));
     let mut stats = ThreadStats::default();
+    let mut cr = rec.core(0);
+    let t0 = cr.now();
     for row in data.rows() {
-        table.increment(codec.encode(row), 1);
+        let probes = table.increment_probed(codec.encode(row), 1);
+        cr.probe_len(probes);
         stats.rows_encoded += 1;
         stats.local_updates += 1;
     }
+    cr.stage_ns(Stage::Encode, cr.now().saturating_sub(t0));
+    cr.add(Counter::RowsEncoded, stats.rows_encoded);
+    cr.add(Counter::LocalUpdates, stats.local_updates);
+    cr.add(Counter::TableGrows, table.grows());
     stats.probes = table.probes();
     Ok(BuiltTable {
         table: PotentialTable::from_parts(codec, KeyPartitioner::modulo(1), vec![table]),
@@ -89,10 +110,20 @@ pub fn sequential_build(data: &Dataset) -> Result<BuiltTable, CoreError> {
 /// assert_eq!(seq.table.to_sorted_vec(), par.table.to_sorted_vec());
 /// ```
 pub fn waitfree_build(data: &Dataset, p: usize) -> Result<BuiltTable, CoreError> {
+    waitfree_build_recorded(data, p, &NoopRecorder)
+}
+
+/// [`waitfree_build`] with telemetry flowing into `rec` (core `t` of the
+/// recorder receives worker `t`'s events).
+pub fn waitfree_build_recorded<R: Recorder>(
+    data: &Dataset,
+    p: usize,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
     if p == 0 {
         return Err(CoreError::ZeroThreads);
     }
-    waitfree_build_with(data, KeyPartitioner::modulo(p))
+    waitfree_build_with_recorded(data, KeyPartitioner::modulo(p), rec)
 }
 
 /// Endpoints owned by one worker thread: its producers toward every other
@@ -131,6 +162,22 @@ pub fn waitfree_build_with(
     data: &Dataset,
     partitioner: KeyPartitioner,
 ) -> Result<BuiltTable, CoreError> {
+    waitfree_build_with_recorded(data, partitioner, &NoopRecorder)
+}
+
+/// [`waitfree_build_with`] with telemetry flowing into `rec`.
+///
+/// Worker `t` obtains the exclusive per-core handle `rec.core(t)` at spawn
+/// and reports through it only, preserving the build's single-writer-per-word
+/// discipline for the telemetry words. Per-stage wall time (encode/route,
+/// barrier wait, drain), routing counters, the probe-length histogram, queue
+/// backlog high-water marks, segment links, and table growth events are all
+/// attributed to the core that incurred them.
+pub fn waitfree_build_with_recorded<R: Recorder>(
+    data: &Dataset,
+    partitioner: KeyPartitioner,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
     let p = partitioner.partitions();
     if p == 0 {
         return Err(CoreError::ZeroThreads);
@@ -141,7 +188,7 @@ pub fn waitfree_build_with(
     let codec = KeyCodec::new(data.schema());
     if p == 1 {
         // Degenerate case: no queues, no barrier.
-        let mut built = sequential_build(data)?;
+        let mut built = sequential_build_recorded(data, rec)?;
         if Some(&partitioner) != built.table.partitioner() {
             let (c, _, parts) = built.table.into_parts();
             built.table = PotentialTable::from_parts(c, partitioner, parts);
@@ -180,6 +227,8 @@ pub fn waitfree_build_with(
                         let _audit = wfbn_concurrent::audit::enter(build_audit, t);
                         let mut table = CountTable::with_capacity(hint);
                         let mut stats = ThreadStats::default();
+                        let mut cr = rec.core(t);
+                        let t0 = cr.now();
 
                         // ---- Stage 1 (Algorithm 1) ----
                         for row in data.row_range(chunk.start, chunk.end).chunks_exact(n) {
@@ -187,7 +236,8 @@ pub fn waitfree_build_with(
                             stats.rows_encoded += 1;
                             let owner = partitioner.owner(key);
                             if owner == t {
-                                table.increment(key, 1);
+                                let probes = table.increment_probed(key, 1);
+                                cr.probe_len(probes);
                                 stats.local_updates += 1;
                             } else {
                                 ep.producers[owner]
@@ -197,25 +247,49 @@ pub fn waitfree_build_with(
                                 stats.forwarded += 1;
                             }
                         }
+                        let segments_linked: u64 = ep
+                            .producers
+                            .iter()
+                            .flatten()
+                            .map(Producer::segments_linked)
+                            .sum();
                         // Close this thread's outgoing queues. Not required
                         // for correctness (the barrier already separates the
                         // stages) but keeps the termination protocol uniform
                         // with the pipelined variant.
                         ep.producers.clear();
+                        let t1 = cr.now();
+                        cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
 
                         // ---- The single synchronization step ----
                         barrier.wait();
                         #[cfg(feature = "ownership-audit")]
                         wfbn_concurrent::audit::set_stage(2);
+                        let t2 = cr.now();
+                        cr.stage_ns(Stage::Barrier, t2.saturating_sub(t1));
 
                         // ---- Stage 2 (Algorithm 2) ----
                         for consumer in ep.consumers.iter_mut().flatten() {
+                            // Backlog visible at drain start: after the
+                            // barrier the producer is done, so this is the
+                            // head segment's share of everything it sent.
+                            if R::ENABLED {
+                                cr.queue_depth(consumer.visible_backlog());
+                            }
                             while let Some(key) = consumer.try_pop() {
                                 debug_assert_eq!(partitioner.owner(key), t);
-                                table.increment(key, 1);
+                                let probes = table.increment_probed(key, 1);
+                                cr.probe_len(probes);
                                 stats.drained += 1;
                             }
                         }
+                        cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t2));
+                        cr.add(Counter::RowsEncoded, stats.rows_encoded);
+                        cr.add(Counter::LocalUpdates, stats.local_updates);
+                        cr.add(Counter::Forwarded, stats.forwarded);
+                        cr.add(Counter::Drained, stats.drained);
+                        cr.add(Counter::SegmentsLinked, segments_linked);
+                        cr.add(Counter::TableGrows, table.grows());
                         stats.probes = table.probes();
                         (table, stats)
                     })

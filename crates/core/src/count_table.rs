@@ -51,6 +51,8 @@ pub struct CountTable {
     mask: usize,
     /// Total slot inspections performed (instrumentation).
     probes: u64,
+    /// Number of growth (rehash) events (instrumentation).
+    grows: u64,
 }
 
 impl Default for CountTable {
@@ -81,6 +83,7 @@ impl CountTable {
             len: 0,
             mask: slots - 1,
             probes: 0,
+            grows: 0,
         }
     }
 
@@ -102,6 +105,11 @@ impl CountTable {
     /// Total slot inspections since construction (instrumentation counter).
     pub fn probes(&self) -> u64 {
         self.probes
+    }
+
+    /// Number of times the table grew (rehashed) since construction.
+    pub fn grows(&self) -> u64 {
+        self.grows
     }
 
     /// Sum of all counts (the number of update operations applied, weighted).
@@ -160,6 +168,21 @@ impl CountTable {
         }
     }
 
+    /// Like [`increment`](Self::increment), but returns how many slot
+    /// inspections the operation cost (the delta of [`probes`](Self::probes)).
+    ///
+    /// The observability layer feeds the return value into the probe-length
+    /// histogram: exactly one histogram entry per table increment. If the
+    /// operation triggered a growth, the rehash's re-insert probes are
+    /// attributed to this increment (they land in the histogram's tail
+    /// bucket, making growth spikes visible).
+    #[inline]
+    pub fn increment_probed(&mut self, key: u64, by: u64) -> u64 {
+        let before = self.probes;
+        self.increment(key, by);
+        self.probes - before
+    }
+
     /// Returns `key`'s count (0 if absent).
     #[inline]
     pub fn get(&self, key: u64) -> u64 {
@@ -196,6 +219,7 @@ impl CountTable {
     }
 
     fn grow(&mut self) {
+        self.grows += 1;
         let new_slots = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
         let old_counts = std::mem::replace(&mut self.counts, vec![0; new_slots]);
@@ -407,5 +431,32 @@ mod tests {
             t.increment(i, 1);
         }
         assert_eq!(t.capacity(), cap, "should not have grown");
+        assert_eq!(t.grows(), 0);
+    }
+
+    #[test]
+    fn grows_counter_tracks_rehash_events() {
+        let mut t = CountTable::with_capacity(4);
+        let cap0 = t.capacity();
+        for i in 0..10_000u64 {
+            t.increment(i, 1);
+        }
+        // Doubling from cap0 to the final capacity takes exactly
+        // log2(final / cap0) growth events.
+        let expected = (t.capacity() / cap0).trailing_zeros() as u64;
+        assert_eq!(t.grows(), expected);
+        assert!(t.grows() > 0);
+    }
+
+    #[test]
+    fn increment_probed_returns_the_probe_delta() {
+        let mut t = CountTable::with_capacity(1000);
+        let mut total = 0u64;
+        for i in 0..1000u64 {
+            let d = t.increment_probed(i, 1);
+            assert!(d >= 1, "every increment inspects at least one slot");
+            total += d;
+        }
+        assert_eq!(total, t.probes());
     }
 }

@@ -57,12 +57,20 @@ pub mod stats;
 pub mod stream;
 pub mod wide;
 
-pub use allpairs::{all_pairs_mi, MiMatrix};
+pub use allpairs::{all_pairs_mi, all_pairs_mi_recorded, MiMatrix};
 pub use codec::KeyCodec;
-pub use construct::{sequential_build, waitfree_build, BuiltTable};
+pub use construct::{
+    sequential_build, sequential_build_recorded, waitfree_build, waitfree_build_recorded,
+    BuiltTable,
+};
 pub use count_table::CountTable;
 pub use error::CoreError;
-pub use marginal::{marginalize, MarginalTable};
+pub use marginal::{marginalize, marginalize_recorded, MarginalTable};
 pub use partition::KeyPartitioner;
 pub use potential::PotentialTable;
 pub use stats::BuildStats;
+
+// The observability layer the `*_recorded` entry points are generic over;
+// re-exported so downstream crates need not depend on `wfbn-obs` directly.
+pub use wfbn_obs as obs;
+pub use wfbn_obs::{CoreMetrics, MetricsReport, NoopRecorder, Recorder};

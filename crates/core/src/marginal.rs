@@ -19,6 +19,7 @@ use crate::codec::KeyCodec;
 use crate::error::CoreError;
 use crate::potential::PotentialTable;
 use wfbn_concurrent::run_on_threads;
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
 
 /// Refuse to materialize marginal tables above this many cells (2^28 cells
 /// = 2 GiB of counts); marginals in structure learning are tiny (pairs and
@@ -286,6 +287,18 @@ pub fn marginalize(
     vars: &[usize],
     threads: usize,
 ) -> Result<MarginalTable, CoreError> {
+    marginalize_recorded(table, vars, threads, &NoopRecorder)
+}
+
+/// [`marginalize`] with telemetry: each scan thread attributes its wall time
+/// to [`Stage::Marginal`] and counts the potential-table entries it touched
+/// under [`Counter::EntriesScanned`].
+pub fn marginalize_recorded<R: Recorder>(
+    table: &PotentialTable,
+    vars: &[usize],
+    threads: usize,
+    rec: &R,
+) -> Result<MarginalTable, CoreError> {
     if threads == 0 {
         return Err(CoreError::ZeroThreads);
     }
@@ -296,22 +309,32 @@ pub fn marginalize(
     let t = threads.min(p);
 
     if t == 1 {
+        let mut cr = rec.core(0);
+        let t0 = cr.now();
         let mut out = template;
+        let mut scanned = 0u64;
         for part in table.partitions() {
-            accumulate_partition(codec, part, vars, &mut out);
+            scanned += accumulate_partition(codec, part, vars, &mut out);
         }
+        cr.stage_ns(Stage::Marginal, cr.now().saturating_sub(t0));
+        cr.add(Counter::EntriesScanned, scanned);
         return Ok(out);
     }
 
     // Deal whole partitions to threads round-robin; each thread fills a
     // private partial marginal (no shared writes), then the partials merge.
     let partials = run_on_threads(t, |tid| {
+        let mut cr = rec.core(tid);
+        let t0 = cr.now();
         let mut local = template.clone();
+        let mut scanned = 0u64;
         let mut part_idx = tid;
         while part_idx < p {
-            accumulate_partition(codec, table.partition(part_idx), vars, &mut local);
+            scanned += accumulate_partition(codec, table.partition(part_idx), vars, &mut local);
             part_idx += t;
         }
+        cr.stage_ns(Stage::Marginal, cr.now().saturating_sub(t0));
+        cr.add(Counter::EntriesScanned, scanned);
         local
     });
     let mut out = template;
@@ -322,17 +345,20 @@ pub fn marginalize(
 }
 
 /// Scans one partition into a partial marginal (the per-core loop body of
-/// Algorithm 3).
+/// Algorithm 3); returns the number of entries scanned.
 fn accumulate_partition(
     codec: &KeyCodec,
     part: &crate::count_table::CountTable,
     vars: &[usize],
     out: &mut MarginalTable,
-) {
+) -> u64 {
+    let mut scanned = 0u64;
     for (key, count) in part.iter() {
         let idx = codec.marginal_key(key, vars) as usize;
         out.counts[idx] += count;
+        scanned += 1;
     }
+    scanned
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ use crate::potential::PotentialTable;
 use crate::stats::{BuildStats, ThreadStats};
 use wfbn_concurrent::{channel, row_chunks, Consumer, Producer};
 use wfbn_data::Dataset;
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
 
 /// Rows encoded between queue-drain sweeps.
 ///
@@ -57,16 +58,41 @@ const BATCH: usize = 256;
 /// assert_eq!(a.table.to_sorted_vec(), b.table.to_sorted_vec());
 /// ```
 pub fn pipelined_build(data: &Dataset, p: usize) -> Result<BuiltTable, CoreError> {
+    pipelined_build_recorded(data, p, &NoopRecorder)
+}
+
+/// [`pipelined_build`] with telemetry flowing into `rec`.
+pub fn pipelined_build_recorded<R: Recorder>(
+    data: &Dataset,
+    p: usize,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
     if p == 0 {
         return Err(CoreError::ZeroThreads);
     }
-    pipelined_build_with(data, KeyPartitioner::modulo(p))
+    pipelined_build_with_recorded(data, KeyPartitioner::modulo(p), rec)
 }
 
 /// Pipelined build with an explicit partitioner.
 pub fn pipelined_build_with(
     data: &Dataset,
     partitioner: KeyPartitioner,
+) -> Result<BuiltTable, CoreError> {
+    pipelined_build_with_recorded(data, partitioner, &NoopRecorder)
+}
+
+/// [`pipelined_build_with`] with telemetry flowing into `rec`.
+///
+/// Stage attribution for the barrier-free schedule: the produce loop —
+/// encoding interleaved with opportunistic drains — is charged to
+/// [`Stage::Encode`], and the termination drain (after this core's rows are
+/// exhausted) to [`Stage::Drain`]; [`Stage::Barrier`] stays zero because no
+/// barrier exists. Event counters (rows, routed/drained keys, probe
+/// histogram, queue depths) are exact regardless of the overlap.
+pub fn pipelined_build_with_recorded<R: Recorder>(
+    data: &Dataset,
+    partitioner: KeyPartitioner,
+    rec: &R,
 ) -> Result<BuiltTable, CoreError> {
     let p = partitioner.partitions();
     if p == 0 {
@@ -76,7 +102,7 @@ pub fn pipelined_build_with(
         return Err(CoreError::EmptyDataset);
     }
     if p == 1 {
-        return crate::construct::waitfree_build_with(data, partitioner);
+        return crate::construct::waitfree_build_with_recorded(data, partitioner, rec);
     }
 
     let codec = KeyCodec::new(data.schema());
@@ -136,6 +162,8 @@ pub fn pipelined_build_with(
                         let mut table = CountTable::with_capacity(hint);
                         let mut stats = ThreadStats::default();
                         let mut rows = data.row_range(chunk.start, chunk.end).chunks_exact(n);
+                        let mut cr = rec.core(t);
+                        let t0 = cr.now();
 
                         // Interleave production with opportunistic draining.
                         'produce: loop {
@@ -147,7 +175,8 @@ pub fn pipelined_build_with(
                                 stats.rows_encoded += 1;
                                 let owner = partitioner.owner(key);
                                 if owner == t {
-                                    table.increment(key, 1);
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
                                     stats.local_updates += 1;
                                 } else {
                                     ep.producers[owner]
@@ -158,8 +187,12 @@ pub fn pipelined_build_with(
                                 }
                             }
                             for consumer in ep.consumers.iter_mut().flatten() {
+                                if R::ENABLED {
+                                    cr.queue_depth(consumer.visible_backlog());
+                                }
                                 while let Some(key) = consumer.try_pop() {
-                                    table.increment(key, 1);
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
                                     stats.drained += 1;
                                 }
                             }
@@ -167,7 +200,15 @@ pub fn pipelined_build_with(
 
                         // Done producing: close outgoing queues so peers can
                         // terminate, then drain the remainder.
+                        let segments_linked: u64 = ep
+                            .producers
+                            .iter()
+                            .flatten()
+                            .map(Producer::segments_linked)
+                            .sum();
                         ep.producers.clear();
+                        let t1 = cr.now();
+                        cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
                         let mut open: Vec<Consumer<u64>> =
                             ep.consumers.drain(..).flatten().collect();
                         while !open.is_empty() {
@@ -176,8 +217,12 @@ pub fn pipelined_build_with(
                                 // the final drain, so a producer that pushed
                                 // then closed cannot slip an element past us.
                                 let closed = consumer.is_closed();
+                                if R::ENABLED {
+                                    cr.queue_depth(consumer.visible_backlog());
+                                }
                                 while let Some(key) = consumer.try_pop() {
-                                    table.increment(key, 1);
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
                                     stats.drained += 1;
                                 }
                                 !closed
@@ -186,6 +231,13 @@ pub fn pipelined_build_with(
                                 std::hint::spin_loop();
                             }
                         }
+                        cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t1));
+                        cr.add(Counter::RowsEncoded, stats.rows_encoded);
+                        cr.add(Counter::LocalUpdates, stats.local_updates);
+                        cr.add(Counter::Forwarded, stats.forwarded);
+                        cr.add(Counter::Drained, stats.drained);
+                        cr.add(Counter::SegmentsLinked, segments_linked);
+                        cr.add(Counter::TableGrows, table.grows());
                         stats.probes = table.probes();
                         (table, stats)
                     })

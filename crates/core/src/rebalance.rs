@@ -17,6 +17,7 @@
 
 use crate::count_table::CountTable;
 use crate::potential::PotentialTable;
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder};
 
 /// Ratio `max/mean` of partition entry counts (1.0 = perfectly balanced).
 pub fn imbalance(table: &PotentialTable) -> f64 {
@@ -54,6 +55,15 @@ pub fn imbalance(table: &PotentialTable) -> f64 {
 /// assert!(imbalance(&balanced) < 1.05);
 /// ```
 pub fn rebalance(table: PotentialTable) -> PotentialTable {
+    rebalance_recorded(table, &NoopRecorder)
+}
+
+/// [`rebalance`] with telemetry: the number of entries moved between
+/// partitions is recorded on core 0 under [`Counter::RebalanceMoves`].
+/// (Rebalancing is a sequential post-pass — §IV-C — so one core does all
+/// the moving; the count also tells the metrics validator that the probe
+/// histogram no longer balances against routed updates.)
+pub fn rebalance_recorded<R: Recorder>(table: PotentialTable, rec: &R) -> PotentialTable {
     let p = table.num_partitions();
     let total_entries = table.num_entries();
     let (codec, _placement, mut parts) = table.into_parts();
@@ -81,6 +91,7 @@ pub fn rebalance(table: PotentialTable) -> PotentialTable {
             *part = rebuilt;
         }
     }
+    let moved = surplus.len() as u64;
     // Refill under-full partitions.
     let mut surplus = surplus.into_iter();
     for (idx, part) in parts.iter_mut().enumerate() {
@@ -91,6 +102,8 @@ pub fn rebalance(table: PotentialTable) -> PotentialTable {
         }
     }
     debug_assert!(surplus.next().is_none(), "all surplus must be placed");
+    let mut cr = rec.core(0);
+    cr.add(Counter::RebalanceMoves, moved);
     PotentialTable::from_parts_unpartitioned(codec, parts)
 }
 

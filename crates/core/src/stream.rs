@@ -18,6 +18,7 @@ use crate::potential::PotentialTable;
 use crate::stats::{BuildStats, ThreadStats};
 use wfbn_concurrent::{channel, row_chunks, Consumer, Producer, SpinBarrier};
 use wfbn_data::{Dataset, Schema};
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
 
 /// Builds a potential table from a stream of dataset batches.
 ///
@@ -82,6 +83,17 @@ impl StreamingBuilder {
     /// Empty batches are a no-op. The batch schema must equal the
     /// builder's.
     pub fn absorb(&mut self, batch: &Dataset) -> Result<(), CoreError> {
+        self.absorb_recorded(batch, &NoopRecorder)
+    }
+
+    /// [`absorb`](Self::absorb) with telemetry flowing into `rec`; repeated
+    /// calls accumulate into the same recorder, so a whole stream's per-stage
+    /// breakdown lands in one report.
+    pub fn absorb_recorded<R: Recorder>(
+        &mut self,
+        batch: &Dataset,
+        rec: &R,
+    ) -> Result<(), CoreError> {
         if batch.schema() != &self.schema {
             return Err(CoreError::BadVariableSet {
                 reason: "batch schema differs from the builder's schema",
@@ -95,11 +107,21 @@ impl StreamingBuilder {
         if p == 1 {
             let table = &mut self.tables[0];
             let st = &mut self.stats.per_thread[0];
+            let mut cr = rec.core(0);
+            let t0 = cr.now();
+            let grows_before = table.grows();
+            let mut rows = 0u64;
             for row in batch.rows() {
-                table.increment(self.codec.encode(row), 1);
+                let probes = table.increment_probed(self.codec.encode(row), 1);
+                cr.probe_len(probes);
                 st.rows_encoded += 1;
                 st.local_updates += 1;
+                rows += 1;
             }
+            cr.stage_ns(Stage::Encode, cr.now().saturating_sub(t0));
+            cr.add(Counter::RowsEncoded, rows);
+            cr.add(Counter::LocalUpdates, rows);
+            cr.add(Counter::TableGrows, table.grows() - grows_before);
             st.probes = table.probes();
             self.rows_absorbed += m as u64;
             return Ok(());
@@ -149,12 +171,18 @@ impl StreamingBuilder {
                         .name(format!("wfbn-stream-{t}"))
                         .spawn_scoped(s, move || {
                             let mut stats = ThreadStats::default();
+                            let mut cr = rec.core(t);
+                            let t0 = cr.now();
+                            // The persistent table's counters are cumulative
+                            // across batches; record this batch's delta.
+                            let grows_before = table.grows();
                             for row in batch.row_range(chunk.start, chunk.end).chunks_exact(n) {
                                 let key = codec.encode(row);
                                 stats.rows_encoded += 1;
                                 let owner = partitioner.owner(key);
                                 if owner == t {
-                                    table.increment(key, 1);
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
                                     stats.local_updates += 1;
                                 } else {
                                     ep.producers[owner]
@@ -164,14 +192,35 @@ impl StreamingBuilder {
                                     stats.forwarded += 1;
                                 }
                             }
+                            let segments_linked: u64 = ep
+                                .producers
+                                .iter()
+                                .flatten()
+                                .map(Producer::segments_linked)
+                                .sum();
                             ep.producers.clear();
+                            let t1 = cr.now();
+                            cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
                             barrier.wait();
+                            let t2 = cr.now();
+                            cr.stage_ns(Stage::Barrier, t2.saturating_sub(t1));
                             for consumer in ep.consumers.iter_mut().flatten() {
+                                if R::ENABLED {
+                                    cr.queue_depth(consumer.visible_backlog());
+                                }
                                 while let Some(key) = consumer.try_pop() {
-                                    table.increment(key, 1);
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
                                     stats.drained += 1;
                                 }
                             }
+                            cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t2));
+                            cr.add(Counter::RowsEncoded, stats.rows_encoded);
+                            cr.add(Counter::LocalUpdates, stats.local_updates);
+                            cr.add(Counter::Forwarded, stats.forwarded);
+                            cr.add(Counter::Drained, stats.drained);
+                            cr.add(Counter::SegmentsLinked, segments_linked);
+                            cr.add(Counter::TableGrows, table.grows() - grows_before);
                             (table, stats)
                         })
                         .expect("failed to spawn stream thread")

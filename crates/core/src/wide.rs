@@ -16,6 +16,7 @@
 
 use crate::error::CoreError;
 use wfbn_concurrent::{channel, mix64, row_chunks, Consumer, Producer, SpinBarrier};
+use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
 
 /// Empty-slot sentinel of the wide count table.
 const EMPTY: u128 = u128::MAX;
@@ -120,6 +121,10 @@ pub struct WideCountTable {
     counts: Vec<u64>,
     len: usize,
     mask: usize,
+    /// Total slot inspections (instrumentation, mirrors `CountTable`).
+    probes: u64,
+    /// Growth (rehash) events (instrumentation).
+    grows: u64,
 }
 
 impl Default for WideCountTable {
@@ -137,7 +142,19 @@ impl WideCountTable {
             counts: vec![0; slots],
             len: 0,
             mask: slots - 1,
+            probes: 0,
+            grows: 0,
         }
+    }
+
+    /// Total slot inspections since construction.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Number of growth (rehash) events since construction.
+    pub fn grows(&self) -> u64 {
+        self.grows
     }
 
     /// Number of distinct keys.
@@ -158,6 +175,7 @@ impl WideCountTable {
         }
         let mut slot = (mix128(key) as usize) & self.mask;
         loop {
+            self.probes += 1;
             let k = self.keys[slot];
             if k == key {
                 self.counts[slot] += by;
@@ -171,6 +189,15 @@ impl WideCountTable {
             }
             slot = (slot + 1) & self.mask;
         }
+    }
+
+    /// Like [`increment`](Self::increment), returning the probe-count delta
+    /// (mirrors `CountTable::increment_probed`; feeds the probe histogram).
+    #[inline]
+    pub fn increment_probed(&mut self, key: u128, by: u64) -> u64 {
+        let before = self.probes;
+        self.increment(key, by);
+        self.probes - before
     }
 
     /// Returns `key`'s count (0 if absent).
@@ -189,6 +216,7 @@ impl WideCountTable {
     }
 
     fn grow(&mut self) {
+        self.grows += 1;
         let new_slots = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
         let old_counts = std::mem::replace(&mut self.counts, vec![0; new_slots]);
@@ -198,6 +226,7 @@ impl WideCountTable {
             if key != EMPTY {
                 let mut slot = (mix128(key) as usize) & self.mask;
                 loop {
+                    self.probes += 1;
                     if self.keys[slot] == EMPTY {
                         self.keys[slot] = key;
                         self.counts[slot] = count;
@@ -272,6 +301,18 @@ impl WidePotentialTable {
     /// Dense marginal counts over `vars` (strictly increasing), scanning
     /// partitions in parallel with `threads` threads (Algorithm 3, wide).
     pub fn marginal_counts(&self, vars: &[usize], threads: usize) -> Result<Vec<u64>, CoreError> {
+        self.marginal_counts_recorded(vars, threads, &NoopRecorder)
+    }
+
+    /// [`marginal_counts`](Self::marginal_counts) with telemetry: each scan
+    /// thread attributes its wall time to [`Stage::Marginal`] and counts the
+    /// entries it touched under [`Counter::EntriesScanned`].
+    pub fn marginal_counts_recorded<R: Recorder>(
+        &self,
+        vars: &[usize],
+        threads: usize,
+        rec: &R,
+    ) -> Result<Vec<u64>, CoreError> {
         if threads == 0 {
             return Err(CoreError::ZeroThreads);
         }
@@ -304,14 +345,20 @@ impl WidePotentialTable {
         let p = self.partitions.len();
         let t = threads.min(p);
         let partials = wfbn_concurrent::run_on_threads(t, |tid| {
+            let mut cr = rec.core(tid);
+            let t0 = cr.now();
+            let mut scanned = 0u64;
             let mut local = vec![0u64; cells as usize];
             let mut idx = tid;
             while idx < p {
                 for (key, count) in self.partitions[idx].iter() {
                     local[self.codec.marginal_key(key, vars) as usize] += count;
+                    scanned += 1;
                 }
                 idx += t;
             }
+            cr.stage_ns(Stage::Marginal, cr.now().saturating_sub(t0));
+            cr.add(Counter::EntriesScanned, scanned);
             local
         });
         let mut out = vec![0u64; cells as usize];
@@ -333,6 +380,18 @@ pub fn waitfree_build_wide(
     arities: &[u16],
     threads: usize,
 ) -> Result<WidePotentialTable, CoreError> {
+    waitfree_build_wide_recorded(states, arities, threads, &NoopRecorder)
+}
+
+/// [`waitfree_build_wide`] with telemetry: per-core stage timers, row/route
+/// counters, probe-length histograms, and queue depth high-water marks, all
+/// written through single-writer per-core recorder handles.
+pub fn waitfree_build_wide_recorded<R: Recorder>(
+    states: &[u16],
+    arities: &[u16],
+    threads: usize,
+    rec: &R,
+) -> Result<WidePotentialTable, CoreError> {
     if threads == 0 {
         return Err(CoreError::ZeroThreads);
     }
@@ -349,10 +408,17 @@ pub fn waitfree_build_wide(
     }
     let p = threads;
     if p == 1 {
+        let mut cr = rec.core(0);
+        let t0 = cr.now();
         let mut table = WideCountTable::with_capacity(m.min(1 << 16));
         for row in states.chunks_exact(n) {
-            table.increment(codec.encode(row), 1);
+            let probes = table.increment_probed(codec.encode(row), 1);
+            cr.probe_len(probes);
         }
+        cr.stage_ns(Stage::Encode, cr.now().saturating_sub(t0));
+        cr.add(Counter::RowsEncoded, m as u64);
+        cr.add(Counter::LocalUpdates, m as u64);
+        cr.add(Counter::TableGrows, table.grows());
         return Ok(WidePotentialTable {
             codec,
             partitions: vec![table],
@@ -393,26 +459,56 @@ pub fn waitfree_build_wide(
                 std::thread::Builder::new()
                     .name(format!("wfbn-wide-{t}"))
                     .spawn_scoped(s, move || {
+                        let mut cr = rec.core(t);
+                        let t0 = cr.now();
+                        let mut local = 0u64;
+                        let mut forwarded = 0u64;
                         let mut table = WideCountTable::with_capacity((m / p + 1).min(1 << 16));
                         for row in states[chunk.start * n..chunk.end * n].chunks_exact(n) {
                             let key = codec.encode(row);
                             let owner = (key % p as u128) as usize;
                             if owner == t {
-                                table.increment(key, 1);
+                                let probes = table.increment_probed(key, 1);
+                                cr.probe_len(probes);
+                                local += 1;
                             } else {
                                 ep.producers[owner]
                                     .as_mut()
                                     .expect("producer exists")
                                     .push(key);
+                                forwarded += 1;
                             }
                         }
+                        let segments: u64 = ep
+                            .producers
+                            .iter()
+                            .flatten()
+                            .map(Producer::segments_linked)
+                            .sum();
                         ep.producers.clear();
+                        let t1 = cr.now();
+                        cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
                         barrier.wait();
+                        let t2 = cr.now();
+                        cr.stage_ns(Stage::Barrier, t2.saturating_sub(t1));
+                        let mut drained = 0u64;
                         for consumer in ep.consumers.iter_mut().flatten() {
+                            if R::ENABLED {
+                                cr.queue_depth(consumer.visible_backlog());
+                            }
                             while let Some(key) = consumer.try_pop() {
-                                table.increment(key, 1);
+                                let probes = table.increment_probed(key, 1);
+                                cr.probe_len(probes);
+                                drained += 1;
                             }
                         }
+                        cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t2));
+                        cr.add(Counter::RowsEncoded, (chunk.end - chunk.start) as u64);
+                        cr.add(Counter::LocalUpdates, local);
+                        cr.add(Counter::Forwarded, forwarded);
+                        cr.add(Counter::Drained, drained);
+                        cr.add(Counter::SegmentsLinked, segments);
+                        cr.add(Counter::TableGrows, table.grows());
                         table
                     })
                     .expect("failed to spawn wide build thread")

@@ -1,0 +1,270 @@
+//! [`CoreMetrics`]: the recording [`Recorder`] built from cache-padded
+//! per-core counter slots.
+//!
+//! Memory layout and write discipline mirror the count tables the primitive
+//! itself uses: one [`CachePadded`] slot per core, every word inside a slot
+//! written only by the core that owns it, and no read-modify-write atomics
+//! anywhere. A counter bump is `load(Relaxed)` + `store(Relaxed)` — legal
+//! precisely because of the single-writer guarantee, and wait-free because it
+//! is a constant number of the caller's own steps. Readers call
+//! [`CoreMetrics::snapshot`] only after the writers are quiesced (thread join
+//! or the stage-2 barrier), so the happens-before edge that publishes the
+//! count tables publishes the telemetry words for free; `tests/loom.rs`
+//! model-checks exactly that claim.
+
+use crate::recorder::{
+    probe_bucket, CoreRecorder, Counter, Recorder, Stage, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS,
+};
+use crate::report::{CoreReport, MetricsReport};
+use std::time::Instant;
+use wfbn_concurrent::CachePadded;
+
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "loom"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One core's private telemetry words, padded to its own cache lines.
+struct CoreSlot {
+    /// Monotonic event counters, indexed by [`Counter`].
+    counters: [AtomicU64; NUM_COUNTERS],
+    /// Nanoseconds attributed to each [`Stage`].
+    stage_ns: [AtomicU64; NUM_STAGES],
+    /// Probe-length histogram (one entry per table increment).
+    probe_hist: [AtomicU64; PROBE_BUCKETS],
+    /// High-water mark of observed foreign-queue backlog.
+    queue_hwm: AtomicU64,
+}
+
+impl CoreSlot {
+    fn new() -> Self {
+        CoreSlot {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            probe_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            queue_hwm: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Single-writer bump: load + store, never an RMW. Sound only because each
+/// slot word has exactly one writing core (the discipline the ownership
+/// auditor checks when enabled).
+#[inline]
+fn bump(cell: &AtomicU64, by: u64) {
+    let v = cell.load(Ordering::Relaxed);
+    cell.store(v.wrapping_add(by), Ordering::Relaxed);
+    #[cfg(feature = "ownership-audit")]
+    wfbn_concurrent::audit::record_write(core::ptr::from_ref(cell).cast(), 8);
+}
+
+/// Single-writer max: store only when the sample raises the mark.
+#[inline]
+fn raise(cell: &AtomicU64, sample: u64) {
+    if sample > cell.load(Ordering::Relaxed) {
+        cell.store(sample, Ordering::Relaxed);
+        #[cfg(feature = "ownership-audit")]
+        wfbn_concurrent::audit::record_write(core::ptr::from_ref(cell).cast(), 8);
+    }
+}
+
+/// A recording [`Recorder`]: per-core, cache-padded, wait-free counters plus
+/// a shared monotonic epoch for stage timing.
+///
+/// Create one per run sized to the thread count, pass `&metrics` to the
+/// `*_recorded` entry points, and call [`snapshot`](CoreMetrics::snapshot)
+/// after the run returns.
+pub struct CoreMetrics {
+    /// Common time origin for all cores' [`CoreRecorder::now`] samples.
+    epoch: Instant,
+    slots: Box<[CachePadded<CoreSlot>]>,
+}
+
+impl CoreMetrics {
+    /// Allocates zeroed telemetry slots for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "CoreMetrics needs at least one core");
+        CoreMetrics {
+            epoch: Instant::now(),
+            slots: (0..cores).map(|_| CachePadded::new(CoreSlot::new())).collect(),
+        }
+    }
+
+    /// Number of per-core slots.
+    pub fn cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Copies every core's words into an owned [`MetricsReport`].
+    ///
+    /// Call only after the writing threads have quiesced (joined, or parked
+    /// past a barrier): the join/barrier edge is what makes the Relaxed
+    /// writes visible here. Snapshotting mid-run is memory-safe but may read
+    /// torn-across-words (per-word-consistent, cross-word-stale) values.
+    ///
+    /// With `--features metrics`, the snapshot additionally self-validates
+    /// the report's conservation invariants and panics on violation, turning
+    /// lost or double-counted events into hard test failures.
+    pub fn snapshot(&self) -> MetricsReport {
+        let cores = self
+            .slots
+            .iter()
+            .map(|slot| CoreReport {
+                counters: std::array::from_fn(|i| slot.counters[i].load(Ordering::Relaxed)),
+                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)),
+                probe_hist: std::array::from_fn(|i| slot.probe_hist[i].load(Ordering::Relaxed)),
+                queue_hwm: slot.queue_hwm.load(Ordering::Relaxed),
+            })
+            .collect();
+        let report = MetricsReport { cores };
+        #[cfg(feature = "metrics")]
+        if let Err(violation) = report.validate() {
+            panic!("metrics invariant violated: {violation}");
+        }
+        report
+    }
+}
+
+impl Recorder for CoreMetrics {
+    type Core<'a> = CoreHandle<'a>;
+
+    fn core(&self, index: usize) -> CoreHandle<'_> {
+        CoreHandle {
+            epoch: self.epoch,
+            slot: &self.slots[index],
+        }
+    }
+}
+
+/// Exclusive writing handle for one core's [`CoreMetrics`] slot.
+pub struct CoreHandle<'a> {
+    epoch: Instant,
+    slot: &'a CoreSlot,
+}
+
+impl CoreRecorder for CoreHandle<'_> {
+    #[inline]
+    fn now(&self) -> u64 {
+        // u64 nanoseconds overflow after ~584 years of run time.
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn stage_ns(&mut self, stage: Stage, ns: u64) {
+        bump(&self.slot.stage_ns[stage as usize], ns);
+    }
+
+    #[inline]
+    fn add(&mut self, counter: Counter, by: u64) {
+        bump(&self.slot.counters[counter as usize], by);
+    }
+
+    #[inline]
+    fn probe_len(&mut self, probes: u64) {
+        bump(&self.slot.probe_hist[probe_bucket(probes)], 1);
+        bump(&self.slot.counters[Counter::Probes as usize], probes);
+    }
+
+    #[inline]
+    fn queue_depth(&mut self, depth: u64) {
+        raise(&self.slot.queue_hwm, depth);
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_core() {
+        // Counter values mirror a real P=2 build so the strict-mode snapshot
+        // validation (--features metrics) also passes.
+        let m = CoreMetrics::new(2);
+        {
+            let mut c0 = m.core(0);
+            c0.add(Counter::RowsEncoded, 7);
+            c0.add(Counter::RowsEncoded, 3);
+            c0.add(Counter::LocalUpdates, 6);
+            c0.add(Counter::Forwarded, 4);
+            c0.stage_ns(Stage::Encode, 100);
+            let mut c1 = m.core(1);
+            c1.add(Counter::RowsEncoded, 5);
+            c1.add(Counter::LocalUpdates, 5);
+            c1.add(Counter::Drained, 4);
+            c1.stage_ns(Stage::Drain, 40);
+        }
+        let r = m.snapshot();
+        assert_eq!(r.cores[0].counters[Counter::RowsEncoded as usize], 10);
+        assert_eq!(r.cores[1].counters[Counter::RowsEncoded as usize], 5);
+        assert_eq!(r.total(Counter::RowsEncoded), 15);
+        assert_eq!(r.cores[0].stage_ns[Stage::Encode as usize], 100);
+        assert_eq!(r.cores[1].stage_ns[Stage::Drain as usize], 40);
+    }
+
+    #[test]
+    fn probe_len_fills_histogram_and_probe_counter() {
+        let m = CoreMetrics::new(1);
+        {
+            let mut c = m.core(0);
+            c.probe_len(1);
+            c.probe_len(1);
+            c.probe_len(6);
+            c.probe_len(40);
+        }
+        let r = m.snapshot();
+        assert_eq!(r.cores[0].probe_hist, [2, 0, 0, 0, 1, 0, 0, 1]);
+        assert_eq!(r.total(Counter::Probes), 1 + 1 + 6 + 40);
+        assert_eq!(r.probe_hist_mass(), 4);
+    }
+
+    #[test]
+    fn queue_depth_keeps_high_water_mark() {
+        // Two cores: a P=1 report with queue traffic would (correctly) fail
+        // strict-mode validation.
+        let m = CoreMetrics::new(2);
+        {
+            let mut c = m.core(0);
+            c.queue_depth(3);
+            c.queue_depth(9);
+            c.queue_depth(4);
+        }
+        assert_eq!(m.snapshot().cores[0].queue_hwm, 9);
+    }
+
+    #[test]
+    fn now_is_monotonic() {
+        let m = CoreMetrics::new(1);
+        let c = m.core(0);
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn parallel_writers_are_all_visible_after_join() {
+        let m = CoreMetrics::new(4);
+        wfbn_concurrent::run_on_threads(4, |t| {
+            let mut c = m.core(t);
+            for _ in 0..1000 {
+                c.add(Counter::RowsEncoded, 1);
+                c.add(Counter::LocalUpdates, 1);
+            }
+            c.stage_ns(Stage::Encode, t as u64);
+        });
+        let r = m.snapshot();
+        assert_eq!(r.total(Counter::LocalUpdates), 4000);
+        for t in 0..4 {
+            assert_eq!(r.cores[t].stage_ns[Stage::Encode as usize], t as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CoreMetrics::new(0);
+    }
+}

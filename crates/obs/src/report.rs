@@ -1,0 +1,410 @@
+//! Owned snapshots of a [`CoreMetrics`](crate::CoreMetrics) run: per-core
+//! reports, cross-core aggregation, conservation-invariant validation, and
+//! JSON serialization (hand-rolled — the workspace is offline and carries no
+//! serde).
+//!
+//! A [`MetricsReport`] is plain data: once snapshotted it can be merged with
+//! reports from other runs (bench repetitions), validated against the routing
+//! and queue conservation laws of the two-stage primitive, and rendered as a
+//! stable `wfbn-metrics-v1` JSON document for the `--metrics` flags.
+
+use crate::recorder::{
+    Counter, Stage, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS, PROBE_BUCKET_LABELS,
+};
+
+/// Identifier embedded in every emitted JSON document; bump on any
+/// key/shape change so downstream tooling can detect incompatibility.
+pub const SCHEMA: &str = "wfbn-metrics-v1";
+
+/// One core's telemetry, copied out of its [`CoreMetrics`](crate::CoreMetrics)
+/// slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoreReport {
+    /// Event counters, indexed by [`Counter`].
+    pub counters: [u64; NUM_COUNTERS],
+    /// Nanoseconds attributed to each [`Stage`].
+    pub stage_ns: [u64; NUM_STAGES],
+    /// Probe-length histogram; one unit of mass per table increment.
+    pub probe_hist: [u64; PROBE_BUCKETS],
+    /// High-water mark of foreign-queue backlog observed by this core.
+    pub queue_hwm: u64,
+}
+
+impl CoreReport {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Nanoseconds attributed to one stage.
+    pub fn stage(&self, s: Stage) -> u64 {
+        self.stage_ns[s as usize]
+    }
+
+    /// Total histogram mass (number of recorded table increments).
+    pub fn probe_mass(&self) -> u64 {
+        self.probe_hist.iter().sum()
+    }
+
+    fn merge_from(&mut self, other: &CoreReport) {
+        for i in 0..NUM_COUNTERS {
+            self.counters[i] += other.counters[i];
+        }
+        for i in 0..NUM_STAGES {
+            self.stage_ns[i] += other.stage_ns[i];
+        }
+        for i in 0..PROBE_BUCKETS {
+            self.probe_hist[i] += other.probe_hist[i];
+        }
+        self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
+    }
+}
+
+/// Aggregated telemetry for one run (or several merged runs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReport {
+    /// Per-core reports, index = core id.
+    pub cores: Vec<CoreReport>,
+}
+
+impl MetricsReport {
+    /// An all-zero report for `cores` cores (merge accumulator seed).
+    pub fn empty(cores: usize) -> Self {
+        MetricsReport {
+            cores: vec![CoreReport::default(); cores],
+        }
+    }
+
+    /// Sum of one counter across cores.
+    pub fn total(&self, c: Counter) -> u64 {
+        self.cores.iter().map(|r| r.counter(c)).sum()
+    }
+
+    /// Sum of one stage's nanoseconds across cores (total work in stage).
+    pub fn stage_total_ns(&self, s: Stage) -> u64 {
+        self.cores.iter().map(|r| r.stage(s)).sum()
+    }
+
+    /// Maximum of one stage's nanoseconds across cores — the stage's
+    /// critical-path contribution, since cores run the stage concurrently.
+    pub fn stage_max_ns(&self, s: Stage) -> u64 {
+        self.cores.iter().map(|r| r.stage(s)).max().unwrap_or(0)
+    }
+
+    /// Element-wise sum of every core's probe histogram.
+    pub fn probe_hist_total(&self) -> [u64; PROBE_BUCKETS] {
+        let mut out = [0u64; PROBE_BUCKETS];
+        for r in &self.cores {
+            for (acc, bucket) in out.iter_mut().zip(&r.probe_hist) {
+                *acc += bucket;
+            }
+        }
+        out
+    }
+
+    /// Total probe-histogram mass across cores (= recorded table increments).
+    pub fn probe_hist_mass(&self) -> u64 {
+        self.cores.iter().map(CoreReport::probe_mass).sum()
+    }
+
+    /// Largest queue high-water mark any core observed.
+    pub fn queue_hwm_max(&self) -> u64 {
+        self.cores.iter().map(|r| r.queue_hwm).max().unwrap_or(0)
+    }
+
+    /// Accumulates `other` into `self`, core by core: counters, stage times,
+    /// and histograms add; queue high-water marks take the max. Grows to the
+    /// larger core count if the reports disagree.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        if other.cores.len() > self.cores.len() {
+            self.cores.resize(other.cores.len(), CoreReport::default());
+        }
+        for (mine, theirs) in self.cores.iter_mut().zip(&other.cores) {
+            mine.merge_from(theirs);
+        }
+    }
+
+    /// Checks the conservation laws of the two-stage primitive and returns
+    /// the first violation found.
+    ///
+    /// * every core's `rows_encoded` must equal `local_updates + forwarded`
+    ///   (stage-1 routing conserves keys) — enforced whenever either side is
+    ///   non-zero;
+    /// * total `forwarded` must equal total `drained` (queues conserve keys);
+    /// * a single-core report must show no queue traffic at all
+    ///   (`forwarded`, `drained`, `segments_linked`, `queue_hwm` all zero);
+    /// * when no rebalance ran, probe-histogram mass must equal
+    ///   `local_updates + drained` (one histogram entry per table increment)
+    ///   — enforced when both sides are non-zero, so reports from partial
+    ///   instrumentation or direct recorder use stay valid.
+    pub fn validate(&self) -> Result<(), String> {
+        for (core, r) in self.cores.iter().enumerate() {
+            let rows = r.counter(Counter::RowsEncoded);
+            let routed = r.counter(Counter::LocalUpdates) + r.counter(Counter::Forwarded);
+            if (rows != 0 || routed != 0) && rows != routed {
+                return Err(format!(
+                    "core {core}: rows_encoded {rows} != local_updates + forwarded {routed}"
+                ));
+            }
+        }
+        let forwarded = self.total(Counter::Forwarded);
+        let drained = self.total(Counter::Drained);
+        if forwarded != drained {
+            return Err(format!(
+                "queue conservation: forwarded {forwarded} != drained {drained}"
+            ));
+        }
+        if self.cores.len() == 1 {
+            let r = &self.cores[0];
+            if forwarded != 0
+                || r.counter(Counter::SegmentsLinked) != 0
+                || r.queue_hwm != 0
+            {
+                return Err(format!(
+                    "single-core run shows queue traffic: forwarded {forwarded}, \
+                     segments_linked {}, queue_hwm {}",
+                    r.counter(Counter::SegmentsLinked),
+                    r.queue_hwm
+                ));
+            }
+        }
+        let mass = self.probe_hist_mass();
+        let increments = self.total(Counter::LocalUpdates) + drained;
+        if self.total(Counter::RebalanceMoves) == 0 && mass != 0 && increments != 0 && mass != increments
+        {
+            return Err(format!(
+                "probe-histogram mass {mass} != local_updates + drained {increments}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Full pretty-printed JSON document (top-level object, schema
+    /// [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        self.json_fragment(0)
+    }
+
+    /// The report as a pretty-printed JSON object whose nested lines are
+    /// indented `indent` spaces past the opening brace — lets the binaries
+    /// embed the report inside a larger hand-rolled document.
+    pub fn json_fragment(&self, indent: usize) -> String {
+        let p0 = " ".repeat(indent);
+        let p1 = " ".repeat(indent + 2);
+        let p2 = " ".repeat(indent + 4);
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("{p1}\"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("{p1}\"cores\": {},\n", self.cores.len()));
+
+        out.push_str(&format!("{p1}\"totals\": "));
+        out.push_str(&json_counters_obj(
+            &std::array::from_fn::<u64, NUM_COUNTERS, _>(|i| {
+                self.total(Counter::ALL[i])
+            }),
+            indent + 2,
+        ));
+        out.push_str(",\n");
+
+        out.push_str(&format!("{p1}\"stage_ns_total\": "));
+        out.push_str(&json_stages_obj(
+            &std::array::from_fn::<u64, NUM_STAGES, _>(|i| {
+                self.stage_total_ns(Stage::ALL[i])
+            }),
+            indent + 2,
+        ));
+        out.push_str(",\n");
+
+        out.push_str(&format!("{p1}\"stage_ns_max\": "));
+        out.push_str(&json_stages_obj(
+            &std::array::from_fn::<u64, NUM_STAGES, _>(|i| {
+                self.stage_max_ns(Stage::ALL[i])
+            }),
+            indent + 2,
+        ));
+        out.push_str(",\n");
+
+        out.push_str(&format!("{p1}\"queue_hwm_max\": {},\n", self.queue_hwm_max()));
+
+        out.push_str(&format!("{p1}\"probe_hist\": "));
+        out.push_str(&json_hist_obj(&self.probe_hist_total(), indent + 2));
+        out.push_str(",\n");
+
+        out.push_str(&format!("{p1}\"per_core\": [\n"));
+        for (i, r) in self.cores.iter().enumerate() {
+            out.push_str(&format!("{p2}{{\n"));
+            out.push_str(&format!("{p2}  \"core\": {i},\n"));
+            out.push_str(&format!("{p2}  \"counters\": "));
+            out.push_str(&json_counters_obj(&r.counters, indent + 6));
+            out.push_str(",\n");
+            out.push_str(&format!("{p2}  \"stage_ns\": "));
+            out.push_str(&json_stages_obj(&r.stage_ns, indent + 6));
+            out.push_str(",\n");
+            out.push_str(&format!("{p2}  \"queue_hwm\": {},\n", r.queue_hwm));
+            out.push_str(&format!("{p2}  \"probe_hist\": "));
+            out.push_str(&json_hist_obj(&r.probe_hist, indent + 6));
+            out.push('\n');
+            out.push_str(&format!(
+                "{p2}}}{}\n",
+                if i + 1 < self.cores.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("{p1}]\n"));
+        out.push_str(&format!("{p0}}}"));
+        out
+    }
+}
+
+fn json_counters_obj(values: &[u64; NUM_COUNTERS], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let body = Counter::ALL
+        .iter()
+        .zip(values)
+        .map(|(c, v)| format!("{pad}  \"{}\": {v}", c.name()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n{pad}}}")
+}
+
+fn json_stages_obj(values: &[u64; NUM_STAGES], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let body = Stage::ALL
+        .iter()
+        .zip(values)
+        .map(|(s, v)| format!("{pad}  \"{}\": {v}", s.name()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n{pad}}}")
+}
+
+fn json_hist_obj(values: &[u64; PROBE_BUCKETS], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let body = PROBE_BUCKET_LABELS
+        .iter()
+        .zip(values)
+        .map(|(label, v)| format!("{pad}  \"{label}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n{pad}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_like_report() -> MetricsReport {
+        // Shaped like a real P=2 build of m=10 rows: routing and queue
+        // conservation hold, one histogram entry per table increment.
+        let mut r = MetricsReport::empty(2);
+        r.cores[0].counters[Counter::RowsEncoded as usize] = 6;
+        r.cores[0].counters[Counter::LocalUpdates as usize] = 4;
+        r.cores[0].counters[Counter::Forwarded as usize] = 2;
+        r.cores[0].counters[Counter::Drained as usize] = 1;
+        r.cores[0].probe_hist[0] = 5;
+        r.cores[1].counters[Counter::RowsEncoded as usize] = 4;
+        r.cores[1].counters[Counter::LocalUpdates as usize] = 3;
+        r.cores[1].counters[Counter::Forwarded as usize] = 1;
+        r.cores[1].counters[Counter::Drained as usize] = 2;
+        r.cores[1].probe_hist[1] = 5;
+        r.cores[1].queue_hwm = 2;
+        r
+    }
+
+    #[test]
+    fn totals_and_maxima_aggregate_across_cores() {
+        let mut r = build_like_report();
+        r.cores[0].stage_ns[Stage::Encode as usize] = 100;
+        r.cores[1].stage_ns[Stage::Encode as usize] = 250;
+        assert_eq!(r.total(Counter::RowsEncoded), 10);
+        assert_eq!(r.stage_total_ns(Stage::Encode), 350);
+        assert_eq!(r.stage_max_ns(Stage::Encode), 250);
+        assert_eq!(r.queue_hwm_max(), 2);
+        assert_eq!(r.probe_hist_mass(), 10);
+    }
+
+    #[test]
+    fn well_formed_report_validates() {
+        build_like_report().validate().expect("conservation holds");
+    }
+
+    #[test]
+    fn routing_violation_is_reported() {
+        let mut r = build_like_report();
+        r.cores[0].counters[Counter::Forwarded as usize] = 3;
+        let err = r.validate().expect_err("rows != local + forwarded");
+        assert!(err.contains("core 0"), "{err}");
+    }
+
+    #[test]
+    fn queue_conservation_violation_is_reported() {
+        let mut r = build_like_report();
+        r.cores[1].counters[Counter::Drained as usize] = 99;
+        let err = r.validate().expect_err("forwarded != drained");
+        assert!(err.contains("queue conservation"), "{err}");
+    }
+
+    #[test]
+    fn single_core_queue_traffic_is_reported() {
+        let mut r = MetricsReport::empty(1);
+        r.cores[0].queue_hwm = 1;
+        let err = r.validate().expect_err("P=1 cannot see queue traffic");
+        assert!(err.contains("single-core"), "{err}");
+    }
+
+    #[test]
+    fn histogram_mass_mismatch_is_reported() {
+        let mut r = build_like_report();
+        r.cores[0].probe_hist[0] = 4;
+        let err = r.validate().expect_err("mass != increments");
+        assert!(err.contains("probe-histogram mass"), "{err}");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_hwm() {
+        let mut a = build_like_report();
+        let b = build_like_report();
+        a.merge(&b);
+        assert_eq!(a.total(Counter::RowsEncoded), 20);
+        assert_eq!(a.probe_hist_mass(), 20);
+        assert_eq!(a.queue_hwm_max(), 2);
+        a.validate().expect("merged report still conserves");
+    }
+
+    #[test]
+    fn merge_grows_to_larger_core_count() {
+        let mut a = MetricsReport::empty(1);
+        let b = build_like_report();
+        a.merge(&b);
+        assert_eq!(a.cores.len(), 2);
+        assert_eq!(a.total(Counter::RowsEncoded), 10);
+    }
+
+    #[test]
+    fn json_contains_schema_and_all_keys() {
+        let json = build_like_report().to_json();
+        assert!(json.contains("\"schema\": \"wfbn-metrics-v1\""));
+        assert!(json.contains("\"cores\": 2"));
+        for c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c.name());
+        }
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s.name());
+        }
+        assert!(json.contains("\"per_core\""));
+        assert!(json.contains("\"queue_hwm_max\""));
+        assert!(json.contains("\">32\""));
+        // Balanced braces/brackets — cheap structural sanity for the
+        // hand-rolled emitter.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_serializes() {
+        let r = MetricsReport::empty(4);
+        r.validate().expect("all-zero report is conservative");
+        assert!(r.to_json().contains("\"cores\": 4"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Model-checked interleaving tests for the metrics merge path (run with
+//! `--features loom`).
+//!
+//! The contract under test: each worker core writes only its own
+//! cache-padded slot during a run, and `snapshot()` is called by the
+//! orchestrator only *after* the workers are quiescent (joined, or past the
+//! stage-2 barrier). Under that discipline every Relaxed counter write must
+//! be visible to the snapshot in every schedule the model explores — the
+//! happens-before edge comes from the join/barrier, not from the counter
+//! stores themselves.
+#![cfg(feature = "loom")]
+
+use loom::sync::Arc;
+use wfbn_obs::{CoreMetrics, CoreRecorder, Counter, Recorder, Stage};
+
+/// The explorer silently degrades to a single std-thread execution if the
+/// code under test never hits a modeled scheduling point; every test calls
+/// this to prove the schedules were genuinely enumerated.
+fn assert_explored() {
+    assert!(
+        loom::explored_interleavings() >= 2,
+        "model explored only {} schedule(s); the code under test bypassed the shim",
+        loom::explored_interleavings()
+    );
+}
+
+#[test]
+fn snapshot_after_join_sees_every_relaxed_write() {
+    loom::model(|| {
+        let rec = Arc::new(CoreMetrics::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                loom::thread::spawn(move || {
+                    let mut cr = rec.core(t);
+                    // A balanced mini-build ledger: rows = local + forwarded
+                    // on each core, and the two cores' forwards drain each
+                    // other, so the strict validator stays satisfied.
+                    cr.add(Counter::RowsEncoded, 4);
+                    cr.add(Counter::LocalUpdates, 3);
+                    cr.add(Counter::Forwarded, 1);
+                    cr.add(Counter::Drained, 1);
+                    cr.stage_ns(Stage::Encode, 10);
+                    cr.probe_len(1);
+                    cr.probe_len(2);
+                    cr.probe_len(1);
+                    cr.probe_len(5);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = rec.snapshot();
+        assert_eq!(report.total(Counter::RowsEncoded), 8);
+        assert_eq!(report.total(Counter::LocalUpdates), 6);
+        assert_eq!(report.total(Counter::Forwarded), 2);
+        assert_eq!(report.total(Counter::Drained), 2);
+        assert_eq!(report.stage_total_ns(Stage::Encode), 20);
+        assert_eq!(report.probe_hist_mass(), 8);
+        report.validate().expect("balanced ledger");
+    });
+    assert_explored();
+}
+
+#[test]
+fn snapshot_after_stage2_barrier_sees_both_stages() {
+    // Models the end of a real build: both workers write stage-1 counters,
+    // meet at the inter-stage barrier, write stage-2 counters, meet again,
+    // and only then does core 0's thread take the snapshot. The barrier's
+    // Acquire/Release pair is the only synchronization; the counters are all
+    // Relaxed single-writer words.
+    loom::model(|| {
+        let rec = Arc::new(CoreMetrics::new(2));
+        let barrier = Arc::new(wfbn_concurrent::SpinBarrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                let barrier = Arc::clone(&barrier);
+                loom::thread::spawn(move || {
+                    let mut cr = rec.core(t);
+                    cr.add(Counter::RowsEncoded, 2);
+                    cr.add(Counter::LocalUpdates, 1);
+                    cr.add(Counter::Forwarded, 1);
+                    barrier.wait();
+                    cr.add(Counter::Drained, 1);
+                    cr.stage_ns(Stage::Drain, 7);
+                    barrier.wait();
+                    if t == 0 {
+                        let report = rec.snapshot();
+                        assert_eq!(report.total(Counter::RowsEncoded), 4);
+                        assert_eq!(report.total(Counter::Drained), 2);
+                        assert_eq!(report.stage_total_ns(Stage::Drain), 14);
+                        report.validate().expect("balanced two-stage ledger");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert_explored();
+}
+
+#[test]
+fn queue_hwm_keeps_the_maximum_across_schedules() {
+    loom::model(|| {
+        let rec = Arc::new(CoreMetrics::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                loom::thread::spawn(move || {
+                    let mut cr = rec.core(t);
+                    cr.queue_depth(3);
+                    cr.queue_depth(7 + t as u64);
+                    cr.queue_depth(1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Each slot's high-water mark is the max of its own samples; the
+        // report-wide maximum is core 1's 8 in every schedule.
+        let report = rec.snapshot();
+        assert_eq!(report.queue_hwm_max(), 8);
+        assert_eq!(report.cores[0].queue_hwm, 7);
+    });
+    assert_explored();
+}

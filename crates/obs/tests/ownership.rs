@@ -1,0 +1,87 @@
+//! Ownership-audit integration for the metrics words (run with
+//! `--features ownership-audit`).
+//!
+//! Under the audit feature every `CoreMetrics` store reports itself to the
+//! shadow map in `wfbn_concurrent::audit`, exactly like table slots and
+//! queue words do. These tests prove both directions of the contract: the
+//! intended discipline (core `t` writes only slot `t`) records cleanly
+//! across both stages, and a violation (two entered cores writing one slot
+//! in one stage) panics deterministically with the auditor's message.
+#![cfg(feature = "ownership-audit")]
+
+use wfbn_concurrent::audit::{self, BuildAudit};
+use wfbn_obs::{CoreMetrics, CoreRecorder, Counter, Recorder, Stage};
+
+#[test]
+fn per_core_handles_stay_single_writer_across_both_stages() {
+    let rec = CoreMetrics::new(4);
+    let auditor = BuildAudit::new();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let rec = &rec;
+            let auditor = auditor.clone();
+            s.spawn(move || {
+                let _guard = audit::enter(&auditor, t);
+                let mut cr = rec.core(t);
+                // Stage 1: encode-side counters (one local increment, one
+                // forwarded key, one probe sample for the increment).
+                cr.add(Counter::RowsEncoded, 2);
+                cr.add(Counter::LocalUpdates, 1);
+                cr.add(Counter::Forwarded, 1);
+                cr.probe_len(1);
+                cr.stage_ns(Stage::Encode, 5);
+                // Stage 2: the same words may be written again by the same
+                // core — only a *different* writer is a violation.
+                audit::set_stage(2);
+                cr.add(Counter::Drained, 1);
+                cr.probe_len(2);
+                cr.stage_ns(Stage::Drain, 3);
+            });
+        }
+    });
+    assert!(
+        auditor.words_recorded() > 0,
+        "metrics stores must be visible to the auditor"
+    );
+    let report = rec.snapshot();
+    assert_eq!(report.total(Counter::RowsEncoded), 8);
+    report.validate().expect("balanced ledger");
+}
+
+#[test]
+fn two_cores_writing_one_slot_is_reported() {
+    let rec = CoreMetrics::new(2);
+    let auditor = BuildAudit::new();
+    let caught = std::thread::scope(|s| {
+        let first = {
+            let rec = &rec;
+            let auditor = auditor.clone();
+            s.spawn(move || {
+                let _guard = audit::enter(&auditor, 0);
+                rec.core(0).add(Counter::RowsEncoded, 1);
+            })
+        };
+        first.join().expect("legitimate write must not panic");
+        let second = {
+            let rec = &rec;
+            let auditor = auditor.clone();
+            s.spawn(move || {
+                let _guard = audit::enter(&auditor, 1);
+                // Core 1 grabbing core 0's handle: the exact bug the
+                // Recorder docs forbid. Same word, same stage, new writer.
+                rec.core(0).add(Counter::RowsEncoded, 1);
+            })
+        };
+        second.join()
+    });
+    let payload = caught.expect_err("auditor must catch the cross-core write");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("single-writer violation"),
+        "unexpected panic message: {message}"
+    );
+}

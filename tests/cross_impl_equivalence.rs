@@ -4,7 +4,9 @@
 //! input, across workloads and thread counts.
 
 use wfbn_baselines::{all_builders, AtomicArrayBuilder, TableBuilder};
-use wfbn_core::construct::sequential_build;
+use wfbn_core::allpairs::{all_pairs_mi, all_pairs_mi_fused_recorded, all_pairs_mi_recorded};
+use wfbn_core::construct::{sequential_build, sequential_build_recorded, waitfree_build_recorded};
+use wfbn_core::CoreMetrics;
 use wfbn_data::{CorrelatedChain, Dataset, Generator, Schema, UniformIndependent, ZipfIndependent};
 
 fn workloads() -> Vec<(&'static str, Dataset)> {
@@ -80,6 +82,60 @@ fn dense_atomic_counts_match_hash_counts_exactly_under_contention() {
     let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
     let dense = AtomicArrayBuilder::default().build(&data, 8).unwrap();
     assert_eq!(dense.to_sorted_vec(), reference);
+}
+
+#[test]
+fn instrumented_builders_agree_with_the_uninstrumented_reference() {
+    // Recording metrics must never change what gets built: the wait-free,
+    // striped, and sequential construction paths produce the identical
+    // (key, count) multiset whether they run bare or under `CoreMetrics`.
+    for (name, data) in workloads() {
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        let seq_rec = CoreMetrics::new(1);
+        let seq = sequential_build_recorded(&data, &seq_rec).unwrap();
+        assert_eq!(seq.table.to_sorted_vec(), reference, "sequential on {name}");
+        for threads in [1usize, 2, 4, 7] {
+            let rec = CoreMetrics::new(threads);
+            let wf = waitfree_build_recorded(&data, threads, &rec).unwrap();
+            assert_eq!(
+                wf.table.to_sorted_vec(),
+                reference,
+                "instrumented wait-free disagrees on {name} with {threads} threads"
+            );
+            // The striped baseline has no recorder hooks; pin it against the
+            // instrumented build so all three implementations stay in lock
+            // step under the same workloads.
+            let striped = wfbn_baselines::striped::StripedLockBuilder::default()
+                .build(&data, threads)
+                .unwrap();
+            assert_eq!(
+                striped.to_sorted_vec(),
+                wf.table.to_sorted_vec(),
+                "striped vs instrumented wait-free on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn instrumented_mi_schedules_agree_within_1e_12() {
+    let schema = Schema::new(vec![2, 3, 2, 4, 2, 3]).unwrap();
+    let data = CorrelatedChain::new(schema, 0.6).unwrap().generate(8_000, 21);
+    let table = wfbn_core::construct::waitfree_build(&data, 3).unwrap().table;
+    let bare = all_pairs_mi(&table, 1);
+    for threads in [1usize, 2, 4] {
+        let rec = CoreMetrics::new(threads);
+        let pairwise = all_pairs_mi_recorded(&table, threads, &rec);
+        let fused = all_pairs_mi_fused_recorded(&table, threads, &rec);
+        assert!(
+            bare.max_abs_diff(&pairwise) < 1e-12,
+            "pair-parallel drifted under CoreMetrics at {threads} threads"
+        );
+        assert!(
+            bare.max_abs_diff(&fused) < 1e-12,
+            "fused drifted under CoreMetrics at {threads} threads"
+        );
+    }
 }
 
 #[test]

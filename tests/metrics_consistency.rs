@@ -1,0 +1,236 @@
+//! End-to-end consistency of the observability layer: every counter the
+//! instrumented hot paths emit must balance against ground truth the
+//! algorithms already guarantee — per-core row counts partition `m`, routed
+//! keys are conserved across the stage-2 barrier, single-core runs never
+//! touch a queue, and the no-op recorder changes nothing about the output.
+//!
+//! Built with `--features wfbn-core/metrics`, every `snapshot()` call in
+//! here additionally re-validates the same invariants inside the library
+//! (and panics on violation), so this suite doubles as the strict-mode CI
+//! gate.
+
+use wfbn_core::construct::{sequential_build_recorded, waitfree_build, waitfree_build_recorded};
+use wfbn_core::marginal::marginalize_recorded;
+use wfbn_core::obs::{Counter, Stage, PROBE_BUCKETS};
+use wfbn_core::pipeline::pipelined_build_recorded;
+use wfbn_core::rebalance::rebalance_recorded;
+use wfbn_core::stream::StreamingBuilder;
+use wfbn_core::wide::waitfree_build_wide_recorded;
+use wfbn_core::{CoreMetrics, MetricsReport, NoopRecorder};
+use wfbn_data::{Dataset, Generator, Schema, UniformIndependent, ZipfIndependent};
+
+fn workload(n: usize, m: usize, seed: u64) -> Dataset {
+    UniformIndependent::new(Schema::uniform(n, 2).unwrap()).generate(m, seed)
+}
+
+/// The conservation laws every build-shaped report must satisfy.
+fn assert_build_conservation(report: &MetricsReport, m: u64, label: &str) {
+    let rows: u64 = report
+        .cores
+        .iter()
+        .map(|c| c.counter(Counter::RowsEncoded))
+        .sum();
+    assert_eq!(rows, m, "{label}: per-core row counts must sum to m");
+    assert_eq!(
+        report.total(Counter::LocalUpdates) + report.total(Counter::Forwarded),
+        m,
+        "{label}: every encoded key is either applied locally or forwarded"
+    );
+    assert_eq!(
+        report.total(Counter::Forwarded),
+        report.total(Counter::Drained),
+        "{label}: every forwarded key must be drained exactly once"
+    );
+    // Each core's own ledger must balance too, not just the totals.
+    for (i, core) in report.cores.iter().enumerate() {
+        assert_eq!(
+            core.counter(Counter::RowsEncoded),
+            core.counter(Counter::LocalUpdates) + core.counter(Counter::Forwarded),
+            "{label}: core {i} ledger"
+        );
+    }
+    report.validate().expect("report passes its own validator");
+}
+
+#[test]
+fn waitfree_row_counts_partition_m_at_every_thread_count() {
+    let m = 6_000;
+    let data = workload(14, m, 11);
+    for p in [1usize, 2, 3, 4, 7] {
+        let rec = CoreMetrics::new(p);
+        let built = waitfree_build_recorded(&data, p, &rec).unwrap();
+        assert_eq!(built.table.total_count(), m as u64);
+        let report = rec.snapshot();
+        assert_eq!(report.cores.len(), p);
+        assert_build_conservation(&report, m as u64, &format!("waitfree p={p}"));
+    }
+}
+
+#[test]
+fn routed_plus_local_equals_table_inserts() {
+    let m = 5_000;
+    let data = workload(12, m, 17);
+    let rec = CoreMetrics::new(4);
+    let built = waitfree_build_recorded(&data, 4, &rec).unwrap();
+    let report = rec.snapshot();
+    // local + drained is exactly the number of table increments, which must
+    // equal both the total count and the paper's m.
+    assert_eq!(
+        report.total(Counter::LocalUpdates) + report.total(Counter::Drained),
+        built.table.total_count()
+    );
+    // The probe histogram records one sample per increment.
+    assert_eq!(
+        report.probe_hist_mass(),
+        report.total(Counter::LocalUpdates) + report.total(Counter::Drained)
+    );
+}
+
+#[test]
+fn single_core_runs_never_touch_a_queue() {
+    let data = workload(10, 2_000, 5);
+    let rec = CoreMetrics::new(1);
+    waitfree_build_recorded(&data, 1, &rec).unwrap();
+    let report = rec.snapshot();
+    assert_eq!(report.total(Counter::Forwarded), 0);
+    assert_eq!(report.total(Counter::Drained), 0);
+    assert_eq!(report.total(Counter::SegmentsLinked), 0);
+    assert_eq!(report.queue_hwm_max(), 0, "P=1 must see an empty queue HWM");
+    assert_eq!(report.stage_total_ns(Stage::Barrier), 0);
+}
+
+#[test]
+fn noop_recorder_build_is_identical_to_the_uninstrumented_path() {
+    let data = workload(16, 8_000, 23);
+    for p in [1usize, 2, 4] {
+        let plain = waitfree_build(&data, p).unwrap();
+        let noop = waitfree_build_recorded(&data, p, &NoopRecorder).unwrap();
+        let metered = {
+            let rec = CoreMetrics::new(p);
+            waitfree_build_recorded(&data, p, &rec).unwrap()
+        };
+        assert_eq!(plain.table.to_sorted_vec(), noop.table.to_sorted_vec());
+        assert_eq!(plain.table.to_sorted_vec(), metered.table.to_sorted_vec());
+        assert_eq!(plain.stats.total_rows(), noop.stats.total_rows());
+        assert_eq!(plain.stats.total_forwarded(), noop.stats.total_forwarded());
+    }
+}
+
+#[test]
+fn sequential_and_pipelined_builders_balance_too() {
+    let m = 4_000;
+    let data = workload(12, m, 31);
+    let rec = CoreMetrics::new(1);
+    sequential_build_recorded(&data, &rec).unwrap();
+    let report = rec.snapshot();
+    assert_build_conservation(&report, m as u64, "sequential");
+    assert_eq!(report.total(Counter::LocalUpdates), m as u64);
+
+    for p in [2usize, 4] {
+        let rec = CoreMetrics::new(p);
+        pipelined_build_recorded(&data, p, &rec).unwrap();
+        assert_build_conservation(&rec.snapshot(), m as u64, &format!("pipelined p={p}"));
+    }
+}
+
+#[test]
+fn streaming_batches_accumulate_into_one_balanced_report() {
+    let schema = Schema::uniform(12, 2).unwrap();
+    let batches: Vec<Dataset> = (0..3)
+        .map(|seed| UniformIndependent::new(schema.clone()).generate(1_500, seed))
+        .collect();
+    let rec = CoreMetrics::new(3);
+    let mut builder = StreamingBuilder::new(&schema, 3).unwrap();
+    for batch in &batches {
+        builder.absorb_recorded(batch, &rec).unwrap();
+    }
+    assert_eq!(builder.rows_absorbed(), 4_500);
+    assert_build_conservation(&rec.snapshot(), 4_500, "streaming");
+}
+
+#[test]
+fn wide_build_reports_match_the_narrow_invariants() {
+    let n = 80;
+    let m = 2_000;
+    let mut states = Vec::with_capacity(n * m);
+    let mut x = 0x5851_f42du64;
+    for _ in 0..(n * m) {
+        x = wfbn_concurrent::mix64(x);
+        states.push((x & 1) as u16);
+    }
+    let arities = vec![2u16; n];
+    for p in [1usize, 4] {
+        let rec = CoreMetrics::new(p);
+        let table = waitfree_build_wide_recorded(&states, &arities, p, &rec).unwrap();
+        assert_eq!(table.total_count(), m as u64);
+        assert_build_conservation(&rec.snapshot(), m as u64, &format!("wide p={p}"));
+    }
+}
+
+#[test]
+fn marginalization_scans_every_entry_exactly_once() {
+    let data = workload(12, 5_000, 41);
+    let table = waitfree_build(&data, 4).unwrap().table;
+    let entries = table.num_entries() as u64;
+    for threads in [1usize, 2, 4] {
+        let rec = CoreMetrics::new(threads.max(1));
+        marginalize_recorded(&table, &[0, 5], threads, &rec).unwrap();
+        let report = rec.snapshot();
+        assert_eq!(
+            report.total(Counter::EntriesScanned),
+            entries,
+            "threads={threads}"
+        );
+        assert!(report.stage_total_ns(Stage::Marginal) > 0);
+    }
+}
+
+#[test]
+fn rebalance_moves_are_counted_and_disable_the_probe_balance_rule() {
+    // Range partitioning of Zipf keys piles everything onto core 0; the
+    // rebalance pass must report how many entries it relocated.
+    let schema = Schema::uniform(12, 2).unwrap();
+    let data = ZipfIndependent::new(schema.clone(), 2.0)
+        .unwrap()
+        .generate(4_000, 7);
+    let part = wfbn_core::partition::KeyPartitioner::range(4, schema.state_space_size());
+    let rec = CoreMetrics::new(4);
+    let built = wfbn_core::construct::waitfree_build_with_recorded(&data, part, &rec).unwrap();
+    let before = built.table.to_sorted_vec();
+    let balanced = rebalance_recorded(built.table, &rec);
+    assert_eq!(balanced.to_sorted_vec(), before);
+    let report = rec.snapshot();
+    assert!(
+        report.total(Counter::RebalanceMoves) > 0,
+        "skewed build must move entries"
+    );
+    report.validate().expect("still valid with moves recorded");
+}
+
+#[test]
+fn probe_histogram_buckets_cover_all_mass() {
+    let data = workload(16, 10_000, 3);
+    let rec = CoreMetrics::new(4);
+    waitfree_build_recorded(&data, 4, &rec).unwrap();
+    let report = rec.snapshot();
+    let hist = report.probe_hist_total();
+    assert_eq!(hist.len(), PROBE_BUCKETS);
+    assert_eq!(hist.iter().sum::<u64>(), report.probe_hist_mass());
+    assert!(hist[0] > 0, "some increments must hit on the first probe");
+    // Probes counter dominates the mass: every increment needs ≥ 1 probe.
+    assert!(report.total(Counter::Probes) >= report.probe_hist_mass());
+}
+
+#[test]
+fn merged_reports_add_up() {
+    let data = workload(12, 3_000, 13);
+    let rec_a = CoreMetrics::new(2);
+    let rec_b = CoreMetrics::new(2);
+    waitfree_build_recorded(&data, 2, &rec_a).unwrap();
+    waitfree_build_recorded(&data, 2, &rec_b).unwrap();
+    let a = rec_a.snapshot();
+    let mut merged = a.clone();
+    merged.merge(&rec_b.snapshot());
+    assert_eq!(merged.total(Counter::RowsEncoded), 6_000);
+    assert_build_conservation(&merged, 6_000, "merged");
+}

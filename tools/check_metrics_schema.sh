@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Validates a `wfbn-metrics-v1` JSON report — the file `repro --metrics`
+# writes to results/metrics.json (the same document the figure binaries and
+# `wfbn build/mi --metrics` print). Checks the schema tag, every top-level
+# section, every stage key, every counter key, and one conservation law the
+# paper guarantees: the per-core `rows_encoded` entries must sum to the
+# totals' value (each of the m rows is encoded by exactly one core).
+# Dependency-free (grep/awk) so CI can run it against a fresh artifact
+# without a JSON parser.
+#
+# Usage: tools/check_metrics_schema.sh [FILE]   (default results/metrics.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+file=${1:-results/metrics.json}
+if [[ ! -f $file ]]; then
+    echo "check_metrics_schema: $file not found" >&2
+    echo "generate it with: cargo run -p wfbn-bench --release --bin repro -- --metrics" >&2
+    exit 1
+fi
+
+fail=0
+need() {
+    if ! grep -qF "$1" "$file"; then
+        echo "check_metrics_schema: missing $2 '$1' in $file"
+        fail=1
+    fi
+}
+
+need '"schema": "wfbn-metrics-v1"' "schema tag"
+for section in '"cores":' '"totals":' '"stage_ns_total":' '"stage_ns_max":' \
+               '"queue_hwm_max":' '"probe_hist":' '"per_core":'; do
+    need "$section" "section"
+done
+for stage in stage1_encode_route barrier_wait stage2_drain marginalize; do
+    need "\"$stage\":" "stage key"
+done
+for counter in rows_encoded local_updates forwarded drained probes table_grows \
+               segments_linked pairs_scanned entries_scanned rebalance_moves; do
+    need "\"$counter\":" "counter key"
+done
+
+# Conservation spot-check without a JSON parser: the first `rows_encoded`
+# in the document is the totals section, the rest are the per-core array.
+awk '
+    /"rows_encoded":/ {
+        value = $2
+        gsub(/[^0-9]/, "", value)
+        if (total == "") { total = value + 0 } else { sum += value; cores++ }
+    }
+    END {
+        if (cores == 0) {
+            print "check_metrics_schema: no per-core rows_encoded entries"
+            exit 1
+        }
+        if (sum != total) {
+            printf "check_metrics_schema: per-core rows_encoded sum %d != total %d\n", sum, total
+            exit 1
+        }
+    }
+' "$file" || fail=1
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "check_metrics_schema: OK ($file)"
