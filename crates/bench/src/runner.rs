@@ -4,12 +4,16 @@ use crate::series::Series;
 use std::time::Instant;
 use wfbn_baselines::striped::StripedLockBuilder;
 use wfbn_core::allpairs::all_pairs_mi_recorded;
-use wfbn_core::construct::{waitfree_build, waitfree_build_recorded};
+use wfbn_core::construct::{
+    waitfree_build, waitfree_build_batched, waitfree_build_batched_recorded,
+    waitfree_build_recorded,
+};
 use wfbn_core::obs::{Counter, Stage};
 use wfbn_core::{CoreMetrics, MetricsReport};
 use wfbn_data::{Dataset, Generator, Schema, UniformIndependent};
 use wfbn_pram::{
-    simulate_all_pairs_mi, simulate_striped_build, simulate_waitfree_build, CostModel,
+    simulate_all_pairs_mi, simulate_striped_build, simulate_waitfree_build,
+    simulate_waitfree_build_batched, CostModel,
 };
 
 /// Measurement mode.
@@ -67,6 +71,19 @@ pub fn sim_waitfree_series(data: &Dataset, cores: &[usize], label: &str) -> Seri
     s
 }
 
+/// Simulated table-construction series (wait-free, batched hot paths) over
+/// `cores`.
+pub fn sim_waitfree_batched_series(data: &Dataset, cores: &[usize], label: &str) -> Series {
+    let model = CostModel::default();
+    let mut s = Series::new(format!("{label} wait-free batched (sim)"));
+    for &p in cores {
+        let (pt, _) = simulate_waitfree_build_batched(data, p, &model);
+        s.points
+            .push((p, model.cycles_to_seconds(pt.elapsed_cycles)));
+    }
+    s
+}
+
 /// Simulated table-construction series (TBB-analog striped lock).
 pub fn sim_striped_series(data: &Dataset, cores: &[usize], label: &str) -> Series {
     let model = CostModel::default();
@@ -99,6 +116,24 @@ pub fn wall_waitfree_series(data: &Dataset, cores: &[usize], label: &str, reps: 
     for &p in cores {
         let secs = wall_time_median(reps, || {
             let built = waitfree_build(data, p).expect("non-empty data");
+            std::hint::black_box(built.table.num_entries());
+        });
+        s.points.push((p, secs));
+    }
+    s
+}
+
+/// Wall-clock table-construction series (wait-free, batched hot paths).
+pub fn wall_waitfree_batched_series(
+    data: &Dataset,
+    cores: &[usize],
+    label: &str,
+    reps: usize,
+) -> Series {
+    let mut s = Series::new(format!("{label} wait-free batched (wall)"));
+    for &p in cores {
+        let secs = wall_time_median(reps, || {
+            let built = waitfree_build_batched(data, p).expect("non-empty data");
             std::hint::black_box(built.table.num_entries());
         });
         s.points.push((p, secs));
@@ -146,6 +181,15 @@ pub fn metrics_waitfree_report(data: &Dataset, p: usize) -> MetricsReport {
     rec.snapshot()
 }
 
+/// [`metrics_waitfree_report`] for the batched builder: the report includes
+/// the v2 batching counters (`blocks_flushed`, `keys_coalesced`).
+pub fn metrics_waitfree_batched_report(data: &Dataset, p: usize) -> MetricsReport {
+    let rec = CoreMetrics::new(p);
+    let built = waitfree_build_batched_recorded(data, p, &rec).expect("non-empty data");
+    std::hint::black_box(built.table.num_entries());
+    rec.snapshot()
+}
+
 /// Runs one instrumented wait-free build followed by instrumented all-pairs
 /// MI on `p` real threads; the returned report covers both phases (the MI
 /// scan shows up under the `marginalize` stage and the `pairs_scanned` /
@@ -182,6 +226,13 @@ pub fn format_stage_breakdown(report: &MetricsReport) -> String {
         report.total(Counter::Drained),
         report.queue_hwm_max(),
     ));
+    let blocks = report.total(Counter::BlocksFlushed);
+    let coalesced = report.total(Counter::KeysCoalesced);
+    if blocks > 0 || coalesced > 0 {
+        out.push_str(&format!(
+            "- batching: {blocks} blocks flushed, {coalesced} keys coalesced\n"
+        ));
+    }
     out
 }
 
@@ -225,6 +276,7 @@ mod tests {
         let cores = [1usize, 2, 4];
         for s in [
             sim_waitfree_series(&data, &cores, "t"),
+            sim_waitfree_batched_series(&data, &cores, "t"),
             sim_striped_series(&data, &cores, "t"),
             sim_allpairs_series(&data, &cores, "t"),
         ] {
@@ -257,10 +309,25 @@ mod tests {
         let cores = [1usize, 2];
         for s in [
             wall_waitfree_series(&data, &cores, "t", 1),
+            wall_waitfree_batched_series(&data, &cores, "t", 1),
             wall_striped_series(&data, &cores, "t", 1),
             wall_allpairs_series(&data, &cores, "t", 1),
         ] {
             assert_eq!(s.points.len(), 2);
         }
+    }
+
+    #[test]
+    fn batched_metrics_report_carries_v2_counters() {
+        let data = uniform_workload(8, 2_000, 5);
+        let report = metrics_waitfree_batched_report(&data, 4);
+        assert_eq!(report.total(Counter::RowsEncoded), 2_000);
+        assert_eq!(
+            report.total(Counter::Forwarded),
+            report.total(Counter::Drained)
+        );
+        assert!(report.total(Counter::BlocksFlushed) > 0);
+        let text = format_stage_breakdown(&report);
+        assert!(text.contains("blocks flushed"), "{text}");
     }
 }

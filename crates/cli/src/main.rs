@@ -55,7 +55,7 @@ Subcommands:
          --net NAME | --uniform N,R | --chain N,RHO | --zipf N,S
          --samples M [--seed S] [--out FILE]
   build  build the potential table from CSV and print statistics
-         --in FILE [--threads P] [--metrics]
+         --in FILE [--threads P] [--metrics] [--batched]
   mi     all-pairs mutual information screening
          --in FILE [--threads P] [--top K] [--bits] [--metrics]
   learn  structure learning

@@ -225,6 +225,55 @@ impl<T> Producer<T> {
     }
 }
 
+impl<T: Copy> Producer<T> {
+    /// Appends every element of `block` in order, amortizing the release
+    /// store of the segment's committed length to **once per segment chunk**
+    /// instead of once per element (the write-combining fast path of the
+    /// batched builders).
+    ///
+    /// Equivalent to `for &v in block { self.push(v) }` — same FIFO order,
+    /// same segment-linking protocol, same wait-freedom (the number of steps
+    /// is bounded by `block.len()` plus the number of segments crossed,
+    /// independent of the consumer). Restricted to `T: Copy` so a caller's
+    /// write-combining buffer can be re-flushed from a slice without moves.
+    pub fn push_block(&mut self, block: &[T]) {
+        let mut rest = block;
+        while !rest.is_empty() {
+            if self.idx == SEG_CAP {
+                let next = Segment::boxed();
+                // SAFETY: self.tail is a live segment owned (for writing) by us.
+                let tail = unsafe { self.tail.as_ref() };
+                // Release: the consumer's Acquire load of `next` must see the
+                // new segment fully initialized.
+                tail.next.store(next.as_ptr(), Ordering::Release);
+                self.tail = next;
+                self.idx = 0;
+                self.segments_linked += 1;
+            }
+            let take = rest.len().min(SEG_CAP - self.idx);
+            // SAFETY: slots at and above `idx` have never been published, so
+            // the consumer does not read them; we are the only writer. The
+            // single Release store of `len` after the chunk publishes every
+            // slot write before it (same pairing as the scalar `push`).
+            unsafe {
+                let tail = self.tail.as_ref();
+                for (offset, &value) in rest[..take].iter().enumerate() {
+                    (*tail.slots[self.idx + offset].get()).write(value);
+                }
+                #[cfg(feature = "ownership-audit")]
+                crate::audit::record_write(
+                    tail.slots[self.idx].get().cast::<u8>(),
+                    take * core::mem::size_of::<T>(),
+                );
+                tail.len.store(self.idx + take, Ordering::Release);
+            }
+            self.idx += take;
+            self.pushed += take as u64;
+            rest = &rest[take..];
+        }
+    }
+}
+
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
         // Release: a consumer that observes `closed` also observes every push.
@@ -259,6 +308,63 @@ impl<T> Consumer<T> {
             // Segment exhausted: move to the next one if it exists.
             let next = head.next.load(Ordering::Acquire);
             let next = NonNull::new(next)?;
+            let old = self.head;
+            self.head = next;
+            self.idx = 0;
+            self.shared.head.store(next.as_ptr(), Ordering::Relaxed);
+            // The segment's slots go back to the allocator; a later
+            // allocation owned by any core may legitimately reuse them.
+            #[cfg(feature = "ownership-audit")]
+            crate::audit::retire_range(
+                old.as_ptr().cast::<u8>(),
+                core::mem::size_of::<Segment<T>>(),
+            );
+            // SAFETY: every slot of `old` was consumed, the producer moved on
+            // when it linked `next`, and no other thread can reach `old`
+            // (shared.head now points past it).
+            drop(unsafe { Box::from_raw(old.as_ptr()) });
+        }
+    }
+
+    /// Moves every element that is currently visible into `out` (appending,
+    /// FIFO order) and returns how many were taken.
+    ///
+    /// The batched counterpart of a `try_pop` drain loop: the committed
+    /// length is Acquire-loaded **once per segment visit** instead of once
+    /// per element, and consumer progress is published with one store per
+    /// chunk. A return of `0` means no element was visible — as with
+    /// [`try_pop`](Self::try_pop) it does *not* mean the producer is
+    /// finished; pair with [`is_closed`](Self::is_closed) for termination.
+    pub fn pop_block(&mut self, out: &mut Vec<T>) -> usize {
+        let mut taken = 0usize;
+        loop {
+            // SAFETY: `head` is alive until we free it below.
+            let head = unsafe { self.head.as_ref() };
+            let committed = head.len.load(Ordering::Acquire);
+            if self.idx < committed {
+                let chunk = committed - self.idx;
+                out.reserve(chunk);
+                for i in self.idx..committed {
+                    // SAFETY: slots `[idx, committed)` were committed (the
+                    // Acquire above pairs with the producer's Release), and
+                    // each slot is read exactly once.
+                    out.push(unsafe { (*head.slots[i].get()).assume_init_read() });
+                }
+                self.idx = committed;
+                self.popped += chunk as u64;
+                taken += chunk;
+                // Publish progress for the final-drop bookkeeping.
+                head.consumed.store(self.idx, Ordering::Relaxed);
+            }
+            if self.idx < SEG_CAP {
+                // Caught up with the producer inside this segment.
+                return taken;
+            }
+            // Segment exhausted: move to the next one if it exists.
+            let next = head.next.load(Ordering::Acquire);
+            let Some(next) = NonNull::new(next) else {
+                return taken;
+            };
             let old = self.head;
             self.head = next;
             self.idx = 0;
@@ -504,6 +610,116 @@ mod tests {
         assert_eq!(rx.visible_backlog(), (SEG_CAP - 2) as u64);
         while rx.try_pop().is_some() {}
         assert_eq!(rx.visible_backlog(), 0);
+    }
+
+    #[test]
+    fn push_block_matches_scalar_pushes_at_segment_seams() {
+        // Block sizes straddling the segment boundary are the seams where
+        // the chunked publication protocol does real work.
+        for len in [
+            0,
+            1,
+            SEG_CAP - 1,
+            SEG_CAP,
+            SEG_CAP + 1,
+            3 * SEG_CAP + 7,
+        ] {
+            let block: Vec<u64> = (0..len as u64).collect();
+            let (mut tx, mut rx) = channel();
+            tx.push(u64::MAX); // non-empty start: block begins mid-segment
+            tx.push_block(&block);
+            tx.push(u64::MAX - 1); // scalar pushes still work afterwards
+            assert_eq!(tx.pushed(), len as u64 + 2);
+            let got: Vec<u64> = rx.drain_visible().collect();
+            assert_eq!(got.len(), len + 2);
+            assert_eq!(got[0], u64::MAX);
+            assert_eq!(&got[1..=len], &block[..]);
+            assert_eq!(got[len + 1], u64::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn pop_block_takes_everything_visible_and_appends() {
+        let (mut tx, mut rx) = channel();
+        let n = 2 * SEG_CAP + 3;
+        let block: Vec<u64> = (0..n as u64).collect();
+        tx.push_block(&block);
+        let mut out = vec![999u64]; // pre-existing contents must survive
+        assert_eq!(rx.pop_block(&mut out), n);
+        assert_eq!(out[0], 999);
+        assert_eq!(&out[1..], &block[..]);
+        assert_eq!(rx.popped(), n as u64);
+        // Nothing visible now; a second call is a cheap no-op.
+        assert_eq!(rx.pop_block(&mut out), 0);
+        tx.push(7);
+        assert_eq!(rx.pop_block(&mut out), 1);
+        assert_eq!(*out.last().unwrap(), 7);
+    }
+
+    #[test]
+    fn block_endpoints_interoperate_with_scalar_endpoints() {
+        let (mut tx, mut rx) = channel();
+        tx.push_block(&[1u64, 2, 3]);
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.push(4);
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_block(&mut out), 3);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_block_transfer_is_lossless_and_ordered() {
+        const BLOCKS: u64 = 2_000;
+        let width = SEG_CAP as u64 / 2 + 1; // co-prime-ish with SEG_CAP
+        let (mut tx, mut rx) = channel();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut next = 0u64;
+                for _ in 0..BLOCKS {
+                    let block: Vec<u64> = (next..next + width).collect();
+                    tx.push_block(&block);
+                    next += width;
+                }
+            });
+            s.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let closed = rx.is_closed();
+                    rx.pop_block(&mut out);
+                    if closed {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                assert_eq!(out.len() as u64, BLOCKS * width);
+                assert!(out.windows(2).all(|w| w[1] == w[0] + 1));
+            });
+        });
+    }
+
+    #[test]
+    fn pop_block_then_drop_frees_remaining_elements_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone, Copy)]
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        // Copy types get no drop glue, so account for pops explicitly: what
+        // matters is that Shared::drop destroys only the unconsumed suffix.
+        let (mut tx, mut rx) = channel();
+        let block: Vec<Counted> = (0..SEG_CAP + 3).map(|_| Counted::new()).collect();
+        tx.push_block(&block);
+        let mut out = Vec::new();
+        let taken = rx.pop_block(&mut out);
+        assert_eq!(taken, SEG_CAP + 3);
+        drop(tx);
+        drop(rx);
+        assert_eq!(LIVE.load(Ordering::SeqCst), SEG_CAP + 3);
     }
 
     #[test]

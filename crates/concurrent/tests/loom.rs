@@ -162,3 +162,88 @@ fn queue_close_then_drain_protocol_is_complete() {
     });
     assert_explored();
 }
+
+#[test]
+fn push_block_segment_linking_is_published_under_every_schedule() {
+    // One push_block spanning two segment links (SEG_CAP is 2 here): the
+    // producer's chunked Release stores of `len` and `next` race the
+    // consumer's Acquire loads in every explored schedule. FIFO order and
+    // losslessness must survive all of them.
+    const N: usize = SEG_CAP * 2 + 1;
+    loom::model(|| {
+        let (mut tx, mut rx) = channel::<usize>();
+        let block: Vec<usize> = (0..N).collect();
+        let t = loom::thread::spawn(move || {
+            tx.push_block(&block);
+            // tx drops here, closing the queue.
+        });
+        let mut got = Vec::new();
+        loop {
+            let closed = rx.is_closed();
+            while let Some(v) = rx.try_pop() {
+                got.push(v);
+            }
+            if closed {
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..N).collect::<Vec<_>>(), "lost or reordered element");
+    });
+    assert_explored();
+}
+
+#[test]
+fn pop_block_sees_complete_prefix_under_every_schedule() {
+    // Scalar producer, block consumer: each pop_block must take a prefix of
+    // what was pushed (never a gap, never a reorder), and close-then-drain
+    // with pop_block must still observe everything.
+    const N: usize = SEG_CAP + 2; // crosses one segment link
+    loom::model(|| {
+        let (mut tx, mut rx) = channel::<usize>();
+        let t = loom::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(i);
+            }
+        });
+        let mut got = Vec::new();
+        loop {
+            let closed = rx.is_closed();
+            rx.pop_block(&mut got);
+            if closed {
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..N).collect::<Vec<_>>(), "pop_block missed a prefix");
+    });
+    assert_explored();
+}
+
+#[test]
+fn block_to_block_transfer_is_complete_under_every_schedule() {
+    // Both endpoints batched — the exact shape of the batched stage-1 →
+    // stage-2 handoff: write-combining flush on one side, block drain on
+    // the other.
+    loom::model(|| {
+        let (mut tx, mut rx) = channel::<usize>();
+        let t = loom::thread::spawn(move || {
+            tx.push_block(&[1, 2, 3]); // SEG_CAP=2: spans a segment link
+            tx.push_block(&[4, 5]);
+        });
+        let mut got = Vec::new();
+        loop {
+            let closed = rx.is_closed();
+            rx.pop_block(&mut got);
+            if closed {
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4, 5], "block handoff lost an element");
+    });
+    assert_explored();
+}

@@ -22,6 +22,7 @@
 //! Total work is `O(m·n / P)` per core for encoding plus `O(m / P)` expected
 //! queue traffic — the complexities stated in the paper.
 
+use crate::batch::Combiner;
 use crate::codec::KeyCodec;
 use crate::count_table::CountTable;
 use crate::error::CoreError;
@@ -41,11 +42,19 @@ pub struct BuiltTable {
     pub stats: BuildStats,
 }
 
-/// Cap on the per-partition capacity hint, to keep pre-allocation modest
-/// even for huge inputs (the tables grow on demand past this).
-const MAX_PREALLOC_ENTRIES: u64 = 1 << 16;
+/// Cap on the per-partition capacity hint, to keep pre-allocation bounded
+/// for huge inputs (the tables grow on demand past this). 2²² entries
+/// (≈ 96 MiB of slot arrays at the load limit) covers the paper's 1M-sample
+/// configurations without a single rehash; the old 2¹⁶ cap made the first
+/// build of a large CSV pay O(log m) growth storms per core.
+const MAX_PREALLOC_ENTRIES: u64 = 1 << 22;
 
-fn capacity_hint(m: usize, space: u64, p: usize) -> usize {
+/// Rows per encode block in the batched builders: 256 rows × 30 binary
+/// variables ≈ 15 KiB of input and 2 KiB of keys per block — L1-resident,
+/// while amortizing the per-block loop overhead to noise.
+pub(crate) const ENC_BLOCK: usize = 256;
+
+pub(crate) fn capacity_hint(m: usize, space: u64, p: usize) -> usize {
     let per_core_rows = (m / p.max(1)) as u64 + 1;
     let per_core_keys = space.div_ceil(p as u64);
     per_core_rows.min(per_core_keys).min(MAX_PREALLOC_ENTRIES) as usize
@@ -314,6 +323,259 @@ pub fn waitfree_build_with_recorded<R: Recorder>(
     })
 }
 
+/// Builds the potential table on a single thread through the block-granular
+/// hot paths: [`KeyCodec::encode_rows`] block encoding and
+/// [`CountTable::increment_keys`] pre-hashed block application, with the
+/// table pre-sized from `m`.
+///
+/// Produces a table identical to [`sequential_build`]'s — the batched paths
+/// reorder no arithmetic, they only amortize per-element overhead — and is
+/// the wall-clock P=1 fast path the benchmarks compare against.
+pub fn sequential_build_batched(data: &Dataset) -> Result<BuiltTable, CoreError> {
+    sequential_build_batched_recorded(data, &NoopRecorder)
+}
+
+/// [`sequential_build_batched`] with telemetry flowing into core 0 of `rec`.
+pub fn sequential_build_batched_recorded<R: Recorder>(
+    data: &Dataset,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
+    if data.num_samples() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let codec = KeyCodec::new(data.schema());
+    let m = data.num_samples();
+    let n = codec.num_vars();
+    let mut table = CountTable::with_capacity(capacity_hint(m, codec.state_space(), 1));
+    let mut stats = ThreadStats::default();
+    let mut cr = rec.core(0);
+    let mut keys: Vec<u64> = Vec::with_capacity(ENC_BLOCK);
+    let t0 = cr.now();
+    for rows in data.row_range(0, m).chunks(ENC_BLOCK * n) {
+        codec.encode_rows(rows, &mut keys);
+        table.increment_keys_probed(&keys, |probes| cr.probe_len(probes));
+        stats.rows_encoded += keys.len() as u64;
+        stats.local_updates += keys.len() as u64;
+    }
+    cr.stage_ns(Stage::Encode, cr.now().saturating_sub(t0));
+    cr.add(Counter::RowsEncoded, stats.rows_encoded);
+    cr.add(Counter::LocalUpdates, stats.local_updates);
+    cr.add(Counter::TableGrows, table.grows());
+    stats.probes = table.probes();
+    Ok(BuiltTable {
+        table: PotentialTable::from_parts(codec, KeyPartitioner::modulo(1), vec![table]),
+        stats: BuildStats {
+            per_thread: vec![stats],
+        },
+    })
+}
+
+/// Endpoints of the batched queue matrix: elements are `(key, count)` pairs
+/// produced by the write-combining router.
+struct BatchedEndpoints {
+    producers: Vec<Option<Producer<(u64, u64)>>>,
+    consumers: Vec<Option<Consumer<(u64, u64)>>>,
+}
+
+/// [`queue_matrix`] for the batched builders.
+fn batched_queue_matrix(p: usize) -> Vec<BatchedEndpoints> {
+    let mut endpoints: Vec<BatchedEndpoints> = (0..p)
+        .map(|_| BatchedEndpoints {
+            producers: (0..p).map(|_| None).collect(),
+            consumers: (0..p).map(|_| None).collect(),
+        })
+        .collect();
+    for from in 0..p {
+        for to in 0..p {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = channel::<(u64, u64)>();
+            endpoints[from].producers[to] = Some(tx);
+            endpoints[to].consumers[from] = Some(rx);
+        }
+    }
+    endpoints
+}
+
+/// Builds the potential table with `p` threads using the block-granular
+/// variant of the two-stage primitive: stage 1 encodes row blocks with
+/// [`KeyCodec::encode_rows`] and routes foreign keys through a per-core
+/// write-combining [`Combiner`] (flushing `(key, count)` blocks with
+/// `push_block`); stage 2 drains whole blocks with `pop_block` and applies
+/// them with the pre-hashed [`CountTable::increment_block`].
+///
+/// Exactly the same single-writer discipline, barrier placement, and result
+/// as [`waitfree_build`] — equivalence tests require the resulting tables to
+/// be identical — but with every hot path amortized over blocks.
+pub fn waitfree_build_batched(data: &Dataset, p: usize) -> Result<BuiltTable, CoreError> {
+    waitfree_build_batched_recorded(data, p, &NoopRecorder)
+}
+
+/// [`waitfree_build_batched`] with telemetry flowing into `rec`; the
+/// batched counters `blocks_flushed` / `keys_coalesced` are attributed to
+/// the producing core.
+pub fn waitfree_build_batched_recorded<R: Recorder>(
+    data: &Dataset,
+    p: usize,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
+    if p == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    waitfree_build_with_batched_recorded(data, KeyPartitioner::modulo(p), rec)
+}
+
+/// [`waitfree_build_batched_recorded`] with an explicit key partitioner
+/// (the batched analog of [`waitfree_build_with_recorded`]).
+pub fn waitfree_build_with_batched_recorded<R: Recorder>(
+    data: &Dataset,
+    partitioner: KeyPartitioner,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
+    let p = partitioner.partitions();
+    if p == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    if data.num_samples() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let codec = KeyCodec::new(data.schema());
+    if p == 1 {
+        // Degenerate case: no queues, no barrier, no router.
+        let mut built = sequential_build_batched_recorded(data, rec)?;
+        if Some(&partitioner) != built.table.partitioner() {
+            let (c, _, parts) = built.table.into_parts();
+            built.table = PotentialTable::from_parts(c, partitioner, parts);
+        }
+        return Ok(built);
+    }
+
+    let m = data.num_samples();
+    let chunks = row_chunks(m, p);
+    let barrier = SpinBarrier::new(p);
+    let endpoints = batched_queue_matrix(p);
+    let hint = capacity_hint(m, codec.state_space(), p);
+    let n = codec.num_vars();
+
+    let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+    #[cfg(feature = "ownership-audit")]
+    let build_audit = wfbn_concurrent::audit::BuildAudit::new();
+    std::thread::scope(|s| {
+        let codec = &codec;
+        let partitioner = &partitioner;
+        let barrier = &barrier;
+        #[cfg(feature = "ownership-audit")]
+        let build_audit = &build_audit;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut ep)| {
+                let chunk = chunks[t];
+                std::thread::Builder::new()
+                    .name(format!("wfbn-bbuild-{t}"))
+                    .spawn_scoped(s, move || {
+                        #[cfg(feature = "ownership-audit")]
+                        let _audit = wfbn_concurrent::audit::enter(build_audit, t);
+                        let mut table = CountTable::with_capacity(hint);
+                        let mut stats = ThreadStats::default();
+                        let mut cr = rec.core(t);
+                        let mut combiner = Combiner::new(p);
+                        let mut keys: Vec<u64> = Vec::with_capacity(ENC_BLOCK);
+                        let t0 = cr.now();
+
+                        // ---- Stage 1 (Algorithm 1, block-granular) ----
+                        for rows in data.row_range(chunk.start, chunk.end).chunks(ENC_BLOCK * n) {
+                            codec.encode_rows(rows, &mut keys);
+                            stats.rows_encoded += keys.len() as u64;
+                            for &key in &keys {
+                                let owner = partitioner.owner(key);
+                                if owner == t {
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
+                                    stats.local_updates += 1;
+                                } else {
+                                    combiner.route(owner, key, &mut ep.producers);
+                                    stats.forwarded += 1;
+                                }
+                            }
+                        }
+                        combiner.flush_all(&mut ep.producers);
+                        stats.blocks_flushed = combiner.blocks_flushed();
+                        stats.keys_coalesced = combiner.keys_coalesced();
+                        let segments_linked: u64 = ep
+                            .producers
+                            .iter()
+                            .flatten()
+                            .map(Producer::segments_linked)
+                            .sum();
+                        // Close this thread's outgoing queues (after the
+                        // final flush — nothing may follow a close).
+                        ep.producers.clear();
+                        let t1 = cr.now();
+                        cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
+
+                        // ---- The single synchronization step ----
+                        barrier.wait();
+                        #[cfg(feature = "ownership-audit")]
+                        wfbn_concurrent::audit::set_stage(2);
+                        let t2 = cr.now();
+                        cr.stage_ns(Stage::Barrier, t2.saturating_sub(t1));
+
+                        // ---- Stage 2 (Algorithm 2, block-granular) ----
+                        let mut block: Vec<(u64, u64)> = Vec::new();
+                        for consumer in ep.consumers.iter_mut().flatten() {
+                            if R::ENABLED {
+                                cr.queue_depth(consumer.visible_backlog());
+                            }
+                            loop {
+                                block.clear();
+                                if consumer.pop_block(&mut block) == 0 {
+                                    break;
+                                }
+                                table.increment_block_probed(&block, |probes| {
+                                    cr.probe_len(probes);
+                                });
+                                for &(key, count) in &block {
+                                    debug_assert_eq!(partitioner.owner(key), t);
+                                    let _ = key;
+                                    stats.drained += count;
+                                }
+                            }
+                        }
+                        cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t2));
+                        cr.add(Counter::RowsEncoded, stats.rows_encoded);
+                        cr.add(Counter::LocalUpdates, stats.local_updates);
+                        cr.add(Counter::Forwarded, stats.forwarded);
+                        cr.add(Counter::Drained, stats.drained);
+                        cr.add(Counter::SegmentsLinked, segments_linked);
+                        cr.add(Counter::TableGrows, table.grows());
+                        cr.add(Counter::BlocksFlushed, stats.blocks_flushed);
+                        cr.add(Counter::KeysCoalesced, stats.keys_coalesced);
+                        stats.probes = table.probes();
+                        (table, stats)
+                    })
+                    .expect("failed to spawn build thread")
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            results[t] = Some(h.join().expect("build thread panicked"));
+        }
+    });
+
+    let mut partitions = Vec::with_capacity(p);
+    let mut per_thread = Vec::with_capacity(p);
+    for r in results {
+        let (table, stats) = r.expect("every thread reports");
+        partitions.push(table);
+        per_thread.push(stats);
+    }
+    Ok(BuiltTable {
+        table: PotentialTable::from_parts(codec, partitioner, partitions),
+        stats: BuildStats { per_thread },
+    })
+}
+
 #[cfg(all(test, feature = "loom"))]
 mod loom_tests {
     use super::*;
@@ -531,6 +793,89 @@ mod tests {
         let built = waitfree_build(&data, 4).unwrap();
         assert_eq!(built.table.num_entries(), 1);
         assert_eq!(built.table.total_count(), 997);
+    }
+
+    #[test]
+    fn batched_builds_match_scalar_builds_exactly() {
+        let data = uniform_data(8, 3, 5000, 11);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        assert_eq!(
+            sequential_build_batched(&data).unwrap().table.to_sorted_vec(),
+            reference
+        );
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let built = waitfree_build_batched(&data, p).unwrap();
+            assert_eq!(built.table.to_sorted_vec(), reference, "mismatch at p={p}");
+            assert_eq!(built.stats.total_rows(), 5000);
+            assert_eq!(built.stats.total_forwarded(), built.stats.total_drained());
+        }
+    }
+
+    #[test]
+    fn batched_build_on_skewed_data_coalesces_and_stays_exact() {
+        let schema = Schema::new(vec![2, 3, 2]).unwrap(); // tiny state space: many runs
+        let data = ZipfIndependent::new(schema, 1.5).unwrap().generate(8000, 4);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        let built = waitfree_build_batched(&data, 4).unwrap();
+        assert_eq!(built.table.to_sorted_vec(), reference);
+        let s = &built.stats;
+        assert!(
+            s.total_keys_coalesced() > 0,
+            "skewed keys over a 12-state space must produce duplicate runs"
+        );
+        assert!(s.total_keys_coalesced() <= s.total_forwarded());
+        assert!(s.total_blocks_flushed() > 0);
+        assert!(
+            s.total_blocks_flushed() <= s.total_forwarded() - s.total_keys_coalesced(),
+            "every flush must carry at least one element"
+        );
+    }
+
+    #[test]
+    fn scalar_build_reports_no_batch_counters() {
+        let data = uniform_data(8, 2, 1000, 5);
+        let s = waitfree_build(&data, 4).unwrap().stats;
+        assert_eq!(s.total_blocks_flushed(), 0);
+        assert_eq!(s.total_keys_coalesced(), 0);
+    }
+
+    #[test]
+    fn batched_edge_cases_match_scalar() {
+        // Single row, more threads than rows, duplicate-heavy input.
+        let schema = Schema::uniform(6, 2).unwrap();
+        let rows: Vec<&[u16]> = (0..997).map(|_| &[1u16, 0, 1, 1, 0, 1] as &[u16]).collect();
+        let dup = Dataset::from_rows(schema.clone(), &rows).unwrap();
+        assert_eq!(
+            waitfree_build_batched(&dup, 4).unwrap().table.to_sorted_vec(),
+            waitfree_build(&dup, 4).unwrap().table.to_sorted_vec()
+        );
+        let single = Dataset::from_rows(schema, &[&[1, 0, 1, 0, 1, 0]]).unwrap();
+        let built = waitfree_build_batched(&single, 8).unwrap();
+        assert_eq!(built.table.total_count(), 1);
+        let tiny = uniform_data(4, 2, 3, 9);
+        assert_eq!(
+            waitfree_build_batched(&tiny, 8).unwrap().table.to_sorted_vec(),
+            sequential_build(&tiny).unwrap().table.to_sorted_vec()
+        );
+    }
+
+    #[test]
+    fn batched_empty_and_zero_thread_errors_match_scalar() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = Dataset::from_rows(schema, &[]).unwrap();
+        assert_eq!(
+            sequential_build_batched(&data).unwrap_err(),
+            CoreError::EmptyDataset
+        );
+        assert_eq!(
+            waitfree_build_batched(&data, 4).unwrap_err(),
+            CoreError::EmptyDataset
+        );
+        let ok = uniform_data(3, 2, 10, 1);
+        assert_eq!(
+            waitfree_build_batched(&ok, 0).unwrap_err(),
+            CoreError::ZeroThreads
+        );
     }
 
     #[test]

@@ -183,6 +183,103 @@ impl CountTable {
         self.probes - before
     }
 
+    /// Grows until `additional` more *distinct* keys fit under the load
+    /// limit. Called once per block by the batched paths so the slot mask is
+    /// stable across the whole block (no mid-block rehash), and usable as
+    /// the rows-based capacity hint for streaming tables.
+    pub fn reserve(&mut self, additional: usize) {
+        while (self.len + additional) * MAX_LOAD.1 > self.keys.len() * MAX_LOAD.0 {
+            self.grow();
+        }
+    }
+
+    /// Applies a block of `(key, by)` pairs, equivalent to calling
+    /// [`increment`](Self::increment) for each pair in order.
+    ///
+    /// The batched stage-2 fast path: capacity for the whole block is
+    /// reserved up front (one load check per block instead of one per key,
+    /// and a stable mask), then each 16-pair tile is **pre-hashed** — slot
+    /// indices computed and their cache lines prefetched — before any
+    /// probing starts, so the table's random-access misses overlap instead
+    /// of serializing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `u64::MAX` (the reserved sentinel).
+    pub fn increment_block(&mut self, block: &[(u64, u64)]) {
+        self.increment_block_probed(block, |_| {});
+    }
+
+    /// Like [`increment_block`](Self::increment_block), but calls `probe`
+    /// with the slot-inspection count of every applied pair — exactly one
+    /// call per pair, so the observability layer's probe histogram keeps its
+    /// one-entry-per-increment mass invariant on the batched path.
+    pub fn increment_block_probed(&mut self, block: &[(u64, u64)], probe: impl FnMut(u64)) {
+        self.apply_block_probed(block, probe);
+    }
+
+    /// Applies a block of keys, each incrementing its count by 1 —
+    /// `increment_block` without materializing `(key, 1)` pairs. The
+    /// sequential batched build feeds [`KeyCodec::encode_rows`]
+    /// (crate::codec::KeyCodec::encode_rows) output straight in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `u64::MAX` (the reserved sentinel).
+    pub fn increment_keys(&mut self, keys: &[u64]) {
+        self.apply_block_probed(keys, |_| {});
+    }
+
+    /// [`increment_keys`](Self::increment_keys) with one `probe` callback
+    /// per key, mirroring
+    /// [`increment_block_probed`](Self::increment_block_probed).
+    pub fn increment_keys_probed(&mut self, keys: &[u64], probe: impl FnMut(u64)) {
+        self.apply_block_probed(keys, probe);
+    }
+
+    /// Shared reserve → pre-hash → probe engine behind the block entry
+    /// points; monomorphized per item shape ( bare key or `(key, by)` pair).
+    fn apply_block_probed<I: BlockItem>(&mut self, block: &[I], mut probe: impl FnMut(u64)) {
+        /// Pre-hash tile width: long enough to cover the prefetch latency,
+        /// short enough that the tile's slots stay in the L1 miss queue.
+        const TILE: usize = 16;
+        self.reserve(block.len());
+        let mut slots = [0usize; TILE];
+        for chunk in block.chunks(TILE) {
+            for (i, item) in chunk.iter().enumerate() {
+                let key = item.key();
+                assert_ne!(key, EMPTY, "key u64::MAX is reserved");
+                let slot = self.slot_of(key);
+                slots[i] = slot;
+                prefetch_slot(&self.keys[slot]);
+                prefetch_slot(&self.counts[slot]);
+            }
+            for (i, item) in chunk.iter().enumerate() {
+                let (key, by) = (item.key(), item.by());
+                let before = self.probes;
+                let mut slot = slots[i];
+                loop {
+                    self.probes += 1;
+                    let k = self.keys[slot];
+                    if k == key {
+                        self.counts[slot] += by;
+                        break;
+                    }
+                    if k == EMPTY {
+                        self.keys[slot] = key;
+                        self.counts[slot] = by;
+                        self.len += 1;
+                        break;
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+                #[cfg(feature = "ownership-audit")]
+                self.record_slot(slot);
+                probe(self.probes - before);
+            }
+        }
+    }
+
     /// Returns `key`'s count (0 if absent).
     #[inline]
     pub fn get(&self, key: u64) -> u64 {
@@ -281,6 +378,52 @@ impl CountTable {
         v.sort_unstable_by_key(|&(k, _)| k);
         v
     }
+}
+
+/// Item shape accepted by the block engine: a bare key (count 1) or an
+/// explicit `(key, count)` pair. Private — the public surface stays the
+/// concrete `increment_keys*` / `increment_block*` methods.
+trait BlockItem: Copy {
+    /// The table key.
+    fn key(&self) -> u64;
+    /// The count delta.
+    fn by(&self) -> u64;
+}
+
+impl BlockItem for u64 {
+    #[inline(always)]
+    fn key(&self) -> u64 {
+        *self
+    }
+    #[inline(always)]
+    fn by(&self) -> u64 {
+        1
+    }
+}
+
+impl BlockItem for (u64, u64) {
+    #[inline(always)]
+    fn key(&self) -> u64 {
+        self.0
+    }
+    #[inline(always)]
+    fn by(&self) -> u64 {
+        self.1
+    }
+}
+
+/// Hints the cache to pull `p`'s line; a no-op off x86-64 and under Miri
+/// (which does not model caches and may reject hint intrinsics).
+#[inline(always)]
+pub(crate) fn prefetch_slot<T>(p: *const T) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    // SAFETY: _mm_prefetch is a pure performance hint with no memory effects;
+    // it is defined for any address value.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    let _ = p;
 }
 
 #[cfg(feature = "ownership-audit")]
@@ -446,6 +589,78 @@ mod tests {
         let expected = (t.capacity() / cap0).trailing_zeros() as u64;
         assert_eq!(t.grows(), expected);
         assert!(t.grows() > 0);
+    }
+
+    #[test]
+    fn increment_block_matches_scalar_increments() {
+        // Random workload with duplicates, block sizes straddling the
+        // pre-hash tile and forcing growth from the default capacity.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut pairs = Vec::new();
+        for _ in 0..5_000 {
+            x = wfbn_concurrent::mix64(x);
+            pairs.push((x % 1024, 1 + (x >> 61)));
+        }
+        for block_len in [1usize, 15, 16, 17, 255, 5_000] {
+            let mut scalar = CountTable::new();
+            let mut batched = CountTable::new();
+            for block in pairs.chunks(block_len) {
+                batched.increment_block(block);
+                for &(k, by) in block {
+                    scalar.increment(k, by);
+                }
+            }
+            assert_eq!(
+                scalar.to_sorted_vec(),
+                batched.to_sorted_vec(),
+                "block_len = {block_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn increment_block_probed_reports_one_delta_per_pair() {
+        let mut t = CountTable::with_capacity(64);
+        let block: Vec<(u64, u64)> = (0..40u64).map(|i| (i % 20, 1)).collect();
+        let mut deltas = Vec::new();
+        t.increment_block_probed(&block, |d| deltas.push(d));
+        assert_eq!(deltas.len(), block.len());
+        assert!(deltas.iter().all(|&d| d >= 1));
+        assert_eq!(deltas.iter().sum::<u64>(), t.probes());
+    }
+
+    #[test]
+    fn increment_keys_matches_unit_increments() {
+        let mut a = CountTable::new();
+        let mut b = CountTable::new();
+        let keys: Vec<u64> = (0..3_000u64).map(|i| (i * i) % 700).collect();
+        a.increment_keys(&keys);
+        for &k in &keys {
+            b.increment(k, 1);
+        }
+        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+        let mut deltas = 0u64;
+        let mut c = CountTable::new();
+        c.increment_keys_probed(&keys, |_| deltas += 1);
+        assert_eq!(deltas, keys.len() as u64);
+    }
+
+    #[test]
+    fn reserve_prevents_mid_block_growth() {
+        let mut t = CountTable::new();
+        t.reserve(10_000);
+        let grows_after_reserve = t.grows();
+        let block: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k, 1)).collect();
+        t.increment_block(&block);
+        assert_eq!(t.grows(), grows_after_reserve, "block must not rehash");
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn increment_block_rejects_sentinel_key() {
+        let mut t = CountTable::new();
+        t.increment_block(&[(3, 1), (u64::MAX, 1)]);
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! two variants are within noise of each other, matching the paper's
 //! analysis that one barrier costs `O(P)` — negligible against `O(mn/P)`.
 
+use crate::batch::Combiner;
 use crate::codec::KeyCodec;
-use crate::construct::BuiltTable;
+use crate::construct::{capacity_hint, BuiltTable, ENC_BLOCK};
 use crate::count_table::CountTable;
 use crate::error::CoreError;
 use crate::partition::KeyPartitioner;
@@ -131,11 +132,7 @@ pub fn pipelined_build_with_recorded<R: Recorder>(
         }
     }
 
-    let hint = {
-        let per_core_rows = (m / p) as u64 + 1;
-        let per_core_keys = codec.state_space().div_ceil(p as u64);
-        per_core_rows.min(per_core_keys).min(1 << 16) as usize
-    };
+    let hint = capacity_hint(m, codec.state_space(), p);
 
     let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
     #[cfg(feature = "ownership-audit")]
@@ -262,6 +259,225 @@ pub fn pipelined_build_with_recorded<R: Recorder>(
     })
 }
 
+/// Batched pipelined build: the barrier-free schedule with the block-granular
+/// hot paths of [`waitfree_build_batched`](crate::construct::waitfree_build_batched).
+///
+/// Rows are encoded [`ENC_BLOCK`] at a time with [`KeyCodec::encode_rows`],
+/// foreign keys go through a per-destination write-combining [`Combiner`]
+/// (flushed as `(key, count)` blocks via `push_block`), and drain sweeps use
+/// `pop_block` plus one batched table application per block. Produces exactly
+/// the same table as every other builder.
+pub fn pipelined_build_batched(data: &Dataset, p: usize) -> Result<BuiltTable, CoreError> {
+    pipelined_build_batched_recorded(data, p, &NoopRecorder)
+}
+
+/// [`pipelined_build_batched`] with telemetry flowing into `rec`.
+pub fn pipelined_build_batched_recorded<R: Recorder>(
+    data: &Dataset,
+    p: usize,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
+    if p == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    pipelined_build_with_batched_recorded(data, KeyPartitioner::modulo(p), rec)
+}
+
+/// Batched pipelined build with an explicit partitioner and telemetry.
+///
+/// Stage attribution mirrors [`pipelined_build_with_recorded`]: the produce
+/// loop (block encode + route + opportunistic block drains) is charged to
+/// [`Stage::Encode`], the termination drain to [`Stage::Drain`]. The router
+/// is flushed *before* the outgoing producers are dropped — mandatory under
+/// the close-then-drain termination protocol, or peers would observe `closed`
+/// while combined keys still sat in this worker's private buffers.
+pub fn pipelined_build_with_batched_recorded<R: Recorder>(
+    data: &Dataset,
+    partitioner: KeyPartitioner,
+    rec: &R,
+) -> Result<BuiltTable, CoreError> {
+    let p = partitioner.partitions();
+    if p == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    if data.num_samples() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    if p == 1 {
+        return crate::construct::waitfree_build_with_batched_recorded(data, partitioner, rec);
+    }
+
+    let codec = KeyCodec::new(data.schema());
+    let m = data.num_samples();
+    let n = codec.num_vars();
+    let chunks = row_chunks(m, p);
+
+    // Same wiring as the scalar pipeline, but the queues carry `(key, count)`
+    // pairs produced by the write-combining router.
+    struct Endpoints {
+        producers: Vec<Option<Producer<(u64, u64)>>>,
+        consumers: Vec<Option<Consumer<(u64, u64)>>>,
+    }
+    let mut endpoints: Vec<Endpoints> = (0..p)
+        .map(|_| Endpoints {
+            producers: (0..p).map(|_| None).collect(),
+            consumers: (0..p).map(|_| None).collect(),
+        })
+        .collect();
+    for from in 0..p {
+        for to in 0..p {
+            if from != to {
+                let (tx, rx) = channel::<(u64, u64)>();
+                endpoints[from].producers[to] = Some(tx);
+                endpoints[to].consumers[from] = Some(rx);
+            }
+        }
+    }
+
+    let hint = capacity_hint(m, codec.state_space(), p);
+
+    let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+    #[cfg(feature = "ownership-audit")]
+    let build_audit = wfbn_concurrent::audit::BuildAudit::new();
+    std::thread::scope(|s| {
+        let codec = &codec;
+        let partitioner = &partitioner;
+        #[cfg(feature = "ownership-audit")]
+        let build_audit = &build_audit;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut ep)| {
+                let chunk = chunks[t];
+                std::thread::Builder::new()
+                    .name(format!("wfbn-bpipe-{t}"))
+                    .spawn_scoped(s, move || {
+                        #[cfg(feature = "ownership-audit")]
+                        let _audit = wfbn_concurrent::audit::enter(build_audit, t);
+                        let mut table = CountTable::with_capacity(hint);
+                        let mut stats = ThreadStats::default();
+                        let mut combiner = Combiner::new(p);
+                        let mut keys: Vec<u64> = Vec::with_capacity(ENC_BLOCK);
+                        let mut block: Vec<(u64, u64)> = Vec::new();
+                        let rows = data.row_range(chunk.start, chunk.end);
+                        let mut cr = rec.core(t);
+                        let t0 = cr.now();
+
+                        // Interleave block production with opportunistic
+                        // block draining. The trailing chunk is still a whole
+                        // number of rows (the range length is a multiple of n).
+                        for row_block in rows.chunks(ENC_BLOCK * n) {
+                            codec.encode_rows(row_block, &mut keys);
+                            stats.rows_encoded += keys.len() as u64;
+                            for &key in &keys {
+                                let owner = partitioner.owner(key);
+                                if owner == t {
+                                    let probes = table.increment_probed(key, 1);
+                                    cr.probe_len(probes);
+                                    stats.local_updates += 1;
+                                } else {
+                                    combiner.route(owner, key, &mut ep.producers);
+                                    stats.forwarded += 1;
+                                }
+                            }
+                            for consumer in ep.consumers.iter_mut().flatten() {
+                                if R::ENABLED {
+                                    cr.queue_depth(consumer.visible_backlog());
+                                }
+                                loop {
+                                    block.clear();
+                                    if consumer.pop_block(&mut block) == 0 {
+                                        break;
+                                    }
+                                    table.increment_block_probed(&block, |probes| {
+                                        cr.probe_len(probes);
+                                    });
+                                    for &(key, count) in &block {
+                                        debug_assert_eq!(partitioner.owner(key), t);
+                                        let _ = key;
+                                        stats.drained += count;
+                                    }
+                                }
+                            }
+                        }
+
+                        // Done producing: ship the router's residue, then
+                        // close outgoing queues so peers can terminate.
+                        combiner.flush_all(&mut ep.producers);
+                        stats.blocks_flushed = combiner.blocks_flushed();
+                        stats.keys_coalesced = combiner.keys_coalesced();
+                        let segments_linked: u64 = ep
+                            .producers
+                            .iter()
+                            .flatten()
+                            .map(Producer::segments_linked)
+                            .sum();
+                        ep.producers.clear();
+                        let t1 = cr.now();
+                        cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
+                        let mut open: Vec<Consumer<(u64, u64)>> =
+                            ep.consumers.drain(..).flatten().collect();
+                        while !open.is_empty() {
+                            open.retain_mut(|consumer| {
+                                // Observe `closed` *before* the final drain so
+                                // a flush-then-close cannot slip a block past.
+                                let closed = consumer.is_closed();
+                                if R::ENABLED {
+                                    cr.queue_depth(consumer.visible_backlog());
+                                }
+                                loop {
+                                    block.clear();
+                                    if consumer.pop_block(&mut block) == 0 {
+                                        break;
+                                    }
+                                    table.increment_block_probed(&block, |probes| {
+                                        cr.probe_len(probes);
+                                    });
+                                    for &(key, count) in &block {
+                                        debug_assert_eq!(partitioner.owner(key), t);
+                                        let _ = key;
+                                        stats.drained += count;
+                                    }
+                                }
+                                !closed
+                            });
+                            if !open.is_empty() {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t1));
+                        cr.add(Counter::RowsEncoded, stats.rows_encoded);
+                        cr.add(Counter::LocalUpdates, stats.local_updates);
+                        cr.add(Counter::Forwarded, stats.forwarded);
+                        cr.add(Counter::Drained, stats.drained);
+                        cr.add(Counter::SegmentsLinked, segments_linked);
+                        cr.add(Counter::TableGrows, table.grows());
+                        cr.add(Counter::BlocksFlushed, stats.blocks_flushed);
+                        cr.add(Counter::KeysCoalesced, stats.keys_coalesced);
+                        stats.probes = table.probes();
+                        (table, stats)
+                    })
+                    .expect("failed to spawn pipeline thread")
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            results[t] = Some(h.join().expect("pipeline thread panicked"));
+        }
+    });
+
+    let mut partitions = Vec::with_capacity(p);
+    let mut per_thread = Vec::with_capacity(p);
+    for r in results {
+        let (table, stats) = r.expect("every thread reports");
+        partitions.push(table);
+        per_thread.push(stats);
+    }
+    Ok(BuiltTable {
+        table: PotentialTable::from_parts(codec, partitioner, partitions),
+        stats: BuildStats { per_thread },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +523,58 @@ mod tests {
         );
         assert_eq!(
             pipelined_build(&empty, 0).unwrap_err(),
+            CoreError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn batched_pipeline_matches_two_stage_build_exactly() {
+        let data = UniformIndependent::new(Schema::uniform(9, 2).unwrap()).generate(7000, 19);
+        let reference = waitfree_build(&data, 4).unwrap().table.to_sorted_vec();
+        for p in [1usize, 2, 3, 4, 6, 8] {
+            let built = pipelined_build_batched(&data, p).unwrap();
+            assert_eq!(built.table.to_sorted_vec(), reference, "p={p}");
+            assert_eq!(built.stats.total_rows(), 7000);
+            assert_eq!(built.stats.total_forwarded(), built.stats.total_drained());
+            assert!(built.stats.total_keys_coalesced() <= built.stats.total_forwarded());
+        }
+    }
+
+    #[test]
+    fn batched_pipeline_skewed_input_coalesces_and_stays_exact() {
+        let schema = Schema::new(vec![4, 4, 4, 4]).unwrap();
+        let data = ZipfIndependent::new(schema, 2.0).unwrap().generate(5000, 3);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        let built = pipelined_build_batched(&data, 4).unwrap();
+        assert_eq!(built.table.to_sorted_vec(), reference);
+        // Zipf(2.0) over 256 states produces long duplicate runs: the router
+        // must have merged some and flushed at least one block per stats law.
+        let fwd = built.stats.total_forwarded();
+        let coal = built.stats.total_keys_coalesced();
+        let blocks = built.stats.total_blocks_flushed();
+        assert!(coal > 0, "expected coalescing on skewed data");
+        assert!(coal <= fwd);
+        assert!(blocks > 0 && blocks <= fwd - coal);
+    }
+
+    #[test]
+    fn batched_pipeline_tiny_inputs_terminate() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = Dataset::from_rows(schema, &[&[0, 1, 0]]).unwrap();
+        let built = pipelined_build_batched(&data, 8).unwrap();
+        assert_eq!(built.table.total_count(), 1);
+    }
+
+    #[test]
+    fn batched_pipeline_errors_mirror_two_stage() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let empty = Dataset::from_rows(schema, &[]).unwrap();
+        assert_eq!(
+            pipelined_build_batched(&empty, 2).unwrap_err(),
+            CoreError::EmptyDataset
+        );
+        assert_eq!(
+            pipelined_build_batched(&empty, 0).unwrap_err(),
             CoreError::ZeroThreads
         );
     }

@@ -19,6 +19,14 @@ pub struct ThreadStats {
     pub drained: u64,
     /// Hash-table slot probes performed by this thread (stages 1+2).
     pub probes: u64,
+    /// Write-combining buffer flushes (`push_block` calls) performed by this
+    /// thread's batched router; 0 on every scalar path.
+    pub blocks_flushed: u64,
+    /// Forwarded occurrences the batched router coalesced into an open
+    /// `(key, count)` run instead of shipping as their own element; 0 on
+    /// every scalar path. Counted inside `forwarded`, so elements actually
+    /// enqueued = `forwarded − keys_coalesced`.
+    pub keys_coalesced: u64,
 }
 
 /// Aggregated statistics from one construction run.
@@ -52,6 +60,16 @@ impl BuildStats {
     /// Total keys drained in stage 2 (must equal [`total_forwarded`](Self::total_forwarded)).
     pub fn total_drained(&self) -> u64 {
         self.per_thread.iter().map(|t| t.drained).sum()
+    }
+
+    /// Total write-combining flushes across threads (0 for scalar builds).
+    pub fn total_blocks_flushed(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.blocks_flushed).sum()
+    }
+
+    /// Total coalesced occurrences across threads (0 for scalar builds).
+    pub fn total_keys_coalesced(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.keys_coalesced).sum()
     }
 
     /// Fraction of keys that crossed threads, in `[0, 1]`.
@@ -93,6 +111,8 @@ mod tests {
                         forwarded,
                         drained,
                         probes: 0,
+                        blocks_flushed: 0,
+                        keys_coalesced: 0,
                     },
                 )
                 .collect(),

@@ -9,8 +9,9 @@
 //! invariant (core `p` is the unique writer of partition `p`) holds across
 //! the whole stream, so no locking is ever needed between batches either.
 
+use crate::batch::Combiner;
 use crate::codec::KeyCodec;
-use crate::construct::BuiltTable;
+use crate::construct::{capacity_hint, BuiltTable, ENC_BLOCK};
 use crate::count_table::CountTable;
 use crate::error::CoreError;
 use crate::partition::KeyPartitioner;
@@ -66,6 +67,28 @@ impl StreamingBuilder {
             },
             rows_absorbed: 0,
         })
+    }
+
+    /// [`new`](Self::new) with the per-core tables pre-sized for an expected
+    /// total stream length of `expected_rows`.
+    ///
+    /// The default constructor starts every partition at the minimum table
+    /// size, so a long stream pays O(log m) rehash storms per core as counts
+    /// accumulate. Pre-sizing from the expected row count (clamped by the
+    /// schema's state space, exactly like the one-shot builders) removes
+    /// those entirely when the estimate is right and still grows gracefully
+    /// when it is low.
+    pub fn with_capacity_hint(
+        schema: &Schema,
+        threads: usize,
+        expected_rows: usize,
+    ) -> Result<Self, CoreError> {
+        let mut builder = Self::new(schema, threads)?;
+        let hint = capacity_hint(expected_rows, builder.codec.state_space(), threads);
+        builder.tables = (0..threads)
+            .map(|_| CountTable::with_capacity(hint))
+            .collect();
+        Ok(builder)
     }
 
     /// Number of worker threads / partitions.
@@ -246,6 +269,194 @@ impl StreamingBuilder {
         Ok(())
     }
 
+    /// [`absorb`](Self::absorb) on the block-granular hot paths: rows are
+    /// encoded [`ENC_BLOCK`] at a time, foreign keys go through the
+    /// write-combining [`Combiner`] and cross the queues as `(key, count)`
+    /// blocks, and stage 2 drains with `pop_block` + one batched table
+    /// application per block. Result is identical to [`absorb`](Self::absorb)
+    /// — batched and scalar absorbs may be mixed freely within one stream.
+    pub fn absorb_batched(&mut self, batch: &Dataset) -> Result<(), CoreError> {
+        self.absorb_batched_recorded(batch, &NoopRecorder)
+    }
+
+    /// [`absorb_batched`](Self::absorb_batched) with telemetry flowing into
+    /// `rec`.
+    pub fn absorb_batched_recorded<R: Recorder>(
+        &mut self,
+        batch: &Dataset,
+        rec: &R,
+    ) -> Result<(), CoreError> {
+        if batch.schema() != &self.schema {
+            return Err(CoreError::BadVariableSet {
+                reason: "batch schema differs from the builder's schema",
+            });
+        }
+        let m = batch.num_samples();
+        if m == 0 {
+            return Ok(());
+        }
+        let p = self.tables.len();
+        let n = self.codec.num_vars();
+        if p == 1 {
+            let table = &mut self.tables[0];
+            let st = &mut self.stats.per_thread[0];
+            let codec = &self.codec;
+            let mut cr = rec.core(0);
+            let t0 = cr.now();
+            let grows_before = table.grows();
+            let mut keys: Vec<u64> = Vec::with_capacity(ENC_BLOCK);
+            let mut rows = 0u64;
+            for row_block in batch.row_range(0, m).chunks(ENC_BLOCK * n) {
+                codec.encode_rows(row_block, &mut keys);
+                table.increment_keys_probed(&keys, |probes| {
+                    cr.probe_len(probes);
+                });
+                rows += keys.len() as u64;
+            }
+            st.rows_encoded += rows;
+            st.local_updates += rows;
+            cr.stage_ns(Stage::Encode, cr.now().saturating_sub(t0));
+            cr.add(Counter::RowsEncoded, rows);
+            cr.add(Counter::LocalUpdates, rows);
+            cr.add(Counter::TableGrows, table.grows() - grows_before);
+            st.probes = table.probes();
+            self.rows_absorbed += m as u64;
+            return Ok(());
+        }
+
+        let chunks = row_chunks(m, p);
+        let barrier = SpinBarrier::new(p);
+        let codec = &self.codec;
+        let partitioner = &self.partitioner;
+
+        // Queue matrix for this batch, carrying combined `(key, count)` pairs.
+        struct Endpoints {
+            producers: Vec<Option<Producer<(u64, u64)>>>,
+            consumers: Vec<Option<Consumer<(u64, u64)>>>,
+        }
+        let mut endpoints: Vec<Endpoints> = (0..p)
+            .map(|_| Endpoints {
+                producers: (0..p).map(|_| None).collect(),
+                consumers: (0..p).map(|_| None).collect(),
+            })
+            .collect();
+        for from in 0..p {
+            for to in 0..p {
+                if from != to {
+                    let (tx, rx) = channel::<(u64, u64)>();
+                    endpoints[from].producers[to] = Some(tx);
+                    endpoints[to].consumers[from] = Some(rx);
+                }
+            }
+        }
+
+        let tables = std::mem::take(&mut self.tables);
+        let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let barrier = &barrier;
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .zip(tables)
+                .enumerate()
+                .map(|(t, (mut ep, mut table))| {
+                    let chunk = chunks[t];
+                    std::thread::Builder::new()
+                        .name(format!("wfbn-bstream-{t}"))
+                        .spawn_scoped(s, move || {
+                            let mut stats = ThreadStats::default();
+                            let mut combiner = Combiner::new(p);
+                            let mut keys: Vec<u64> = Vec::with_capacity(ENC_BLOCK);
+                            let mut cr = rec.core(t);
+                            let t0 = cr.now();
+                            let grows_before = table.grows();
+                            for row_block in
+                                batch.row_range(chunk.start, chunk.end).chunks(ENC_BLOCK * n)
+                            {
+                                codec.encode_rows(row_block, &mut keys);
+                                stats.rows_encoded += keys.len() as u64;
+                                for &key in &keys {
+                                    let owner = partitioner.owner(key);
+                                    if owner == t {
+                                        let probes = table.increment_probed(key, 1);
+                                        cr.probe_len(probes);
+                                        stats.local_updates += 1;
+                                    } else {
+                                        combiner.route(owner, key, &mut ep.producers);
+                                        stats.forwarded += 1;
+                                    }
+                                }
+                            }
+                            combiner.flush_all(&mut ep.producers);
+                            stats.blocks_flushed = combiner.blocks_flushed();
+                            stats.keys_coalesced = combiner.keys_coalesced();
+                            let segments_linked: u64 = ep
+                                .producers
+                                .iter()
+                                .flatten()
+                                .map(Producer::segments_linked)
+                                .sum();
+                            ep.producers.clear();
+                            let t1 = cr.now();
+                            cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
+                            barrier.wait();
+                            let t2 = cr.now();
+                            cr.stage_ns(Stage::Barrier, t2.saturating_sub(t1));
+                            let mut block: Vec<(u64, u64)> = Vec::new();
+                            for consumer in ep.consumers.iter_mut().flatten() {
+                                if R::ENABLED {
+                                    cr.queue_depth(consumer.visible_backlog());
+                                }
+                                loop {
+                                    block.clear();
+                                    if consumer.pop_block(&mut block) == 0 {
+                                        break;
+                                    }
+                                    table.increment_block_probed(&block, |probes| {
+                                        cr.probe_len(probes);
+                                    });
+                                    for &(key, count) in &block {
+                                        debug_assert_eq!(partitioner.owner(key), t);
+                                        let _ = key;
+                                        stats.drained += count;
+                                    }
+                                }
+                            }
+                            cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t2));
+                            cr.add(Counter::RowsEncoded, stats.rows_encoded);
+                            cr.add(Counter::LocalUpdates, stats.local_updates);
+                            cr.add(Counter::Forwarded, stats.forwarded);
+                            cr.add(Counter::Drained, stats.drained);
+                            cr.add(Counter::SegmentsLinked, segments_linked);
+                            cr.add(Counter::TableGrows, table.grows() - grows_before);
+                            cr.add(Counter::BlocksFlushed, stats.blocks_flushed);
+                            cr.add(Counter::KeysCoalesced, stats.keys_coalesced);
+                            (table, stats)
+                        })
+                        .expect("failed to spawn stream thread")
+                })
+                .collect();
+            for (t, h) in handles.into_iter().enumerate() {
+                results[t] = Some(h.join().expect("stream thread panicked"));
+            }
+        });
+
+        self.tables = Vec::with_capacity(p);
+        for (t, r) in results.into_iter().enumerate() {
+            let (table, st) = r.expect("every thread reports");
+            let agg = &mut self.stats.per_thread[t];
+            agg.rows_encoded += st.rows_encoded;
+            agg.local_updates += st.local_updates;
+            agg.forwarded += st.forwarded;
+            agg.drained += st.drained;
+            agg.blocks_flushed += st.blocks_flushed;
+            agg.keys_coalesced += st.keys_coalesced;
+            agg.probes = table.probes();
+            self.tables.push(table);
+        }
+        self.rows_absorbed += m as u64;
+        Ok(())
+    }
+
     /// A snapshot of the current table (clones the partitions; the builder
     /// keeps absorbing).
     pub fn snapshot(&self) -> Result<PotentialTable, CoreError> {
@@ -351,6 +562,83 @@ mod tests {
             Err(CoreError::BadVariableSet { .. })
         ));
         assert!(StreamingBuilder::new(&schema, 0).is_err());
+    }
+
+    #[test]
+    fn batched_absorbs_match_scalar_absorbs_exactly() {
+        let schema = Schema::uniform(10, 2).unwrap();
+        let gen = UniformIndependent::new(schema.clone());
+        let batches: Vec<Dataset> = (0..5).map(|i| gen.generate(777 + i, i as u64)).collect();
+        let refs: Vec<&Dataset> = batches.iter().collect();
+        let reference = sequential_build(&concat(&refs))
+            .unwrap()
+            .table
+            .to_sorted_vec();
+        for threads in [1usize, 2, 4, 8] {
+            let mut b = StreamingBuilder::new(&schema, threads).unwrap();
+            for batch in &batches {
+                b.absorb_batched(batch).unwrap();
+            }
+            let built = b.finish().unwrap();
+            assert_eq!(built.table.to_sorted_vec(), reference, "threads={threads}");
+            assert_eq!(built.stats.total_forwarded(), built.stats.total_drained());
+            assert!(built.stats.total_keys_coalesced() <= built.stats.total_forwarded());
+        }
+    }
+
+    #[test]
+    fn mixed_scalar_and_batched_absorbs_compose() {
+        let schema = Schema::uniform(8, 2).unwrap();
+        let gen = UniformIndependent::new(schema.clone());
+        let (a, b, c) = (
+            gen.generate(1_500, 1),
+            gen.generate(2_500, 2),
+            gen.generate(500, 3),
+        );
+        let reference = sequential_build(&concat(&[&a, &b, &c]))
+            .unwrap()
+            .table
+            .to_sorted_vec();
+        let mut builder = StreamingBuilder::new(&schema, 4).unwrap();
+        builder.absorb(&a).unwrap();
+        builder.absorb_batched(&b).unwrap();
+        builder.absorb(&c).unwrap();
+        let built = builder.finish().unwrap();
+        assert_eq!(built.table.to_sorted_vec(), reference);
+        assert_eq!(built.stats.total_rows(), 4_500);
+    }
+
+    #[test]
+    fn capacity_hint_constructor_eliminates_growth() {
+        let schema = Schema::uniform(12, 2).unwrap();
+        let gen = UniformIndependent::new(schema.clone());
+        let batch = gen.generate(4_096, 7);
+        let mut hinted = StreamingBuilder::with_capacity_hint(&schema, 2, 4_096).unwrap();
+        hinted.absorb_batched(&batch).unwrap();
+        let snap = hinted.snapshot().unwrap();
+        assert_eq!(snap.total_count(), 4_096);
+        assert_eq!(
+            snap.to_sorted_vec(),
+            sequential_build(&batch).unwrap().table.to_sorted_vec()
+        );
+        // Pre-sized partitions never rehash on a stream no longer than the
+        // estimate.
+        assert!(!hinted.finish().unwrap().table.to_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn batched_empty_batches_and_schema_mismatch_behave_like_scalar() {
+        let schema = Schema::uniform(4, 2).unwrap();
+        let other = Schema::uniform(4, 3).unwrap();
+        let empty = Dataset::from_rows(schema.clone(), &[]).unwrap();
+        let bad = UniformIndependent::new(other).generate(10, 1);
+        let mut b = StreamingBuilder::new(&schema, 2).unwrap();
+        b.absorb_batched(&empty).unwrap();
+        assert!(matches!(b.snapshot(), Err(CoreError::EmptyDataset)));
+        assert!(matches!(
+            b.absorb_batched(&bad),
+            Err(CoreError::BadVariableSet { .. })
+        ));
     }
 
     #[test]

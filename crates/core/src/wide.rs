@@ -200,6 +200,61 @@ impl WideCountTable {
         self.probes - before
     }
 
+    /// Grows until `additional` more distinct keys fit under the load limit
+    /// (mirrors `CountTable::reserve`; called once per block so the slot
+    /// mask stays stable across the whole block).
+    pub fn reserve(&mut self, additional: usize) {
+        while (self.len + additional) * 10 > self.keys.len() * 7 {
+            self.grow();
+        }
+    }
+
+    /// Applies a block of `(key, by)` pairs, equivalent to calling
+    /// [`increment`](Self::increment) per pair but with the batched engine:
+    /// one reserve up front, then per 16-pair tile a pre-hash + prefetch
+    /// pass followed by the probe pass (mirrors
+    /// `CountTable::increment_block`).
+    pub fn increment_block(&mut self, block: &[(u128, u64)]) {
+        self.increment_block_probed(block, |_| {});
+    }
+
+    /// [`increment_block`](Self::increment_block) reporting each pair's
+    /// probe-count delta through `probe` (feeds the probe histogram).
+    pub fn increment_block_probed(&mut self, block: &[(u128, u64)], mut probe: impl FnMut(u64)) {
+        const TILE: usize = 16;
+        self.reserve(block.len());
+        let mut slots = [0usize; TILE];
+        for chunk in block.chunks(TILE) {
+            for (i, &(key, _)) in chunk.iter().enumerate() {
+                assert_ne!(key, EMPTY, "key u128::MAX is reserved");
+                let slot = (mix128(key) as usize) & self.mask;
+                slots[i] = slot;
+                crate::count_table::prefetch_slot(&self.keys[slot]);
+                crate::count_table::prefetch_slot(&self.counts[slot]);
+            }
+            for (i, &(key, by)) in chunk.iter().enumerate() {
+                let before = self.probes;
+                let mut slot = slots[i];
+                loop {
+                    self.probes += 1;
+                    let k = self.keys[slot];
+                    if k == key {
+                        self.counts[slot] += by;
+                        break;
+                    }
+                    if k == EMPTY {
+                        self.keys[slot] = key;
+                        self.counts[slot] = by;
+                        self.len += 1;
+                        break;
+                    }
+                    slot = (slot + 1) & self.mask;
+                }
+                probe(self.probes - before);
+            }
+        }
+    }
+
     /// Returns `key`'s count (0 if absent).
     pub fn get(&self, key: u128) -> u64 {
         let mut slot = (mix128(key) as usize) & self.mask;
@@ -525,6 +580,160 @@ pub fn waitfree_build_wide_recorded<R: Recorder>(
     })
 }
 
+/// [`waitfree_build_wide`] on the block-granular hot paths: foreign keys go
+/// through the write-combining [`Combiner`](crate::batch::Combiner) (flushed
+/// as `(key, count)` blocks via `push_block`), and stage 2 drains with
+/// `pop_block` + one batched table application per block. Produces exactly
+/// the same table as the scalar wide build.
+pub fn waitfree_build_wide_batched(
+    states: &[u16],
+    arities: &[u16],
+    threads: usize,
+) -> Result<WidePotentialTable, CoreError> {
+    waitfree_build_wide_batched_recorded(states, arities, threads, &NoopRecorder)
+}
+
+/// [`waitfree_build_wide_batched`] with telemetry flowing into `rec`,
+/// including the v2 batching counters ([`Counter::BlocksFlushed`],
+/// [`Counter::KeysCoalesced`]).
+pub fn waitfree_build_wide_batched_recorded<R: Recorder>(
+    states: &[u16],
+    arities: &[u16],
+    threads: usize,
+    rec: &R,
+) -> Result<WidePotentialTable, CoreError> {
+    if threads == 0 {
+        return Err(CoreError::ZeroThreads);
+    }
+    if threads == 1 {
+        // One partition: nothing crosses a queue, so there is nothing to
+        // batch — the scalar wide build is already the whole hot path.
+        return waitfree_build_wide_recorded(states, arities, threads, rec);
+    }
+    let codec = WideCodec::new(arities)?;
+    let n = codec.num_vars();
+    if states.len() % n != 0 {
+        return Err(CoreError::BadVariableSet {
+            reason: "state buffer is not a whole number of rows",
+        });
+    }
+    let m = states.len() / n;
+    if m == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let p = threads;
+
+    let chunks = row_chunks(m, p);
+    let barrier = SpinBarrier::new(p);
+    struct Endpoints {
+        producers: Vec<Option<Producer<(u128, u64)>>>,
+        consumers: Vec<Option<Consumer<(u128, u64)>>>,
+    }
+    let mut endpoints: Vec<Endpoints> = (0..p)
+        .map(|_| Endpoints {
+            producers: (0..p).map(|_| None).collect(),
+            consumers: (0..p).map(|_| None).collect(),
+        })
+        .collect();
+    for from in 0..p {
+        for to in 0..p {
+            if from != to {
+                let (tx, rx) = channel::<(u128, u64)>();
+                endpoints[from].producers[to] = Some(tx);
+                endpoints[to].consumers[from] = Some(rx);
+            }
+        }
+    }
+
+    let mut results: Vec<Option<WideCountTable>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let codec = &codec;
+        let barrier = &barrier;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut ep)| {
+                let chunk = chunks[t];
+                std::thread::Builder::new()
+                    .name(format!("wfbn-bwide-{t}"))
+                    .spawn_scoped(s, move || {
+                        let mut cr = rec.core(t);
+                        let t0 = cr.now();
+                        let mut local = 0u64;
+                        let mut forwarded = 0u64;
+                        let mut combiner = crate::batch::Combiner::<u128>::new(p);
+                        let mut table = WideCountTable::with_capacity((m / p + 1).min(1 << 16));
+                        for row in states[chunk.start * n..chunk.end * n].chunks_exact(n) {
+                            let key = codec.encode(row);
+                            let owner = (key % p as u128) as usize;
+                            if owner == t {
+                                let probes = table.increment_probed(key, 1);
+                                cr.probe_len(probes);
+                                local += 1;
+                            } else {
+                                combiner.route(owner, key, &mut ep.producers);
+                                forwarded += 1;
+                            }
+                        }
+                        combiner.flush_all(&mut ep.producers);
+                        let segments: u64 = ep
+                            .producers
+                            .iter()
+                            .flatten()
+                            .map(Producer::segments_linked)
+                            .sum();
+                        ep.producers.clear();
+                        let t1 = cr.now();
+                        cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
+                        barrier.wait();
+                        let t2 = cr.now();
+                        cr.stage_ns(Stage::Barrier, t2.saturating_sub(t1));
+                        let mut drained = 0u64;
+                        let mut block: Vec<(u128, u64)> = Vec::new();
+                        for consumer in ep.consumers.iter_mut().flatten() {
+                            if R::ENABLED {
+                                cr.queue_depth(consumer.visible_backlog());
+                            }
+                            loop {
+                                block.clear();
+                                if consumer.pop_block(&mut block) == 0 {
+                                    break;
+                                }
+                                table.increment_block_probed(&block, |probes| {
+                                    cr.probe_len(probes);
+                                });
+                                for &(key, count) in &block {
+                                    debug_assert_eq!((key % p as u128) as usize, t);
+                                    let _ = key;
+                                    drained += count;
+                                }
+                            }
+                        }
+                        cr.stage_ns(Stage::Drain, cr.now().saturating_sub(t2));
+                        cr.add(Counter::RowsEncoded, (chunk.end - chunk.start) as u64);
+                        cr.add(Counter::LocalUpdates, local);
+                        cr.add(Counter::Forwarded, forwarded);
+                        cr.add(Counter::Drained, drained);
+                        cr.add(Counter::SegmentsLinked, segments);
+                        cr.add(Counter::TableGrows, table.grows());
+                        cr.add(Counter::BlocksFlushed, combiner.blocks_flushed());
+                        cr.add(Counter::KeysCoalesced, combiner.keys_coalesced());
+                        table
+                    })
+                    .expect("failed to spawn wide build thread")
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            results[t] = Some(h.join().expect("wide build thread panicked"));
+        }
+    });
+
+    Ok(WidePotentialTable {
+        codec,
+        partitions: results.into_iter().map(|r| r.expect("reported")).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +854,64 @@ mod tests {
         assert!(t.marginal_counts(&[], 1).is_err());
         assert!(t.marginal_counts(&[3, 1], 1).is_err());
         assert!(t.marginal_counts(&[99], 1).is_err());
+    }
+
+    #[test]
+    fn batched_wide_build_matches_scalar_wide_build() {
+        let arities = vec![3u16; 50];
+        let mut states = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..(50 * 2000) {
+            x = wfbn_concurrent::mix64(x);
+            states.push((x % 3) as u16);
+        }
+        let reference = waitfree_build_wide(&states, &arities, 1)
+            .unwrap()
+            .to_sorted_vec();
+        for p in [1usize, 2, 4, 8] {
+            let b = waitfree_build_wide_batched(&states, &arities, p)
+                .unwrap()
+                .to_sorted_vec();
+            assert_eq!(b, reference, "p={p}");
+        }
+    }
+
+    #[test]
+    fn batched_wide_build_errors_mirror_scalar() {
+        let arities = vec![2u16; 10];
+        assert!(matches!(
+            waitfree_build_wide_batched(&[], &arities, 2),
+            Err(CoreError::EmptyDataset)
+        ));
+        assert!(matches!(
+            waitfree_build_wide_batched(&[0, 1, 0], &arities, 2),
+            Err(CoreError::BadVariableSet { .. })
+        ));
+        assert!(matches!(
+            waitfree_build_wide_batched(&[0; 10], &arities, 0),
+            Err(CoreError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn wide_block_increment_matches_scalar_increments() {
+        let mut scalar = WideCountTable::default();
+        let mut batched = WideCountTable::default();
+        let mut x = 5u64;
+        let mut block = Vec::new();
+        for _ in 0..5_000 {
+            x = wfbn_concurrent::mix64(x);
+            let key = (u128::from(x) << 64) | u128::from(x % 251);
+            let by = x % 3 + 1;
+            scalar.increment(key, by);
+            block.push((key, by));
+        }
+        batched.increment_block(&block);
+        let mut a: Vec<(u128, u64)> = scalar.iter().collect();
+        let mut b: Vec<(u128, u64)> = batched.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 #![cfg(feature = "ownership-audit")]
 
 use wfbn_concurrent::audit;
-use wfbn_core::construct::{sequential_build, waitfree_build};
-use wfbn_core::pipeline::pipelined_build;
+use wfbn_core::construct::{sequential_build, waitfree_build, waitfree_build_batched};
+use wfbn_core::pipeline::{pipelined_build, pipelined_build_batched};
 use wfbn_core::CountTable;
 use wfbn_data::{Generator, Schema, UniformIndependent, ZipfIndependent};
 
@@ -44,6 +44,34 @@ fn pipelined_build_passes_the_audit() {
     let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
     let built = pipelined_build(&data, 4).unwrap();
     assert_eq!(built.table.to_sorted_vec(), reference);
+}
+
+/// The batched builders move data in `push_block` chunks through the
+/// write-combining buffers: every word of a flushed block must still have
+/// exactly one writer per stage. Skew maximizes coalescing, and 20k rows
+/// force multi-segment blocks, so a flush that strayed onto a foreign
+/// segment or a combiner buffer shared between cores would panic here.
+#[test]
+fn batched_block_flushes_stay_single_writer() {
+    let uniform = UniformIndependent::new(Schema::uniform(10, 2).unwrap()).generate(20_000, 1);
+    let skewed = ZipfIndependent::new(Schema::new(vec![2, 3, 4, 2, 5]).unwrap(), 1.5)
+        .unwrap()
+        .generate(10_000, 3);
+    for data in [&uniform, &skewed] {
+        let reference = sequential_build(data).unwrap().table.to_sorted_vec();
+        for p in [2usize, 4, 7] {
+            assert_eq!(
+                waitfree_build_batched(data, p).unwrap().table.to_sorted_vec(),
+                reference,
+                "batched two-stage p={p}"
+            );
+            assert_eq!(
+                pipelined_build_batched(data, p).unwrap().table.to_sorted_vec(),
+                reference,
+                "batched pipelined p={p}"
+            );
+        }
+    }
 }
 
 /// Negative control: hand the *same* table to two "cores" in the same stage

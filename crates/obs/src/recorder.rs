@@ -70,10 +70,18 @@ pub enum Counter {
     EntriesScanned = 8,
     /// Entries moved between partitions by a rebalance pass (§IV-C).
     RebalanceMoves = 9,
+    /// Write-combining buffer flushes: `push_block` calls made by this
+    /// core's batched stage-1 router (zero on every scalar path).
+    BlocksFlushed = 10,
+    /// Foreign key occurrences absorbed into an open `(key, count)` run by
+    /// the per-destination combiner instead of being shipped as their own
+    /// queue element. `Forwarded` still counts these occurrences, so
+    /// elements actually enqueued = `forwarded − keys_coalesced`.
+    KeysCoalesced = 11,
 }
 
 /// Number of [`Counter`] variants (array dimension).
-pub const NUM_COUNTERS: usize = 10;
+pub const NUM_COUNTERS: usize = 12;
 
 impl Counter {
     /// All counters, in index order.
@@ -88,6 +96,8 @@ impl Counter {
         Counter::PairsScanned,
         Counter::EntriesScanned,
         Counter::RebalanceMoves,
+        Counter::BlocksFlushed,
+        Counter::KeysCoalesced,
     ];
 
     /// Stable JSON/report key for the counter.
@@ -103,6 +113,8 @@ impl Counter {
             Counter::PairsScanned => "pairs_scanned",
             Counter::EntriesScanned => "entries_scanned",
             Counter::RebalanceMoves => "rebalance_moves",
+            Counter::BlocksFlushed => "blocks_flushed",
+            Counter::KeysCoalesced => "keys_coalesced",
         }
     }
 }

@@ -6,7 +6,7 @@
 //! A [`MetricsReport`] is plain data: once snapshotted it can be merged with
 //! reports from other runs (bench repetitions), validated against the routing
 //! and queue conservation laws of the two-stage primitive, and rendered as a
-//! stable `wfbn-metrics-v1` JSON document for the `--metrics` flags.
+//! stable `wfbn-metrics-v2` JSON document for the `--metrics` flags.
 
 use crate::recorder::{
     Counter, Stage, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS, PROBE_BUCKET_LABELS,
@@ -14,7 +14,9 @@ use crate::recorder::{
 
 /// Identifier embedded in every emitted JSON document; bump on any
 /// key/shape change so downstream tooling can detect incompatibility.
-pub const SCHEMA: &str = "wfbn-metrics-v1";
+/// v2 added the write-combining counters (`blocks_flushed`,
+/// `keys_coalesced`) and their conservation rules.
+pub const SCHEMA: &str = "wfbn-metrics-v2";
 
 /// One core's telemetry, copied out of its [`CoreMetrics`](crate::CoreMetrics)
 /// slot.
@@ -134,9 +136,19 @@ impl MetricsReport {
     /// * a single-core report must show no queue traffic at all
     ///   (`forwarded`, `drained`, `segments_linked`, `queue_hwm` all zero);
     /// * when no rebalance ran, probe-histogram mass must equal
-    ///   `local_updates + drained` (one histogram entry per table increment)
-    ///   — enforced when both sides are non-zero, so reports from partial
-    ///   instrumentation or direct recorder use stay valid.
+    ///   `local_updates + drained − keys_coalesced` (one histogram entry per
+    ///   table increment; a coalesced occurrence rides an existing
+    ///   `(key, count)` element and triggers no probe of its own) — enforced
+    ///   when both sides are non-zero, so reports from partial
+    ///   instrumentation or direct recorder use stay valid;
+    /// * per core, `keys_coalesced` must not exceed `forwarded`
+    ///   (coalesced-count mass: every coalesced occurrence is a forwarded
+    ///   occurrence);
+    /// * coalescing only happens inside the write-combining path, so
+    ///   `keys_coalesced > 0` requires `blocks_flushed > 0`;
+    /// * per core, when blocks were flushed, every flush carried at least
+    ///   one element: `blocks_flushed ≤ forwarded − keys_coalesced`
+    ///   (blocks × flush accounting).
     pub fn validate(&self) -> Result<(), String> {
         for (core, r) in self.cores.iter().enumerate() {
             let rows = r.counter(Counter::RowsEncoded);
@@ -168,12 +180,37 @@ impl MetricsReport {
                 ));
             }
         }
+        for (core, r) in self.cores.iter().enumerate() {
+            let fwd = r.counter(Counter::Forwarded);
+            let coalesced = r.counter(Counter::KeysCoalesced);
+            let blocks = r.counter(Counter::BlocksFlushed);
+            if coalesced > fwd {
+                return Err(format!(
+                    "core {core}: keys_coalesced {coalesced} > forwarded {fwd}"
+                ));
+            }
+            if coalesced > 0 && blocks == 0 {
+                return Err(format!(
+                    "core {core}: keys_coalesced {coalesced} with blocks_flushed 0 \
+                     (coalescing outside the write-combining path)"
+                ));
+            }
+            if blocks > 0 && blocks > fwd - coalesced {
+                return Err(format!(
+                    "core {core}: blocks_flushed {blocks} > enqueued elements {} \
+                     (some flush carried no element)",
+                    fwd - coalesced
+                ));
+            }
+        }
         let mass = self.probe_hist_mass();
-        let increments = self.total(Counter::LocalUpdates) + drained;
+        let increments = (self.total(Counter::LocalUpdates) + drained)
+            .saturating_sub(self.total(Counter::KeysCoalesced));
         if self.total(Counter::RebalanceMoves) == 0 && mass != 0 && increments != 0 && mass != increments
         {
             return Err(format!(
-                "probe-histogram mass {mass} != local_updates + drained {increments}"
+                "probe-histogram mass {mass} != local_updates + drained - keys_coalesced \
+                 {increments}"
             ));
         }
         Ok(())
@@ -360,6 +397,46 @@ mod tests {
     }
 
     #[test]
+    fn batched_report_with_coalescing_validates() {
+        // Core 0 forwards 2 occurrences of which 1 coalesces into an open
+        // run, so 1 element is enqueued in 1 flushed block; drains apply one
+        // table increment per element, so histogram mass drops by the
+        // coalesced occurrence.
+        let mut r = build_like_report();
+        r.cores[0].counters[Counter::BlocksFlushed as usize] = 1;
+        r.cores[0].counters[Counter::KeysCoalesced as usize] = 1;
+        r.cores[0].probe_hist[0] = 5; // unchanged: stage-1 local + drained
+        r.cores[1].probe_hist[1] = 4; // one fewer drain-side increment
+        r.validate().expect("coalesced batched report conserves");
+    }
+
+    #[test]
+    fn coalesced_mass_violation_is_reported() {
+        let mut r = build_like_report();
+        r.cores[0].counters[Counter::BlocksFlushed as usize] = 1;
+        r.cores[0].counters[Counter::KeysCoalesced as usize] = 3; // > forwarded (2)
+        let err = r.validate().expect_err("coalesced > forwarded");
+        assert!(err.contains("keys_coalesced"), "{err}");
+    }
+
+    #[test]
+    fn coalescing_without_flushes_is_reported() {
+        let mut r = build_like_report();
+        r.cores[0].counters[Counter::KeysCoalesced as usize] = 1;
+        let err = r.validate().expect_err("coalescing needs a flush path");
+        assert!(err.contains("blocks_flushed 0"), "{err}");
+    }
+
+    #[test]
+    fn empty_flush_accounting_violation_is_reported() {
+        let mut r = build_like_report();
+        // Core 0 forwarded 2 occurrences but claims 5 flushed blocks.
+        r.cores[0].counters[Counter::BlocksFlushed as usize] = 5;
+        let err = r.validate().expect_err("more blocks than elements");
+        assert!(err.contains("blocks_flushed 5"), "{err}");
+    }
+
+    #[test]
     fn merge_adds_counters_and_maxes_hwm() {
         let mut a = build_like_report();
         let b = build_like_report();
@@ -382,7 +459,7 @@ mod tests {
     #[test]
     fn json_contains_schema_and_all_keys() {
         let json = build_like_report().to_json();
-        assert!(json.contains("\"schema\": \"wfbn-metrics-v1\""));
+        assert!(json.contains("\"schema\": \"wfbn-metrics-v2\""));
         assert!(json.contains("\"cores\": 2"));
         for c in Counter::ALL {
             assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c.name());

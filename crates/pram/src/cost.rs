@@ -39,6 +39,27 @@ pub struct CostModel {
     pub mi_cell: f64,
     /// Per-row loop overhead (pointer bump, bounds, branch).
     pub row_overhead: f64,
+    /// Encoding one variable under block encoding (`encode_rows`): the
+    /// 4-row micro-tile breaks the per-row multiply-accumulate dependency
+    /// chain, so the out-of-order core retires ~2 mul-adds per cycle
+    /// instead of ~1 — a per-variable cost below the scalar `encode_var`.
+    pub encode_var_block: f64,
+    /// Per-row loop overhead under block encoding: one bounds check and
+    /// pointer bump per 4-row tile instead of per row.
+    pub block_row_overhead: f64,
+    /// One element appended inside `push_block`: the slot store only — the
+    /// release `len` publication is amortized into `block_publish`.
+    pub queue_push_block: f64,
+    /// One element consumed inside `pop_block`: the acquire load and the
+    /// `consumed` store are amortized across the block's elements.
+    pub queue_pop_block: f64,
+    /// Fixed cost of publishing one write-combining flush: the release
+    /// store of `len`, the branch structure, and the occasional segment
+    /// link, per `push_block` call.
+    pub block_publish: f64,
+    /// One combiner routing step (buffer index, last-key compare, append or
+    /// count bump) — paid per foreign occurrence on the batched paths.
+    pub combine_hit: f64,
     /// Clock frequency used to convert cycles to seconds.
     pub ghz: f64,
     /// Cores per NUMA socket. The paper's platform is a 2 × 16-core
@@ -65,6 +86,12 @@ impl Default for CostModel {
             marginal_update: 4.0,
             mi_cell: 30.0,
             row_overhead: 3.0,
+            encode_var_block: 1.2,
+            block_row_overhead: 1.0,
+            queue_push_block: 3.0,
+            queue_pop_block: 2.0,
+            block_publish: 10.0,
+            combine_hit: 2.0,
             ghz: 2.4,
             cores_per_socket: 16,
             cross_socket_multiplier: 2.5,
@@ -90,6 +117,18 @@ impl CostModel {
     /// Cost of encoding one `n`-variable row (including loop overhead).
     pub fn encode_row(&self, n: usize) -> f64 {
         self.encode_var * n as f64 + self.row_overhead
+    }
+
+    /// Cost of encoding one `n`-variable row inside an `encode_rows` block
+    /// (ILP tile + amortized loop overhead).
+    pub fn encode_row_block(&self, n: usize) -> f64 {
+        self.encode_var_block * n as f64 + self.block_row_overhead
+    }
+
+    /// Queue elements per transferred cache line on the batched paths: the
+    /// combined `(key, count)` element is 16 bytes, twice the scalar key.
+    pub fn pairs_per_line(&self) -> f64 {
+        (self.keys_per_line / 2.0).max(1.0)
     }
 
     /// Expected cost of fetching a line last written by a *random other*
@@ -136,6 +175,18 @@ mod tests {
         // beat a multiply — sanity relations the curves depend on.
         assert!(m.line_transfer > 10.0 * m.probe);
         assert!(m.decode_var > m.encode_var);
+    }
+
+    #[test]
+    fn batched_constants_undercut_scalar_constants() {
+        let m = CostModel::default();
+        assert!(m.encode_var_block < m.encode_var);
+        assert!(m.block_row_overhead < m.row_overhead);
+        assert!(m.queue_push_block < m.queue_push);
+        assert!(m.queue_pop_block < m.queue_pop);
+        assert!(m.encode_row_block(30) < m.encode_row(30));
+        assert!((m.pairs_per_line() - m.keys_per_line / 2.0).abs() < 1e-12);
+        assert!(m.block_publish > 0.0 && m.combine_hit > 0.0);
     }
 
     #[test]

@@ -44,4 +44,7 @@ pub use report::{SimPoint, SimSeries};
 pub use sim_locked::simulate_striped_build;
 pub use sim_marginal::{simulate_all_pairs_mi, simulate_marginalization};
 pub use sim_pipeline::simulate_pipelined_build;
-pub use sim_waitfree::{simulate_sequential_build, simulate_waitfree_build};
+pub use sim_waitfree::{
+    simulate_sequential_build, simulate_sequential_build_batched, simulate_waitfree_build,
+    simulate_waitfree_build_batched,
+};

@@ -114,6 +114,142 @@ pub fn simulate_waitfree_build(
     (point, table)
 }
 
+/// Simulates the single-threaded *batched* build (`sequential_build_batched`):
+/// block encoding via the `encode_rows` ILP tile plus the batched table
+/// application. Returns the point and the finished table.
+pub fn simulate_sequential_build_batched(
+    data: &Dataset,
+    model: &CostModel,
+) -> (SimPoint, PotentialTable) {
+    let codec = KeyCodec::new(data.schema());
+    let n = codec.num_vars();
+    let mut table = CountTable::with_capacity(data.num_samples().min(1 << 16));
+    let mut cycles = 0.0;
+    for row in data.rows() {
+        let key = codec.encode(row);
+        cycles += model.encode_row_block(n);
+        let probes_before = table.probes();
+        table.increment(key, 1);
+        cycles += (table.probes() - probes_before) as f64 * model.probe + model.update;
+    }
+    let point = SimPoint {
+        cores: 1,
+        elapsed_cycles: cycles,
+        per_core_cycles: vec![cycles],
+    };
+    let table = PotentialTable::from_parts(codec, KeyPartitioner::modulo(1), vec![table]);
+    (point, table)
+}
+
+/// Simulates the batched wait-free build (`waitfree_build_batched`) on `p`
+/// cores: block encoding, write-combining routing with last-key coalescing
+/// (the real combiner decisions are executed, so flush and coalesce counts
+/// are exact), block queue transfer, and weighted stage-2 application.
+///
+/// Cost deltas against [`simulate_waitfree_build`]:
+/// * encode: [`CostModel::encode_row_block`] per row instead of
+///   [`CostModel::encode_row`];
+/// * forward: one [`CostModel::combine_hit`] per occurrence, plus — only for
+///   occurrences that become queue elements — [`CostModel::queue_push_block`]
+///   each and [`CostModel::block_publish`] per flush;
+/// * drain: [`CostModel::queue_pop_block`] per element, line transfers
+///   amortized over [`CostModel::pairs_per_line`] (16-byte elements), one
+///   weighted table update per element.
+pub fn simulate_waitfree_build_batched(
+    data: &Dataset,
+    p: usize,
+    model: &CostModel,
+) -> (SimPoint, PotentialTable) {
+    assert!(p > 0, "need at least one simulated core");
+    if p == 1 {
+        return simulate_sequential_build_batched(data, model);
+    }
+    let codec = KeyCodec::new(data.schema());
+    let partitioner = KeyPartitioner::modulo(p);
+    let n = codec.num_vars();
+    let m = data.num_samples();
+    let chunks = row_chunks(m, p);
+    let hint = (m / p + 1).min(1 << 16);
+
+    let mut tables: Vec<CountTable> = (0..p).map(|_| CountTable::with_capacity(hint)).collect();
+    // queues[owner] holds the combined (key, count) elements destined for
+    // `owner`, in flush order.
+    let mut queues: Vec<Vec<(u64, u64)>> = (0..p).map(|_| Vec::new()).collect();
+    let mut stage1 = vec![0.0f64; p];
+    let mut stage2 = vec![0.0f64; p];
+
+    // ---- Stage 1 on each simulated core. ----
+    for (t, chunk) in chunks.iter().enumerate() {
+        let mut cycles = 0.0;
+        // The real write-combining buffers, one per destination (the
+        // simulated core's private state — re-created per core).
+        let mut bufs: Vec<Vec<(u64, u64)>> = (0..p).map(|_| Vec::new()).collect();
+        for row in data.row_range(chunk.start, chunk.end).chunks_exact(n) {
+            let key = codec.encode(row);
+            cycles += model.encode_row_block(n);
+            let owner = partitioner.owner(key);
+            if owner == t {
+                let before = tables[t].probes();
+                tables[t].increment(key, 1);
+                cycles += (tables[t].probes() - before) as f64 * model.probe + model.update;
+            } else {
+                // The combiner's routing decision, executed for real.
+                cycles += model.combine_hit;
+                let buf = &mut bufs[owner];
+                if let Some(last) = buf.last_mut() {
+                    if last.0 == key {
+                        last.1 += 1;
+                        continue;
+                    }
+                }
+                if buf.len() == wfbn_core::batch::WC_CAP {
+                    cycles +=
+                        model.block_publish + buf.len() as f64 * model.queue_push_block;
+                    queues[owner].append(buf);
+                }
+                buf.push((key, 1));
+            }
+        }
+        // flush_all: ship every non-empty residue.
+        for (owner, buf) in bufs.into_iter().enumerate() {
+            if !buf.is_empty() {
+                cycles += model.block_publish + buf.len() as f64 * model.queue_push_block;
+                queues[owner].extend(buf);
+            }
+        }
+        stage1[t] = cycles;
+    }
+
+    // ---- Stage 2 on each simulated core. ----
+    for (t, elements) in queues.iter().enumerate() {
+        let mut cycles = 0.0;
+        for &(key, count) in elements {
+            debug_assert_eq!(partitioner.owner(key), t);
+            let before = tables[t].probes();
+            tables[t].increment(key, count);
+            cycles += (tables[t].probes() - before) as f64 * model.probe
+                + model.update
+                + model.queue_pop_block
+                // 16-byte elements: half as many fit per transferred line as
+                // scalar keys, but coalesced runs never cross at all.
+                + model.remote_transfer_cost(p) / model.pairs_per_line();
+        }
+        stage2[t] = cycles;
+    }
+
+    let max1 = stage1.iter().cloned().fold(0.0, f64::max);
+    let max2 = stage2.iter().cloned().fold(0.0, f64::max);
+    let elapsed = max1 + model.barrier(p) + max2;
+    let per_core: Vec<f64> = stage1.iter().zip(&stage2).map(|(a, b)| a + b).collect();
+    let point = SimPoint {
+        cores: p,
+        elapsed_cycles: elapsed,
+        per_core_cycles: per_core,
+    };
+    let table = PotentialTable::from_parts(codec, partitioner, tables);
+    (point, table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +333,59 @@ mod tests {
             (1.2..=1.8).contains(&ratio),
             "n 30→50 should grow ≈ encode share × 5/3: {ratio}"
         );
+    }
+
+    #[test]
+    fn batched_simulated_table_is_the_real_table() {
+        let d = data(10, 5_000);
+        let reference = sequential_build(&d).unwrap().table.to_sorted_vec();
+        let model = CostModel::default();
+        for p in [1usize, 2, 4, 8] {
+            let (_, table) = simulate_waitfree_build_batched(&d, p, &model);
+            assert_eq!(table.to_sorted_vec(), reference, "p={p}");
+        }
+    }
+
+    #[test]
+    fn batched_beats_scalar_on_the_fig3_workload() {
+        // The PR acceptance bar: ≥ 1.3× simulated-cycle advantage at P = 8
+        // on the fig. 3 uniform workload shape (n = 30 binary variables).
+        let d = data(30, 20_000);
+        let model = CostModel::default();
+        let (scalar, _) = simulate_waitfree_build(&d, 8, &model);
+        let (batched, _) = simulate_waitfree_build_batched(&d, 8, &model);
+        let advantage = scalar.elapsed_cycles / batched.elapsed_cycles;
+        assert!(
+            advantage >= 1.3,
+            "batched advantage at P=8: {advantage:.3}×"
+        );
+        // And sequentially, the ILP encode tile alone must win.
+        let (seq_scalar, _) = simulate_sequential_build(&d, &model);
+        let (seq_batched, _) = simulate_sequential_build_batched(&d, &model);
+        assert!(seq_batched.elapsed_cycles < seq_scalar.elapsed_cycles);
+    }
+
+    #[test]
+    fn batched_speedup_is_monotone_through_the_paper_range() {
+        let d = data(30, 20_000);
+        let model = CostModel::default();
+        let (base, _) = simulate_sequential_build_batched(&d, &model);
+        let mut prev = 0.0;
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            let (pt, _) = simulate_waitfree_build_batched(&d, p, &model);
+            let s = base.elapsed_cycles / pt.elapsed_cycles;
+            assert!(s > prev, "speedup must grow: p={p} s={s} prev={prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn batched_simulation_is_deterministic() {
+        let d = data(8, 2_000);
+        let model = CostModel::default();
+        let (a, _) = simulate_waitfree_build_batched(&d, 4, &model);
+        let (b, _) = simulate_waitfree_build_batched(&d, 4, &model);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Batched-vs-scalar equivalence: the block-granular hot paths (write-
+//! combining routing, `push_block`/`pop_block` transfer, combiner
+//! pre-aggregation, batched table application) are pure performance
+//! transformations — on every input, at every thread count, they must
+//! produce *byte-identical* tables and MI surfaces indistinguishable to
+//! 1e-12 from the scalar builders.
+//!
+//! Deterministic cases pin the seams the property tests may miss: block
+//! sizes straddling the SPSC segment capacity (`SEG_CAP − 1`, `SEG_CAP`,
+//! `SEG_CAP + 1`), where `push_block` must link and publish fresh segments
+//! mid-block.
+
+use proptest::prelude::*;
+use wfbn_concurrent::spsc::{channel, SEG_CAP};
+use wfbn_core::allpairs::all_pairs_mi;
+use wfbn_core::construct::{
+    sequential_build, sequential_build_batched, waitfree_build, waitfree_build_batched,
+};
+use wfbn_core::pipeline::pipelined_build_batched;
+use wfbn_core::stream::StreamingBuilder;
+use wfbn_core::wide::{waitfree_build_wide, waitfree_build_wide_batched};
+use wfbn_core::CountTable;
+use wfbn_data::{Dataset, Generator, Schema, UniformIndependent, ZipfIndependent};
+
+/// The acceptance grid from the issue: every batched path must agree with
+/// its scalar twin at each of these thread counts.
+const CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// A random schema of 1–6 variables with arities 2–5.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2u16..=5, 1..=6).prop_map(|arities| Schema::new(arities).unwrap())
+}
+
+/// A random dataset of 1–400 rows conforming to a random schema.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    schema_strategy().prop_flat_map(|schema| {
+        let n = schema.num_vars();
+        let arities: Vec<u16> = schema.arities().to_vec();
+        prop::collection::vec(
+            prop::collection::vec(0u16..5, n).prop_map(move |mut row| {
+                for (s, &r) in row.iter_mut().zip(&arities) {
+                    *s %= r;
+                }
+                row
+            }),
+            1..=400,
+        )
+        .prop_map(move |rows| {
+            let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+            Dataset::from_rows(schema.clone(), &refs).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_builders_are_byte_identical_to_scalar(
+        data in dataset_strategy(),
+        pi in 0usize..CORES.len(),
+    ) {
+        let p = CORES[pi];
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        prop_assert_eq!(
+            sequential_build_batched(&data).unwrap().table.to_sorted_vec(),
+            reference.clone(),
+            "sequential batched"
+        );
+        prop_assert_eq!(
+            waitfree_build_batched(&data, p).unwrap().table.to_sorted_vec(),
+            reference.clone(),
+            "two-stage batched at p={}", p
+        );
+        prop_assert_eq!(
+            pipelined_build_batched(&data, p).unwrap().table.to_sorted_vec(),
+            reference.clone(),
+            "pipelined batched at p={}", p
+        );
+        let mut stream = StreamingBuilder::new(data.schema(), p).unwrap();
+        stream.absorb_batched(&data).unwrap();
+        prop_assert_eq!(
+            stream.finish().unwrap().table.to_sorted_vec(),
+            reference,
+            "streaming batched at p={}", p
+        );
+    }
+
+    #[test]
+    fn batched_tables_yield_mi_within_1e_12(
+        data in dataset_strategy(),
+        pi in 0usize..CORES.len(),
+    ) {
+        let p = CORES[pi];
+        let scalar = waitfree_build(&data, p).unwrap().table;
+        let batched = waitfree_build_batched(&data, p).unwrap().table;
+        let mi_scalar = all_pairs_mi(&scalar, 1);
+        let mi_batched = all_pairs_mi(&batched, 1);
+        prop_assert!(
+            mi_scalar.max_abs_diff(&mi_batched) < 1e-12,
+            "MI drifted at p={}", p
+        );
+    }
+}
+
+/// `push_block` sized exactly around `SEG_CAP` — one slot short of the
+/// boundary, landing on it, and one slot past it — plus a multi-segment
+/// block. Every element must come back, in order, via `pop_block`.
+#[test]
+fn push_block_straddles_segment_boundaries_losslessly() {
+    for len in [SEG_CAP - 1, SEG_CAP, SEG_CAP + 1, 3 * SEG_CAP + 1] {
+        let (mut tx, mut rx) = channel::<u64>();
+        let block: Vec<u64> = (0..len as u64).collect();
+        tx.push_block(&block);
+        drop(tx); // close: everything already published
+        let mut got = Vec::new();
+        while rx.pop_block(&mut got) > 0 {}
+        assert_eq!(got, block, "len={len}");
+    }
+}
+
+/// Block producer with scalar consumer and vice versa: the two granularities
+/// share one publication protocol, so they must interoperate across the
+/// same boundary-straddling sizes.
+#[test]
+fn block_and_scalar_endpoints_interoperate() {
+    for len in [SEG_CAP - 1, SEG_CAP, SEG_CAP + 1] {
+        // push_block → try_pop
+        let (mut tx, mut rx) = channel::<u64>();
+        let block: Vec<u64> = (0..len as u64).collect();
+        tx.push_block(&block);
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.try_pop() {
+            got.push(v);
+        }
+        assert_eq!(got, block, "push_block→try_pop len={len}");
+
+        // push → pop_block
+        let (mut tx, mut rx) = channel::<u64>();
+        for v in 0..len as u64 {
+            tx.push(v);
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while rx.pop_block(&mut got) > 0 {}
+        assert_eq!(got, block, "push→pop_block len={len}");
+    }
+}
+
+/// `CountTable::increment_block` (prefetch + pre-hash tiles) must count
+/// exactly like a loop of scalar increments at block sizes around the
+/// segment capacity and around its internal tile width.
+#[test]
+fn count_table_block_application_matches_scalar_increments() {
+    for len in [1, 15, 16, 17, SEG_CAP - 1, SEG_CAP, SEG_CAP + 1] {
+        let pairs: Vec<(u64, u64)> = (0..len as u64)
+            .map(|i| (i % 97, 1 + (i % 3)))
+            .collect();
+        let mut blocked = CountTable::new();
+        blocked.increment_block(&pairs);
+        let mut scalar = CountTable::new();
+        for &(k, c) in &pairs {
+            scalar.increment(k, c);
+        }
+        assert_eq!(
+            blocked.to_sorted_vec(),
+            scalar.to_sorted_vec(),
+            "len={len}"
+        );
+    }
+}
+
+/// Full builds whose per-queue traffic lands around the segment boundary:
+/// with two threads and distinct keys, each foreign queue carries ≈ m/2
+/// un-coalescible elements, so m near 2·SEG_CAP exercises flushes that
+/// split across fresh segments inside the real pipeline.
+#[test]
+fn builds_agree_at_row_counts_straddling_seg_cap() {
+    let schema = Schema::uniform(16, 2).unwrap();
+    for m in [
+        SEG_CAP - 1,
+        SEG_CAP,
+        SEG_CAP + 1,
+        2 * SEG_CAP,
+        2 * SEG_CAP + 1,
+    ] {
+        let data = UniformIndependent::new(schema.clone()).generate(m, 7);
+        let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+        for p in CORES {
+            assert_eq!(
+                waitfree_build_batched(&data, p).unwrap().table.to_sorted_vec(),
+                reference,
+                "two-stage m={m} p={p}"
+            );
+            assert_eq!(
+                pipelined_build_batched(&data, p).unwrap().table.to_sorted_vec(),
+                reference,
+                "pipelined m={m} p={p}"
+            );
+        }
+    }
+}
+
+/// Skew is the combiner's best case (long duplicate runs coalesce into few
+/// weighted pairs) and therefore the most likely place to lose or double
+/// count mass.
+#[test]
+fn batched_builds_survive_heavy_skew() {
+    let schema = Schema::uniform(14, 2).unwrap();
+    let data = ZipfIndependent::new(schema, 2.2)
+        .unwrap()
+        .generate(30_000, 13);
+    let reference = sequential_build(&data).unwrap().table.to_sorted_vec();
+    for p in CORES {
+        assert_eq!(
+            waitfree_build_batched(&data, p).unwrap().table.to_sorted_vec(),
+            reference,
+            "p={p}"
+        );
+    }
+}
+
+/// The 128-bit wide build's batched twin must agree with the scalar wide
+/// build across the same thread grid, beyond the u64 key space.
+#[test]
+fn wide_batched_matches_wide_scalar() {
+    let n = 80;
+    let m = 4_000;
+    let mut states = Vec::with_capacity(n * m);
+    let mut x = 11u64;
+    for _ in 0..(n * m) {
+        x = wfbn_concurrent::mix64(x);
+        states.push((x & 1) as u16);
+    }
+    let arities = vec![2u16; n];
+    let reference = waitfree_build_wide(&states, &arities, 1)
+        .unwrap()
+        .to_sorted_vec();
+    for p in CORES {
+        let batched = waitfree_build_wide_batched(&states, &arities, p).unwrap();
+        assert_eq!(batched.to_sorted_vec(), reference, "p={p}");
+        assert_eq!(batched.total_count(), m as u64);
+    }
+}

@@ -9,10 +9,13 @@
 //! (and panics on violation), so this suite doubles as the strict-mode CI
 //! gate.
 
-use wfbn_core::construct::{sequential_build_recorded, waitfree_build, waitfree_build_recorded};
+use wfbn_core::construct::{
+    sequential_build_recorded, waitfree_build, waitfree_build_batched_recorded,
+    waitfree_build_recorded,
+};
 use wfbn_core::marginal::marginalize_recorded;
 use wfbn_core::obs::{Counter, Stage, PROBE_BUCKETS};
-use wfbn_core::pipeline::pipelined_build_recorded;
+use wfbn_core::pipeline::{pipelined_build_batched_recorded, pipelined_build_recorded};
 use wfbn_core::rebalance::rebalance_recorded;
 use wfbn_core::stream::StreamingBuilder;
 use wfbn_core::wide::waitfree_build_wide_recorded;
@@ -219,6 +222,120 @@ fn probe_histogram_buckets_cover_all_mass() {
     assert!(hist[0] > 0, "some increments must hit on the first probe");
     // Probes counter dominates the mass: every increment needs ≥ 1 probe.
     assert!(report.total(Counter::Probes) >= report.probe_hist_mass());
+}
+
+/// The extra laws the batched (write-combining) paths must satisfy on top
+/// of [`assert_build_conservation`].
+fn assert_batch_accounting(report: &MetricsReport, label: &str) {
+    let forwarded = report.total(Counter::Forwarded);
+    let coalesced = report.total(Counter::KeysCoalesced);
+    let blocks = report.total(Counter::BlocksFlushed);
+    assert!(
+        coalesced <= forwarded,
+        "{label}: coalesced occurrences are a subset of forwarded ones"
+    );
+    if forwarded > 0 {
+        assert!(
+            blocks > 0,
+            "{label}: routed keys can only cross inside a flushed block"
+        );
+        assert!(
+            blocks <= forwarded - coalesced,
+            "{label}: every flush ships ≥ 1 element ({blocks} blocks, \
+             {} elements)",
+            forwarded - coalesced
+        );
+    }
+    // Per-core ledgers, not just totals: flushes and coalesces happen on the
+    // producing core.
+    for (i, core) in report.cores.iter().enumerate() {
+        let fwd = core.counter(Counter::Forwarded);
+        let coal = core.counter(Counter::KeysCoalesced);
+        let blk = core.counter(Counter::BlocksFlushed);
+        assert!(coal <= fwd, "{label}: core {i} coalesced ≤ forwarded");
+        assert!(
+            blk <= fwd.saturating_sub(coal),
+            "{label}: core {i} blocks ≤ shipped elements"
+        );
+    }
+    // The probe histogram saw one sample per *table increment*: locals plus
+    // drained elements (a coalesced pair is one increment of weight > 1).
+    assert_eq!(
+        report.probe_hist_mass(),
+        report.total(Counter::LocalUpdates) + report.total(Counter::Drained) - coalesced,
+        "{label}: probe mass = local + drained − coalesced"
+    );
+    report.validate().expect("batched report passes the validator");
+}
+
+#[test]
+fn batched_builders_balance_with_block_accounting() {
+    let m = 6_000;
+    let data = workload(14, m, 11);
+    for p in [2usize, 3, 4, 8] {
+        let rec = CoreMetrics::new(p);
+        let built = waitfree_build_batched_recorded(&data, p, &rec).unwrap();
+        assert_eq!(built.table.total_count(), m as u64);
+        let report = rec.snapshot();
+        assert_build_conservation(&report, m as u64, &format!("batched waitfree p={p}"));
+        assert_batch_accounting(&report, &format!("batched waitfree p={p}"));
+
+        let rec = CoreMetrics::new(p);
+        pipelined_build_batched_recorded(&data, p, &rec).unwrap();
+        let report = rec.snapshot();
+        assert_build_conservation(&report, m as u64, &format!("batched pipelined p={p}"));
+        assert_batch_accounting(&report, &format!("batched pipelined p={p}"));
+    }
+}
+
+#[test]
+fn batched_coalescing_on_skew_preserves_count_mass() {
+    // Zipf(1.8) over a small state space produces long duplicate runs: the
+    // combiner must coalesce aggressively, yet drained *mass* (Σ counts)
+    // still equals forwarded occurrences exactly.
+    let schema = Schema::new(vec![3, 3, 3, 3]).unwrap();
+    let data = ZipfIndependent::new(schema, 1.8).unwrap().generate(8_000, 29);
+    let rec = CoreMetrics::new(4);
+    let built = waitfree_build_batched_recorded(&data, 4, &rec).unwrap();
+    assert_eq!(built.table.total_count(), 8_000);
+    let report = rec.snapshot();
+    assert!(
+        report.total(Counter::KeysCoalesced) > 0,
+        "skewed keys must coalesce"
+    );
+    assert_eq!(
+        report.total(Counter::Forwarded),
+        report.total(Counter::Drained),
+        "coalescing must not create or destroy occurrence mass"
+    );
+    assert_batch_accounting(&report, "zipf batched");
+}
+
+#[test]
+fn scalar_paths_report_zero_batch_counters() {
+    let data = workload(12, 3_000, 19);
+    let rec = CoreMetrics::new(4);
+    waitfree_build_recorded(&data, 4, &rec).unwrap();
+    let report = rec.snapshot();
+    assert_eq!(report.total(Counter::BlocksFlushed), 0);
+    assert_eq!(report.total(Counter::KeysCoalesced), 0);
+}
+
+#[test]
+fn batched_streaming_absorbs_accumulate_into_one_balanced_report() {
+    let schema = Schema::uniform(12, 2).unwrap();
+    let batches: Vec<Dataset> = (0..3)
+        .map(|seed| UniformIndependent::new(schema.clone()).generate(1_500, seed))
+        .collect();
+    let rec = CoreMetrics::new(3);
+    let mut builder = StreamingBuilder::with_capacity_hint(&schema, 3, 4_500).unwrap();
+    for batch in &batches {
+        builder.absorb_batched_recorded(batch, &rec).unwrap();
+    }
+    assert_eq!(builder.rows_absorbed(), 4_500);
+    let report = rec.snapshot();
+    assert_build_conservation(&report, 4_500, "batched streaming");
+    assert_batch_accounting(&report, "batched streaming");
 }
 
 #[test]

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Guards the batched hot paths against cost regressions: re-runs the
+# *simulated* fig. 3 sweep at the committed snapshot's workload and fails if
+# any batched per-core cycle count exceeds the committed baseline by more
+# than 10%. Simulated cycles are deterministic (dataset seed + cost model ⇒
+# exact number), so on an unchanged tree this check reproduces the baseline
+# bit-for-bit; any drift is a real algorithm/cost-model change, and >10%
+# slower is a regression someone must either fix or re-baseline consciously
+# (by re-running tools/bench_snapshot.sh and committing the new snapshot).
+# Wall-clock numbers in the snapshot are ignored — they depend on the host.
+#
+# Dependency-free (grep/awk) so CI can run it without a JSON parser.
+#
+# Usage: tools/check_bench_regression.sh [BASELINE]  (default BENCH_pr3.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_pr3.json}
+if [[ ! -f $baseline ]]; then
+    echo "check_bench_regression: $baseline not found" >&2
+    echo "generate it with: tools/bench_snapshot.sh" >&2
+    exit 1
+fi
+
+# Pull the workload and the committed batched series out of the baseline.
+extract_scalar() {
+    grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}'
+}
+n=$(extract_scalar n)
+m=$(extract_scalar m)
+seed=$(extract_scalar seed)
+cores=$(grep -o '"cores": \[[0-9, ]*\]' "$baseline" | head -1 \
+        | sed 's/.*\[//; s/\]//; s/ //g')
+committed=$(grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' "$baseline" | head -1 \
+        | sed 's/.*\[//; s/\]//; s/ //g')
+if [[ -z $n || -z $m || -z $seed || -z $cores || -z $committed ]]; then
+    echo "check_bench_regression: could not parse workload/series from $baseline" >&2
+    exit 1
+fi
+
+# Re-run the simulated sweep only (reps=1: wall numbers are discarded).
+current_json=$(cargo run --release -q -p wfbn-bench --bin bench_snapshot -- \
+    --samples "$m" --vars "$n" --seed "$seed" --cores "$cores" --reps 1)
+current=$(echo "$current_json" \
+        | grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' | head -1 \
+        | sed 's/.*\[//; s/\]//; s/ //g')
+if [[ -z $current ]]; then
+    echo "check_bench_regression: bench_snapshot produced no batched series" >&2
+    exit 1
+fi
+
+echo "workload: n=$n m=$m seed=$seed cores=[$cores]"
+echo "baseline: $committed"
+echo "current:  $current"
+
+awk -v base="$committed" -v cur="$current" -v cores="$cores" '
+    BEGIN {
+        nb = split(base, b, ",")
+        nc = split(cur, c, ",")
+        split(cores, p, ",")
+        if (nb != nc) {
+            printf "check_bench_regression: series length mismatch (%d vs %d)\n", nb, nc
+            exit 1
+        }
+        fail = 0
+        for (i = 1; i <= nb; i++) {
+            ratio = c[i] / b[i]
+            printf "  P=%-3s %14.0f -> %14.0f cycles (%.3fx)\n", p[i], b[i], c[i], ratio
+            if (ratio > 1.10) {
+                printf "check_bench_regression: P=%s batched cycles regressed %.1f%% (>10%%)\n", \
+                       p[i], (ratio - 1) * 100
+                fail = 1
+            }
+        }
+        exit fail
+    }
+'
+echo "check_bench_regression: OK ($baseline)"
