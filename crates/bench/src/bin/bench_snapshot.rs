@@ -1,6 +1,7 @@
 //! One-shot benchmark snapshot: scalar vs batched builders across the
-//! fig. 3/4/5 workload shapes, in simulated cycles *and* wall time,
-//! serialized as a JSON document (`BENCH_pr3.json` in CI).
+//! fig. 3/4/5 workload shapes plus the serve-throughput series, in
+//! simulated cycles *and* wall time, serialized as a JSON document
+//! (`BENCH_pr4.json` in CI).
 //!
 //! The committed snapshot is the regression baseline for
 //! `tools/check_bench_regression.sh`: simulated cycles are deterministic
@@ -13,6 +14,7 @@
 
 use std::time::Instant;
 use wfbn_bench::runner::uniform_workload;
+use wfbn_bench::serve_bench::{serve_workload, sim_serve_scaling, wall_serve_qps};
 use wfbn_core::construct::{sequential_build, sequential_build_batched, waitfree_build_batched};
 use wfbn_pram::{
     simulate_all_pairs_mi, simulate_waitfree_build, simulate_waitfree_build_batched, CostModel,
@@ -184,8 +186,18 @@ fn main() {
         .map(|&p| simulate_all_pairs_mi(&table, p, &model).elapsed_cycles)
         .collect();
 
+    // ---- serve shape: query throughput vs reader endpoints. ----
+    // A smaller live table than the build workloads: the serve wall series
+    // runs real engine + reader threads per point and must stay cheap.
+    let serve_n = 12;
+    let serve_m = m.min(20_000);
+    let serve_data = serve_workload(serve_n, serve_m, cfg.seed);
+    let serve_sim = sim_serve_scaling(&serve_data, &cfg.cores, &model);
+    let serve_wall_qps = wall_serve_qps(&serve_data, &cfg.cores, 50);
+
     let p8_index = cfg.cores.iter().position(|&p| p == 8);
     let acceptance_sim = p8_index.map(|i| sim_advantage[i]).unwrap_or(0.0);
+    let acceptance_serve = p8_index.map(|i| serve_sim.scaling[i]).unwrap_or(0.0);
     let acceptance_wall = cfg
         .cores
         .iter()
@@ -194,7 +206,7 @@ fn main() {
         .unwrap_or(0.0);
 
     let json = format!(
-        "{{\n  \"schema\": \"wfbn-bench-pr3\",\n  \"workload\": {{\"n\": {n}, \"m\": {m}, \"seed\": {seed}}},\n  \"cores\": {cores},\n  \"fig3\": {{\n    \"sim_scalar_cycles\": {ss},\n    \"sim_batched_cycles\": {sb},\n    \"sim_batched_advantage\": {sa},\n    \"wall_scalar_ns\": {ws},\n    \"wall_batched_ns\": {wb},\n    \"wall_batched_advantage\": {wa},\n    \"speedup_scalar\": {sps},\n    \"speedup_batched\": {spb}\n  }},\n  \"fig4\": {{\n    \"vars\": {f4v},\n    \"cores\": {pmax},\n    \"sim_scalar_cycles\": {f4s},\n    \"sim_batched_cycles\": {f4b}\n  }},\n  \"fig5\": {{\n    \"sim_allpairs_cycles\": {f5}\n  }},\n  \"acceptance\": {{\n    \"sim_p8_advantage\": {asim:.3},\n    \"wall_p1_advantage\": {awall:.3}\n  }}\n}}",
+        "{{\n  \"schema\": \"wfbn-bench-pr4\",\n  \"workload\": {{\"n\": {n}, \"m\": {m}, \"seed\": {seed}}},\n  \"cores\": {cores},\n  \"fig3\": {{\n    \"sim_scalar_cycles\": {ss},\n    \"sim_batched_cycles\": {sb},\n    \"sim_batched_advantage\": {sa},\n    \"wall_scalar_ns\": {ws},\n    \"wall_batched_ns\": {wb},\n    \"wall_batched_advantage\": {wa},\n    \"speedup_scalar\": {sps},\n    \"speedup_batched\": {spb}\n  }},\n  \"fig4\": {{\n    \"vars\": {f4v},\n    \"cores\": {pmax},\n    \"sim_scalar_cycles\": {f4s},\n    \"sim_batched_cycles\": {f4b}\n  }},\n  \"fig5\": {{\n    \"sim_allpairs_cycles\": {f5}\n  }},\n  \"serve\": {{\n    \"workload\": {{\"n\": {sn}, \"m\": {sm}, \"seed\": {seed}}},\n    \"readers\": {cores},\n    \"sim_cycles_per_query\": {scq:.3},\n    \"sim_qps_per_megacycle\": {sqm},\n    \"sim_scaling\": {ssc},\n    \"wall_qps\": {swq}\n  }},\n  \"acceptance\": {{\n    \"sim_p8_advantage\": {asim:.3},\n    \"wall_p1_advantage\": {awall:.3},\n    \"serve_p8_scaling\": {aserve:.3}\n  }}\n}}",
         seed = cfg.seed,
         cores = json_usize_array(&cfg.cores),
         ss = json_f64_array(&sim_scalar),
@@ -209,8 +221,15 @@ fn main() {
         f4s = json_f64_array(&fig4_scalar),
         f4b = json_f64_array(&fig4_batched),
         f5 = json_f64_array(&fig5_cycles),
+        sn = serve_n,
+        sm = serve_m,
+        scq = serve_sim.cycles_per_query,
+        sqm = json_f64_array(&serve_sim.qps_per_megacycle),
+        ssc = json_f64_array(&serve_sim.scaling),
+        swq = json_f64_array(&serve_wall_qps),
         asim = acceptance_sim,
         awall = acceptance_wall,
+        aserve = acceptance_serve,
     );
 
     match &cfg.out {
@@ -218,7 +237,7 @@ fn main() {
             std::fs::write(path, format!("{json}\n")).expect("writing snapshot");
             eprintln!("snapshot written to {path}");
             eprintln!(
-                "acceptance: sim P=8 advantage {acceptance_sim:.3}x, wall P=1 advantage {acceptance_wall:.3}x"
+                "acceptance: sim P=8 advantage {acceptance_sim:.3}x, wall P=1 advantage {acceptance_wall:.3}x, serve P=8 scaling {acceptance_serve:.3}x"
             );
         }
         None => println!("{json}"),

@@ -18,6 +18,7 @@
 pub mod args;
 pub mod runner;
 pub mod series;
+pub mod serve_bench;
 
 pub use args::HarnessArgs;
 pub use runner::{wall_time_median, Mode};

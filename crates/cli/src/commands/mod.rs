@@ -5,6 +5,7 @@ pub mod gen;
 pub mod infer;
 pub mod learn;
 pub mod mi;
+pub mod serve;
 
 use wfbn_bn::network::BayesNet;
 use wfbn_bn::repository;

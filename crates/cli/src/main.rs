@@ -39,6 +39,7 @@ pub(crate) fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), S
         "mi" => commands::mi::run(rest, out),
         "learn" => commands::learn::run(rest, out),
         "infer" => commands::infer::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
             Ok(())
@@ -63,6 +64,10 @@ Subcommands:
          [--epsilon E] [--alpha A] [--fit]
   infer  exact posterior query on a repository network
          --net NAME --target VAR [--evidence V=S,V=S,...]
+  serve  long-lived query service over epoch-published snapshots
+         --in FILE [--threads P] [--batch ROWS] [--batched] [--metrics]
+         [--script FILE | --listen ADDR]   (default: line protocol on stdin)
+         protocol: MARGINAL/MI/CPT/EPOCH/SYNC/INGEST/STATS/QUIT, ';' fuses
 
 Repository networks: sprinkler, cancer, asia, alarm-like, insurance-like";
 

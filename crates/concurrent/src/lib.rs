@@ -21,6 +21,10 @@
 //!   (the pair split of Algorithm 4).
 //! * [`scope`] — a thin wrapper over [`std::thread::scope`] that runs a
 //!   closure once per thread index and collects the results in index order.
+//! * [`epoch`] — single-writer epoch publication of immutable snapshots over
+//!   per-reader SPSC lanes: the serving layer's bridge from the wait-free
+//!   build (one absorbing writer) to lock-free readers, with the publication
+//!   ordering proven torn-read-free under loom.
 //!
 //! Everything here is dependency-free in normal builds; the only `unsafe`
 //! lives in the SPSC queue and is documented inline (each block carries a
@@ -41,6 +45,7 @@
 #[cfg(feature = "ownership-audit")]
 pub mod audit;
 pub mod barrier;
+pub mod epoch;
 pub mod hash;
 pub mod pad;
 pub mod partition;
@@ -49,6 +54,7 @@ pub mod spsc;
 mod sync;
 
 pub use barrier::SpinBarrier;
+pub use epoch::{epoch_channel, EpochPublisher, EpochReader};
 pub use hash::{mix64, FxBuildHasher, FxHasher};
 pub use pad::CachePadded;
 pub use partition::{pair_count, pairs_for_thread, row_chunks, RowChunk};

@@ -20,11 +20,11 @@
 //!   the scheduler baton instead of spinning forever.
 
 #[cfg(feature = "loom")]
-pub(crate) use loom::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 #[cfg(feature = "loom")]
 pub(crate) use loom::{hint, thread};
 
 #[cfg(not(feature = "loom"))]
-pub(crate) use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+pub(crate) use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 #[cfg(not(feature = "loom"))]
 pub(crate) use std::{hint, thread};

@@ -10,7 +10,7 @@
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
-use wfbn_concurrent::{channel, SpinBarrier, SEG_CAP};
+use wfbn_concurrent::{channel, epoch_channel, SpinBarrier, SEG_CAP};
 
 /// The explorer silently degrades to a single std-thread execution if the
 /// code under test never hits a modeled scheduling point; every test calls
@@ -218,6 +218,68 @@ fn pop_block_sees_complete_prefix_under_every_schedule() {
         }
         t.join().unwrap();
         assert_eq!(got, (0..N).collect::<Vec<_>>(), "pop_block missed a prefix");
+    });
+    assert_explored();
+}
+
+#[test]
+fn epoch_reader_never_observes_torn_or_unpublished_epoch() {
+    // The serving layer's publication invariant: epoch `e` always carries a
+    // value constructed *before* the counter advanced to `e`. Each published
+    // vector has length == its epoch, so a reader that ever pins a
+    // half-built snapshot, or pins an epoch older than one it already saw in
+    // `published()`, fails deterministically in some explored schedule.
+    loom::model(|| {
+        let (mut publisher, mut readers) = epoch_channel::<Vec<u64>>(1);
+        let mut reader = readers.pop().unwrap();
+        let t = loom::thread::spawn(move || {
+            publisher.publish(vec![1]);
+            publisher.publish(vec![1, 2]);
+        });
+        let observed = reader.published();
+        match reader.pin() {
+            Some((epoch, snap)) => {
+                assert!(
+                    epoch >= observed,
+                    "pin returned epoch {epoch} after published() showed {observed}"
+                );
+                assert_eq!(snap.len() as u64, epoch, "torn snapshot at epoch {epoch}");
+            }
+            None => assert_eq!(observed, 0, "epoch {observed} visible but not pinnable"),
+        }
+        t.join().unwrap();
+        // The publisher is gone: the final pin must land on the last epoch.
+        let (epoch, snap) = reader.pin().expect("both epochs published");
+        assert_eq!(epoch, 2);
+        assert_eq!(snap.as_slice(), &[1, 2]);
+    });
+    assert_explored();
+}
+
+#[test]
+fn epoch_pins_are_monotone_under_every_schedule() {
+    // Two pins around a racing publish: the second pin may stay or advance,
+    // never regress, and each pinned value must match its epoch.
+    loom::model(|| {
+        let (mut publisher, mut readers) = epoch_channel::<u64>(2);
+        let mut r0 = readers.remove(0);
+        let mut r1 = readers.remove(0);
+        publisher.publish(1);
+        let t = loom::thread::spawn(move || {
+            publisher.publish(2);
+        });
+        let t1 = loom::thread::spawn(move || {
+            if let Some((epoch, snap)) = r1.pin() {
+                assert_eq!(**snap, epoch, "value does not match its epoch");
+            }
+        });
+        let first = r0.pin().expect("epoch 1 was published before the race");
+        let first_epoch = first.0;
+        let (second_epoch, snap) = r0.pin().expect("pin never forgets");
+        assert!(second_epoch >= first_epoch, "pin regressed");
+        assert_eq!(**snap, second_epoch);
+        t.join().unwrap();
+        t1.join().unwrap();
     });
     assert_explored();
 }

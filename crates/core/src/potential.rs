@@ -17,6 +17,7 @@
 use crate::codec::KeyCodec;
 use crate::count_table::CountTable;
 use crate::partition::KeyPartitioner;
+use std::sync::Arc;
 
 /// How keys are distributed over the table's partitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +49,11 @@ pub enum Placement {
 pub struct PotentialTable {
     codec: KeyCodec,
     placement: Placement,
-    partitions: Vec<CountTable>,
+    /// `Arc`-shared so that snapshots of a live stream are O(P) pointer
+    /// bumps (copy-on-publish): a [`crate::stream::StreamingBuilder`] keeps
+    /// absorbing into its own copies while every published table stays
+    /// immutable, and `PotentialTable::clone` never deep-copies a partition.
+    partitions: Vec<Arc<CountTable>>,
 }
 
 impl PotentialTable {
@@ -63,6 +68,27 @@ impl PotentialTable {
         codec: KeyCodec,
         partitioner: KeyPartitioner,
         partitions: Vec<CountTable>,
+    ) -> Self {
+        Self::from_shared_parts(
+            codec,
+            partitioner,
+            partitions.into_iter().map(Arc::new).collect(),
+        )
+    }
+
+    /// [`from_parts`](Self::from_parts) over already-shared partitions —
+    /// the zero-copy publication path: no count table is cloned, only `Arc`
+    /// reference counts move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of partitions disagrees with the partitioner, or
+    /// (debug only) if some key is stored in a partition that does not own
+    /// it.
+    pub fn from_shared_parts(
+        codec: KeyCodec,
+        partitioner: KeyPartitioner,
+        partitions: Vec<Arc<CountTable>>,
     ) -> Self {
         assert_eq!(
             partitions.len(),
@@ -92,7 +118,7 @@ impl PotentialTable {
         Self {
             codec,
             placement: Placement::Arbitrary,
-            partitions,
+            partitions: partitions.into_iter().map(Arc::new).collect(),
         }
     }
 
@@ -124,8 +150,9 @@ impl PotentialTable {
         &self.partitions[p]
     }
 
-    /// All partitions, in core order.
-    pub fn partitions(&self) -> &[CountTable] {
+    /// All partitions, in core order (shared handles; deref to
+    /// [`CountTable`]).
+    pub fn partitions(&self) -> &[Arc<CountTable>] {
         &self.partitions
     }
 
@@ -140,7 +167,7 @@ impl PotentialTable {
 
     /// Total number of observations recorded (= `m` after a full build).
     pub fn total_count(&self) -> u64 {
-        self.partitions.iter().map(CountTable::total_count).sum()
+        self.partitions.iter().map(|t| t.total_count()).sum()
     }
 
     /// Number of distinct state strings observed.
@@ -148,12 +175,12 @@ impl PotentialTable {
     /// (For [`Placement::Arbitrary`] this assumes rebalancing kept keys
     /// unique across partitions, which [`crate::rebalance`] guarantees.)
     pub fn num_entries(&self) -> usize {
-        self.partitions.iter().map(CountTable::len).sum()
+        self.partitions.iter().map(|t| t.len()).sum()
     }
 
     /// Iterates over every `(key, count)` pair across all partitions.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.partitions.iter().flat_map(CountTable::iter)
+        self.partitions.iter().flat_map(|t| t.iter())
     }
 
     /// All entries as a key-sorted vector (cross-implementation comparisons).
@@ -165,12 +192,19 @@ impl PotentialTable {
 
     /// Per-partition entry counts (load-balance diagnostics).
     pub fn partition_sizes(&self) -> Vec<usize> {
-        self.partitions.iter().map(CountTable::len).collect()
+        self.partitions.iter().map(|t| t.len()).collect()
     }
 
-    /// Decomposes the table into its parts (used by rebalancing).
+    /// Decomposes the table into exclusively-owned parts (used by
+    /// rebalancing). Partitions still shared with a published snapshot are
+    /// cloned at this point — the only place the sharing is paid for.
     pub fn into_parts(self) -> (KeyCodec, Placement, Vec<CountTable>) {
-        (self.codec, self.placement, self.partitions)
+        let partitions = self
+            .partitions
+            .into_iter()
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+        (self.codec, self.placement, partitions)
     }
 }
 

@@ -17,6 +17,7 @@ use crate::error::CoreError;
 use crate::partition::KeyPartitioner;
 use crate::potential::PotentialTable;
 use crate::stats::{BuildStats, ThreadStats};
+use std::sync::Arc;
 use wfbn_concurrent::{channel, row_chunks, Consumer, Producer, SpinBarrier};
 use wfbn_data::{Dataset, Schema};
 use wfbn_obs::{CoreRecorder, Counter, NoopRecorder, Recorder, Stage};
@@ -45,7 +46,12 @@ pub struct StreamingBuilder {
     schema: Schema,
     codec: KeyCodec,
     partitioner: KeyPartitioner,
-    tables: Vec<CountTable>,
+    /// Persistent per-core partitions, `Arc`-shared with every published
+    /// snapshot. While no snapshot holds a reference, `Arc::make_mut`
+    /// mutates in place (zero copies); after a [`snapshot`](Self::snapshot)
+    /// the next absorb diverges only the partitions it touches
+    /// (copy-on-publish), leaving the published table immutable forever.
+    tables: Vec<Arc<CountTable>>,
     stats: BuildStats,
     rows_absorbed: u64,
 }
@@ -61,7 +67,7 @@ impl StreamingBuilder {
             schema: schema.clone(),
             codec: KeyCodec::new(schema),
             partitioner: KeyPartitioner::modulo(threads),
-            tables: (0..threads).map(|_| CountTable::new()).collect(),
+            tables: (0..threads).map(|_| Arc::new(CountTable::new())).collect(),
             stats: BuildStats {
                 per_thread: vec![ThreadStats::default(); threads],
             },
@@ -86,7 +92,7 @@ impl StreamingBuilder {
         let mut builder = Self::new(schema, threads)?;
         let hint = capacity_hint(expected_rows, builder.codec.state_space(), threads);
         builder.tables = (0..threads)
-            .map(|_| CountTable::with_capacity(hint))
+            .map(|_| Arc::new(CountTable::with_capacity(hint)))
             .collect();
         Ok(builder)
     }
@@ -128,7 +134,7 @@ impl StreamingBuilder {
         }
         let p = self.tables.len();
         if p == 1 {
-            let table = &mut self.tables[0];
+            let table = Arc::make_mut(&mut self.tables[0]);
             let st = &mut self.stats.per_thread[0];
             let mut cr = rec.core(0);
             let t0 = cr.now();
@@ -179,21 +185,26 @@ impl StreamingBuilder {
 
         // Move the persistent tables into the worker threads and collect
         // them back afterwards (each thread exclusively owns its table for
-        // the duration — the same invariant as the one-shot build).
+        // the duration — the same invariant as the one-shot build). A
+        // partition still shared with a published snapshot diverges here via
+        // `Arc::make_mut` — copy-on-publish, paid by the writer, never by a
+        // reader.
         let tables = std::mem::take(&mut self.tables);
-        let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+        let mut results: Vec<Option<(Arc<CountTable>, ThreadStats)>> =
+            (0..p).map(|_| None).collect();
         std::thread::scope(|s| {
             let barrier = &barrier;
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .zip(tables)
                 .enumerate()
-                .map(|(t, (mut ep, mut table))| {
+                .map(|(t, (mut ep, mut shared))| {
                     let chunk = chunks[t];
                     std::thread::Builder::new()
                         .name(format!("wfbn-stream-{t}"))
                         .spawn_scoped(s, move || {
                             let mut stats = ThreadStats::default();
+                            let table = Arc::make_mut(&mut shared);
                             let mut cr = rec.core(t);
                             let t0 = cr.now();
                             // The persistent table's counters are cumulative
@@ -244,7 +255,7 @@ impl StreamingBuilder {
                             cr.add(Counter::Drained, stats.drained);
                             cr.add(Counter::SegmentsLinked, segments_linked);
                             cr.add(Counter::TableGrows, table.grows() - grows_before);
-                            (table, stats)
+                            (shared, stats)
                         })
                         .expect("failed to spawn stream thread")
                 })
@@ -298,7 +309,7 @@ impl StreamingBuilder {
         let p = self.tables.len();
         let n = self.codec.num_vars();
         if p == 1 {
-            let table = &mut self.tables[0];
+            let table = Arc::make_mut(&mut self.tables[0]);
             let st = &mut self.stats.per_thread[0];
             let codec = &self.codec;
             let mut cr = rec.core(0);
@@ -351,19 +362,21 @@ impl StreamingBuilder {
         }
 
         let tables = std::mem::take(&mut self.tables);
-        let mut results: Vec<Option<(CountTable, ThreadStats)>> = (0..p).map(|_| None).collect();
+        let mut results: Vec<Option<(Arc<CountTable>, ThreadStats)>> =
+            (0..p).map(|_| None).collect();
         std::thread::scope(|s| {
             let barrier = &barrier;
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .zip(tables)
                 .enumerate()
-                .map(|(t, (mut ep, mut table))| {
+                .map(|(t, (mut ep, mut shared))| {
                     let chunk = chunks[t];
                     std::thread::Builder::new()
                         .name(format!("wfbn-bstream-{t}"))
                         .spawn_scoped(s, move || {
                             let mut stats = ThreadStats::default();
+                            let table = Arc::make_mut(&mut shared);
                             let mut combiner = Combiner::new(p);
                             let mut keys: Vec<u64> = Vec::with_capacity(ENC_BLOCK);
                             let mut cr = rec.core(t);
@@ -430,7 +443,7 @@ impl StreamingBuilder {
                             cr.add(Counter::TableGrows, table.grows() - grows_before);
                             cr.add(Counter::BlocksFlushed, stats.blocks_flushed);
                             cr.add(Counter::KeysCoalesced, stats.keys_coalesced);
-                            (table, stats)
+                            (shared, stats)
                         })
                         .expect("failed to spawn stream thread")
                 })
@@ -457,13 +470,14 @@ impl StreamingBuilder {
         Ok(())
     }
 
-    /// A snapshot of the current table (clones the partitions; the builder
-    /// keeps absorbing).
+    /// A snapshot of the current table — O(P) `Arc` clones, no partition is
+    /// copied (copy-on-publish: the *next* absorb diverges any partition the
+    /// snapshot still shares). The builder keeps absorbing.
     pub fn snapshot(&self) -> Result<PotentialTable, CoreError> {
         if self.rows_absorbed == 0 {
             return Err(CoreError::EmptyDataset);
         }
-        Ok(PotentialTable::from_parts(
+        Ok(PotentialTable::from_shared_parts(
             self.codec.clone(),
             self.partitioner,
             self.tables.clone(),
@@ -476,7 +490,7 @@ impl StreamingBuilder {
             return Err(CoreError::EmptyDataset);
         }
         Ok(BuiltTable {
-            table: PotentialTable::from_parts(self.codec, self.partitioner, self.tables),
+            table: PotentialTable::from_shared_parts(self.codec, self.partitioner, self.tables),
             stats: self.stats,
         })
     }

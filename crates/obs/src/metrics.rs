@@ -13,7 +13,8 @@
 //! model-checks exactly that claim.
 
 use crate::recorder::{
-    probe_bucket, CoreRecorder, Counter, Recorder, Stage, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS,
+    lat_bucket, probe_bucket, CoreRecorder, Counter, Recorder, Stage, LAT_BUCKETS, NUM_COUNTERS,
+    NUM_STAGES, PROBE_BUCKETS,
 };
 use crate::report::{CoreReport, MetricsReport};
 use std::time::Instant;
@@ -32,6 +33,8 @@ struct CoreSlot {
     stage_ns: [AtomicU64; NUM_STAGES],
     /// Probe-length histogram (one entry per table increment).
     probe_hist: [AtomicU64; PROBE_BUCKETS],
+    /// Query-latency histogram (one entry per served query).
+    lat_hist: [AtomicU64; LAT_BUCKETS],
     /// High-water mark of observed foreign-queue backlog.
     queue_hwm: AtomicU64,
 }
@@ -42,6 +45,7 @@ impl CoreSlot {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             probe_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            lat_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_hwm: AtomicU64::new(0),
         }
     }
@@ -117,6 +121,7 @@ impl CoreMetrics {
                 counters: std::array::from_fn(|i| slot.counters[i].load(Ordering::Relaxed)),
                 stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)),
                 probe_hist: std::array::from_fn(|i| slot.probe_hist[i].load(Ordering::Relaxed)),
+                lat_hist: std::array::from_fn(|i| slot.lat_hist[i].load(Ordering::Relaxed)),
                 queue_hwm: slot.queue_hwm.load(Ordering::Relaxed),
             })
             .collect();
@@ -173,6 +178,11 @@ impl CoreRecorder for CoreHandle<'_> {
     fn queue_depth(&mut self, depth: u64) {
         raise(&self.slot.queue_hwm, depth);
     }
+
+    #[inline]
+    fn query_latency(&mut self, ns: u64) {
+        bump(&self.slot.lat_hist[lat_bucket(ns)], 1);
+    }
 }
 
 #[cfg(all(test, not(feature = "loom")))]
@@ -219,6 +229,21 @@ mod tests {
         assert_eq!(r.cores[0].probe_hist, [2, 0, 0, 0, 1, 0, 0, 1]);
         assert_eq!(r.total(Counter::Probes), 1 + 1 + 6 + 40);
         assert_eq!(r.probe_hist_mass(), 4);
+    }
+
+    #[test]
+    fn query_latency_fills_latency_histogram() {
+        let m = CoreMetrics::new(1);
+        {
+            let mut c = m.core(0);
+            c.add(Counter::QueriesServed, 3);
+            c.query_latency(500);
+            c.query_latency(2_000);
+            c.query_latency(5_000_000);
+        }
+        let r = m.snapshot();
+        assert_eq!(r.cores[0].lat_hist, [1, 1, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(r.lat_hist_mass(), 3);
     }
 
     #[test]

@@ -26,14 +26,22 @@ pub enum Stage {
     Drain = 2,
     /// Marginalization / all-pairs MI scanning.
     Marginal = 3,
+    /// Serving-layer query answering (pin, cache lookups, fused scans).
+    Query = 4,
 }
 
 /// Number of [`Stage`] variants (array dimension).
-pub const NUM_STAGES: usize = 4;
+pub const NUM_STAGES: usize = 5;
 
 impl Stage {
     /// All stages, in index order.
-    pub const ALL: [Stage; NUM_STAGES] = [Stage::Encode, Stage::Barrier, Stage::Drain, Stage::Marginal];
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::Encode,
+        Stage::Barrier,
+        Stage::Drain,
+        Stage::Marginal,
+        Stage::Query,
+    ];
 
     /// Stable JSON/report key for the stage.
     pub fn name(self) -> &'static str {
@@ -42,6 +50,7 @@ impl Stage {
             Stage::Barrier => "barrier_wait",
             Stage::Drain => "stage2_drain",
             Stage::Marginal => "marginalize",
+            Stage::Query => "query_serve",
         }
     }
 }
@@ -78,10 +87,22 @@ pub enum Counter {
     /// queue element. `Forwarded` still counts these occurrences, so
     /// elements actually enqueued = `forwarded − keys_coalesced`.
     KeysCoalesced = 11,
+    /// Queries this core (a serving reader) answered.
+    QueriesServed = 12,
+    /// Serving-cache lookups answered from the reader's scope-keyed
+    /// marginal cache.
+    CacheHits = 13,
+    /// Serving-cache lookups that missed and required a partition scan.
+    CacheMisses = 14,
+    /// Table snapshots this core (the serving writer) published as epochs.
+    EpochsPublished = 15,
+    /// Epoch advances this core (a serving reader) pinned — distinct epochs
+    /// observed, not query count.
+    EpochsPinned = 16,
 }
 
 /// Number of [`Counter`] variants (array dimension).
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 17;
 
 impl Counter {
     /// All counters, in index order.
@@ -98,6 +119,11 @@ impl Counter {
         Counter::RebalanceMoves,
         Counter::BlocksFlushed,
         Counter::KeysCoalesced,
+        Counter::QueriesServed,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::EpochsPublished,
+        Counter::EpochsPinned,
     ];
 
     /// Stable JSON/report key for the counter.
@@ -115,6 +141,11 @@ impl Counter {
             Counter::RebalanceMoves => "rebalance_moves",
             Counter::BlocksFlushed => "blocks_flushed",
             Counter::KeysCoalesced => "keys_coalesced",
+            Counter::QueriesServed => "queries_served",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::EpochsPublished => "epochs_published",
+            Counter::EpochsPinned => "epochs_pinned",
         }
     }
 }
@@ -138,6 +169,32 @@ pub fn probe_bucket(probes: u64) -> usize {
 /// Human-readable bucket labels, index-aligned with the histogram arrays.
 pub const PROBE_BUCKET_LABELS: [&str; PROBE_BUCKETS] =
     ["1", "2", "3", "4", "5-8", "9-16", "17-32", ">32"];
+
+/// Number of query-latency histogram buckets (powers of four from 1 µs).
+pub const LAT_BUCKETS: usize = 8;
+
+/// Maps a query's wall latency in nanoseconds to its histogram bucket:
+/// `<1µs`, then `[1,4)`, `[4,16)`, `[16,64)`, `[64,256)` µs, `[256µs,1ms)`,
+/// `[1,4)` ms, and `>=4ms`.
+#[inline]
+pub fn lat_bucket(ns: u64) -> usize {
+    match ns {
+        0..=999 => 0,
+        1_000..=3_999 => 1,
+        4_000..=15_999 => 2,
+        16_000..=63_999 => 3,
+        64_000..=255_999 => 4,
+        256_000..=999_999 => 5,
+        1_000_000..=3_999_999 => 6,
+        _ => 7,
+    }
+}
+
+/// Human-readable latency bucket labels, index-aligned with
+/// [`lat_bucket`]'s ranges.
+pub const LAT_BUCKET_LABELS: [&str; LAT_BUCKETS] = [
+    "<1us", "1-4us", "4-16us", "16-64us", "64-256us", "256us-1ms", "1-4ms", ">=4ms",
+];
 
 /// Per-core event sink handed to exactly one worker thread.
 ///
@@ -178,6 +235,15 @@ pub trait CoreRecorder {
     #[inline(always)]
     fn queue_depth(&mut self, depth: u64) {
         let _ = depth;
+    }
+
+    /// Records one served query's wall latency of `ns` nanoseconds (feeds
+    /// the query-latency histogram; the caller bumps
+    /// [`Counter::QueriesServed`] separately so histogram mass and the
+    /// counter stay independently auditable).
+    #[inline(always)]
+    fn query_latency(&mut self, ns: u64) {
+        let _ = ns;
     }
 }
 
@@ -240,6 +306,7 @@ mod tests {
         core.add(Counter::RowsEncoded, 5);
         core.probe_len(2);
         core.queue_depth(9);
+        core.query_latency(1234);
         assert_eq!(core::mem::size_of::<NoopCore>(), 0);
     }
 
@@ -267,5 +334,21 @@ mod tests {
         assert_eq!(probe_bucket(32), 6);
         assert_eq!(probe_bucket(33), 7);
         assert_eq!(probe_bucket(10_000), 7);
+    }
+
+    #[test]
+    fn lat_buckets_partition_the_range() {
+        assert_eq!(lat_bucket(0), 0);
+        assert_eq!(lat_bucket(999), 0);
+        assert_eq!(lat_bucket(1_000), 1);
+        assert_eq!(lat_bucket(3_999), 1);
+        assert_eq!(lat_bucket(4_000), 2);
+        assert_eq!(lat_bucket(16_000), 3);
+        assert_eq!(lat_bucket(64_000), 4);
+        assert_eq!(lat_bucket(256_000), 5);
+        assert_eq!(lat_bucket(1_000_000), 6);
+        assert_eq!(lat_bucket(4_000_000), 7);
+        assert_eq!(lat_bucket(u64::MAX), 7);
+        assert_eq!(LAT_BUCKET_LABELS.len(), LAT_BUCKETS);
     }
 }

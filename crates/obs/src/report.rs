@@ -5,18 +5,22 @@
 //!
 //! A [`MetricsReport`] is plain data: once snapshotted it can be merged with
 //! reports from other runs (bench repetitions), validated against the routing
-//! and queue conservation laws of the two-stage primitive, and rendered as a
-//! stable `wfbn-metrics-v2` JSON document for the `--metrics` flags.
+//! and queue conservation laws of the two-stage primitive (plus the serving
+//! layer's query/epoch laws), and rendered as a stable `wfbn-metrics-v3`
+//! JSON document for the `--metrics` flags.
 
 use crate::recorder::{
-    Counter, Stage, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS, PROBE_BUCKET_LABELS,
+    Counter, Stage, LAT_BUCKETS, LAT_BUCKET_LABELS, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS,
+    PROBE_BUCKET_LABELS,
 };
 
 /// Identifier embedded in every emitted JSON document; bump on any
 /// key/shape change so downstream tooling can detect incompatibility.
 /// v2 added the write-combining counters (`blocks_flushed`,
-/// `keys_coalesced`) and their conservation rules.
-pub const SCHEMA: &str = "wfbn-metrics-v2";
+/// `keys_coalesced`) and their conservation rules; v3 adds the serving
+/// layer (`query_serve` stage, query/cache/epoch counters, the
+/// `latency_hist` histogram) and its conservation rules.
+pub const SCHEMA: &str = "wfbn-metrics-v3";
 
 /// One core's telemetry, copied out of its [`CoreMetrics`](crate::CoreMetrics)
 /// slot.
@@ -28,6 +32,8 @@ pub struct CoreReport {
     pub stage_ns: [u64; NUM_STAGES],
     /// Probe-length histogram; one unit of mass per table increment.
     pub probe_hist: [u64; PROBE_BUCKETS],
+    /// Query-latency histogram; one unit of mass per served query.
+    pub lat_hist: [u64; LAT_BUCKETS],
     /// High-water mark of foreign-queue backlog observed by this core.
     pub queue_hwm: u64,
 }
@@ -48,6 +54,11 @@ impl CoreReport {
         self.probe_hist.iter().sum()
     }
 
+    /// Total latency-histogram mass (number of recorded query latencies).
+    pub fn lat_mass(&self) -> u64 {
+        self.lat_hist.iter().sum()
+    }
+
     fn merge_from(&mut self, other: &CoreReport) {
         for i in 0..NUM_COUNTERS {
             self.counters[i] += other.counters[i];
@@ -57,6 +68,9 @@ impl CoreReport {
         }
         for i in 0..PROBE_BUCKETS {
             self.probe_hist[i] += other.probe_hist[i];
+        }
+        for i in 0..LAT_BUCKETS {
+            self.lat_hist[i] += other.lat_hist[i];
         }
         self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
     }
@@ -109,6 +123,23 @@ impl MetricsReport {
         self.cores.iter().map(CoreReport::probe_mass).sum()
     }
 
+    /// Element-wise sum of every core's query-latency histogram.
+    pub fn lat_hist_total(&self) -> [u64; LAT_BUCKETS] {
+        let mut out = [0u64; LAT_BUCKETS];
+        for r in &self.cores {
+            for (acc, bucket) in out.iter_mut().zip(&r.lat_hist) {
+                *acc += bucket;
+            }
+        }
+        out
+    }
+
+    /// Total latency-histogram mass across cores (= recorded query
+    /// latencies).
+    pub fn lat_hist_mass(&self) -> u64 {
+        self.cores.iter().map(CoreReport::lat_mass).sum()
+    }
+
     /// Largest queue high-water mark any core observed.
     pub fn queue_hwm_max(&self) -> u64 {
         self.cores.iter().map(|r| r.queue_hwm).max().unwrap_or(0)
@@ -149,6 +180,16 @@ impl MetricsReport {
     /// * per core, when blocks were flushed, every flush carried at least
     ///   one element: `blocks_flushed ≤ forwarded − keys_coalesced`
     ///   (blocks × flush accounting).
+    ///
+    /// Serving-layer laws (v3):
+    ///
+    /// * latency-histogram mass must equal total `queries_served` whenever
+    ///   both are non-zero (one latency sample per served query);
+    /// * per core, cache activity implies queries: `cache_hits +
+    ///   cache_misses > 0` requires `queries_served > 0`;
+    /// * per core, `epochs_pinned` must not exceed total `epochs_published`
+    ///   (a reader cannot pin more distinct epochs than the writer ever
+    ///   published).
     pub fn validate(&self) -> Result<(), String> {
         for (core, r) in self.cores.iter().enumerate() {
             let rows = r.counter(Counter::RowsEncoded);
@@ -213,6 +254,30 @@ impl MetricsReport {
                  {increments}"
             ));
         }
+        let lat_mass = self.lat_hist_mass();
+        let served = self.total(Counter::QueriesServed);
+        if lat_mass != 0 && served != 0 && lat_mass != served {
+            return Err(format!(
+                "latency-histogram mass {lat_mass} != queries_served {served}"
+            ));
+        }
+        let published = self.total(Counter::EpochsPublished);
+        for (core, r) in self.cores.iter().enumerate() {
+            let hits = r.counter(Counter::CacheHits);
+            let misses = r.counter(Counter::CacheMisses);
+            if hits + misses > 0 && r.counter(Counter::QueriesServed) == 0 {
+                return Err(format!(
+                    "core {core}: cache activity ({hits} hits, {misses} misses) \
+                     with queries_served 0"
+                ));
+            }
+            let pinned = r.counter(Counter::EpochsPinned);
+            if pinned > published {
+                return Err(format!(
+                    "core {core}: epochs_pinned {pinned} > epochs_published {published}"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -267,6 +332,10 @@ impl MetricsReport {
         out.push_str(&json_hist_obj(&self.probe_hist_total(), indent + 2));
         out.push_str(",\n");
 
+        out.push_str(&format!("{p1}\"latency_hist\": "));
+        out.push_str(&json_lat_hist_obj(&self.lat_hist_total(), indent + 2));
+        out.push_str(",\n");
+
         out.push_str(&format!("{p1}\"per_core\": [\n"));
         for (i, r) in self.cores.iter().enumerate() {
             out.push_str(&format!("{p2}{{\n"));
@@ -280,6 +349,9 @@ impl MetricsReport {
             out.push_str(&format!("{p2}  \"queue_hwm\": {},\n", r.queue_hwm));
             out.push_str(&format!("{p2}  \"probe_hist\": "));
             out.push_str(&json_hist_obj(&r.probe_hist, indent + 6));
+            out.push_str(",\n");
+            out.push_str(&format!("{p2}  \"latency_hist\": "));
+            out.push_str(&json_lat_hist_obj(&r.lat_hist, indent + 6));
             out.push('\n');
             out.push_str(&format!(
                 "{p2}}}{}\n",
@@ -317,6 +389,17 @@ fn json_stages_obj(values: &[u64; NUM_STAGES], indent: usize) -> String {
 fn json_hist_obj(values: &[u64; PROBE_BUCKETS], indent: usize) -> String {
     let pad = " ".repeat(indent);
     let body = PROBE_BUCKET_LABELS
+        .iter()
+        .zip(values)
+        .map(|(label, v)| format!("{pad}  \"{label}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n{pad}}}")
+}
+
+fn json_lat_hist_obj(values: &[u64; LAT_BUCKETS], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let body = LAT_BUCKET_LABELS
         .iter()
         .zip(values)
         .map(|(label, v)| format!("{pad}  \"{label}\": {v}"))
@@ -436,6 +519,53 @@ mod tests {
         assert!(err.contains("blocks_flushed 5"), "{err}");
     }
 
+    /// A serving run stacked on the build-like report: one writer core
+    /// publishing epochs, one reader core pinning and answering queries.
+    fn serve_like_report() -> MetricsReport {
+        let mut r = build_like_report();
+        r.cores[0].counters[Counter::EpochsPublished as usize] = 3;
+        r.cores[1].counters[Counter::QueriesServed as usize] = 5;
+        r.cores[1].counters[Counter::CacheHits as usize] = 2;
+        r.cores[1].counters[Counter::CacheMisses as usize] = 3;
+        r.cores[1].counters[Counter::EpochsPinned as usize] = 2;
+        r.cores[1].lat_hist[0] = 4;
+        r.cores[1].lat_hist[3] = 1;
+        r
+    }
+
+    #[test]
+    fn serve_report_validates_and_aggregates() {
+        let r = serve_like_report();
+        r.validate().expect("serving laws hold");
+        assert_eq!(r.lat_hist_mass(), 5);
+        assert_eq!(r.lat_hist_total()[0], 4);
+        assert_eq!(r.total(Counter::QueriesServed), 5);
+    }
+
+    #[test]
+    fn latency_mass_mismatch_is_reported() {
+        let mut r = serve_like_report();
+        r.cores[1].lat_hist[0] = 9; // mass 10 != 5 served
+        let err = r.validate().expect_err("mass != queries_served");
+        assert!(err.contains("latency-histogram mass"), "{err}");
+    }
+
+    #[test]
+    fn cache_activity_without_queries_is_reported() {
+        let mut r = serve_like_report();
+        r.cores[0].counters[Counter::CacheHits as usize] = 1;
+        let err = r.validate().expect_err("hits on a core that served none");
+        assert!(err.contains("cache activity"), "{err}");
+    }
+
+    #[test]
+    fn pinning_more_epochs_than_published_is_reported() {
+        let mut r = serve_like_report();
+        r.cores[1].counters[Counter::EpochsPinned as usize] = 4; // > 3 published
+        let err = r.validate().expect_err("pinned > published");
+        assert!(err.contains("epochs_pinned"), "{err}");
+    }
+
     #[test]
     fn merge_adds_counters_and_maxes_hwm() {
         let mut a = build_like_report();
@@ -459,7 +589,9 @@ mod tests {
     #[test]
     fn json_contains_schema_and_all_keys() {
         let json = build_like_report().to_json();
-        assert!(json.contains("\"schema\": \"wfbn-metrics-v2\""));
+        assert!(json.contains("\"schema\": \"wfbn-metrics-v3\""));
+        assert!(json.contains("\"latency_hist\""));
+        assert!(json.contains("\">=4ms\""));
         assert!(json.contains("\"cores\": 2"));
         for c in Counter::ALL {
             assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c.name());

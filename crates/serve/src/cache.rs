@@ -1,0 +1,132 @@
+//! Per-reader, scope-keyed marginal cache, invalidated on epoch advance.
+//!
+//! Every cache is owned by exactly one [`QueryReader`](crate::reader) — no
+//! sharing, no locks, no invalidation protocol beyond "the epoch moved".
+//! Correctness is trivial by construction: a cached marginal is valid
+//! precisely for the snapshot it was computed from, and the reader flushes
+//! the whole map the moment it pins a newer epoch. Under a write-heavy feed
+//! the cache degenerates to a no-op (every pin flushes); under a read-heavy
+//! feed it converts repeated scopes into O(1) lookups.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wfbn_core::MarginalTable;
+
+/// Default bound on cached scopes per reader (see [`MarginalCache::insert`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Scope-keyed marginal cache for one reader; see the [module docs](self).
+pub struct MarginalCache {
+    /// Epoch the cached entries were computed from.
+    epoch: u64,
+    map: HashMap<Box<[usize]>, Arc<MarginalTable>>,
+    capacity: usize,
+}
+
+impl MarginalCache {
+    /// Creates an empty cache bound to epoch 0 (nothing published).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty cache holding at most `capacity` scopes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MarginalCache {
+            epoch: 0,
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The epoch the cached entries belong to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cached scopes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no scope is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rebinds the cache to `epoch`, flushing every entry if it moved.
+    pub fn refresh(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Cached marginal for `scope` (valid for the current epoch), if any.
+    pub fn get(&self, scope: &[usize]) -> Option<&Arc<MarginalTable>> {
+        self.map.get(scope)
+    }
+
+    /// Caches `marginal` under `scope` for the current epoch.
+    ///
+    /// At capacity the whole map is flushed first — the same wholesale
+    /// flush an epoch advance performs, chosen over per-entry eviction so
+    /// the cache never needs recency bookkeeping on the query hot path.
+    pub fn insert(&mut self, scope: &[usize], marginal: Arc<MarginalTable>) {
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+        }
+        self.map.insert(scope.into(), marginal);
+    }
+}
+
+impl Default for MarginalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbn_core::construct::sequential_build;
+    use wfbn_core::marginalize;
+    use wfbn_data::{Dataset, Schema};
+
+    fn marginal_of(scope: &[usize]) -> Arc<MarginalTable> {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let data = Dataset::from_rows(schema, &[&[0, 1, 0], &[1, 1, 1]]).unwrap();
+        let table = sequential_build(&data).unwrap().table;
+        Arc::new(marginalize(&table, scope, 1).unwrap())
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_epoch_advance() {
+        let mut cache = MarginalCache::new();
+        cache.refresh(1);
+        assert!(cache.get(&[0, 1]).is_none());
+        cache.insert(&[0, 1], marginal_of(&[0, 1]));
+        assert!(cache.get(&[0, 1]).is_some());
+        assert_eq!(cache.len(), 1);
+
+        cache.refresh(1); // same epoch: entries survive
+        assert!(cache.get(&[0, 1]).is_some());
+
+        cache.refresh(2); // epoch moved: flush
+        assert!(cache.get(&[0, 1]).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_flushes_wholesale() {
+        let mut cache = MarginalCache::with_capacity(2);
+        cache.insert(&[0], marginal_of(&[0]));
+        cache.insert(&[1], marginal_of(&[1]));
+        assert_eq!(cache.len(), 2);
+        cache.insert(&[2], marginal_of(&[2]));
+        // The third insert flushed the first two.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&[2]).is_some());
+        assert!(cache.get(&[0]).is_none());
+    }
+}

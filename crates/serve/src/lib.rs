@@ -1,0 +1,91 @@
+//! `wfbn-serve` — a long-lived, in-memory statistics service over the
+//! wait-free construction primitives.
+//!
+//! The paper's primitive builds a potential table once and hands it to one
+//! structure-learning run. This crate keeps the table *alive*: one writer
+//! thread absorbs row batches through [`wfbn_core::stream::StreamingBuilder`]
+//! and publishes an immutable, epoch-versioned snapshot after every batch,
+//! while `N` reader threads answer marginal / mutual-information / CPT
+//! queries lock-free against whichever epoch they last pinned.
+//!
+//! The ownership story extends the paper's exactly-one-owner discipline to
+//! serving:
+//!
+//! * **Publication** rides [`wfbn_concurrent::epoch`]: snapshots are `Arc`s
+//!   of [`wfbn_core::PotentialTable`] whose partitions are themselves
+//!   `Arc`-shared with the builder (copy-on-publish — a snapshot is `P`
+//!   pointer bumps, and the builder pays a partition copy only when it next
+//!   writes a partition that a published snapshot still holds).
+//! * **Admission** is a bounded hand-off: the front-end counts batches it
+//!   submitted, the writer's published epoch counts batches absorbed, and
+//!   the difference is the backlog the admission gate blocks on. Both
+//!   counters are single-writer words — no read-modify-write anywhere.
+//! * **Queries** never lock and never block the writer: a reader pins the
+//!   newest published epoch (draining its private lane), then scans the
+//!   pinned snapshot. A per-reader scope-keyed [`cache::MarginalCache`]
+//!   (invalidated on epoch advance) and request batching via
+//!   [`wfbn_core::marginal::marginalize_many`] keep repeated and fused
+//!   queries from rescanning the table.
+//!
+//! Telemetry flows into [`wfbn_obs`] (schema `wfbn-metrics-v3`): the writer
+//! records `epochs_published` and admission-queue depth on core 0, reader
+//! `i` records `queries_served` / `cache_hits` / `cache_misses` /
+//! `epochs_pinned` and a query-latency histogram on core
+//! `builder_threads + i`, and the report validator cross-checks the serve
+//! conservation laws (latency mass vs. queries served, pins vs. publishes).
+//!
+//! The wire protocol ([`query`], [`server`]) is line-delimited text over
+//! stdin or TCP (`wfbn serve`); see `README.md` § Serving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod query;
+pub mod reader;
+pub mod server;
+
+pub use cache::MarginalCache;
+pub use engine::{Engine, EngineConfig};
+pub use query::Request;
+pub use reader::{CptRow, QueryReader};
+pub use server::{serve_lines, serve_tcp, LoopControl, Session};
+
+use wfbn_core::CoreError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A query arrived before the writer published any epoch.
+    NothingPublished,
+    /// The writer thread exited (finished or failed); no further epochs
+    /// will be published.
+    Closed,
+    /// The underlying table/marginal computation rejected the request.
+    Core(CoreError),
+    /// A malformed protocol request.
+    Protocol(String),
+    /// The engine was misconfigured (zero readers, zero queue capacity).
+    Config(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NothingPublished => write!(f, "no epoch published yet"),
+            ServeError::Closed => write!(f, "writer closed"),
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Protocol(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Config(msg) => write!(f, "bad engine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

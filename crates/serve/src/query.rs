@@ -1,0 +1,215 @@
+//! The line-delimited request protocol of `wfbn serve`.
+//!
+//! One request per `;`-separated clause; one line may carry several clauses,
+//! which the server treats as a **fused batch**: every query clause on the
+//! line is answered against a single pinned epoch, and clauses needing the
+//! same marginal scope share one partition scan (see
+//! [`QueryReader::answer_batch`](crate::reader::QueryReader::answer_batch)).
+//!
+//! ```text
+//! MARGINAL 0 2           marginal counts over X0, X2
+//! MI 0 1 [bits]          mutual information I(X0; X1)
+//! CPT 3 1 2              P(X3 | X1, X2); no parents = prior of X3
+//! EPOCH                  published and pinned epoch numbers
+//! SYNC                   block until every submitted batch is published
+//! INGEST 0,1,0|1,1,0     submit rows (|-separated) as one batch
+//! STATS                  serving counters (and metrics JSON if recording)
+//! QUIT                   end this connection
+//! SHUTDOWN               end this connection and stop the server
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Responses are one `OK ...` or
+//! `ERR ...` line per clause; see [`crate::server`].
+
+/// One parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Marginal counts over a variable scope (sorted, deduplicated).
+    Marginal(Vec<usize>),
+    /// Mutual information of a variable pair.
+    Mi {
+        /// First variable.
+        i: usize,
+        /// Second variable.
+        j: usize,
+        /// Report in bits instead of nats.
+        bits: bool,
+    },
+    /// Conditional probability table of `x` given `parents`.
+    Cpt {
+        /// Child variable.
+        x: usize,
+        /// Parent variables (possibly empty).
+        parents: Vec<usize>,
+    },
+    /// Report the published and pinned epochs.
+    Epoch,
+    /// Block until the writer has published every submitted batch.
+    Sync,
+    /// Report serving counters.
+    Stats,
+    /// Submit rows as one batch.
+    Ingest(Vec<Vec<u16>>),
+    /// Close this connection.
+    Quit,
+    /// Close this connection and stop the server loop.
+    Shutdown,
+}
+
+fn parse_usize(tok: &str, what: &str) -> Result<usize, String> {
+    tok.parse()
+        .map_err(|_| format!("{what}: expected a variable index, got {tok:?}"))
+}
+
+fn parse_clause(clause: &str) -> Result<Option<Request>, String> {
+    let mut toks = clause.split_whitespace();
+    let Some(verb) = toks.next() else {
+        return Ok(None); // empty clause (trailing ';', blank line)
+    };
+    let rest: Vec<&str> = toks.collect();
+    let req = match verb.to_ascii_uppercase().as_str() {
+        "MARGINAL" => {
+            if rest.is_empty() {
+                return Err("MARGINAL needs at least one variable".into());
+            }
+            let mut scope = rest
+                .iter()
+                .map(|t| parse_usize(t, "MARGINAL"))
+                .collect::<Result<Vec<_>, _>>()?;
+            scope.sort_unstable();
+            scope.dedup();
+            Request::Marginal(scope)
+        }
+        "MI" => {
+            let bits = matches!(rest.last(), Some(&"bits") | Some(&"BITS"));
+            let args = &rest[..rest.len() - usize::from(bits)];
+            let [i, j] = args else {
+                return Err("MI needs exactly two variables: MI i j [bits]".into());
+            };
+            Request::Mi {
+                i: parse_usize(i, "MI")?,
+                j: parse_usize(j, "MI")?,
+                bits,
+            }
+        }
+        "CPT" => {
+            let Some((x, parents)) = rest.split_first() else {
+                return Err("CPT needs a child variable: CPT x [parents...]".into());
+            };
+            Request::Cpt {
+                x: parse_usize(x, "CPT")?,
+                parents: parents
+                    .iter()
+                    .map(|t| parse_usize(t, "CPT"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            }
+        }
+        "EPOCH" => Request::Epoch,
+        "SYNC" => Request::Sync,
+        "STATS" => Request::Stats,
+        "INGEST" => {
+            if rest.is_empty() {
+                return Err("INGEST needs rows: INGEST v,v,...|v,v,...".into());
+            }
+            let rows = rest
+                .join("")
+                .split('|')
+                .map(|row| {
+                    row.split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<u16>()
+                                .map_err(|_| format!("INGEST: bad state {s:?}"))
+                        })
+                        .collect::<Result<Vec<u16>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Ingest(rows)
+        }
+        "QUIT" => Request::Quit,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(format!("unknown request {other:?}")),
+    };
+    if !rest.is_empty() && matches!(req, Request::Epoch | Request::Sync | Request::Stats) {
+        return Err(format!("{verb} takes no arguments"));
+    }
+    Ok(Some(req))
+}
+
+/// Parses one protocol line into its (possibly fused) requests.
+///
+/// Blank lines and lines starting with `#` parse to an empty batch.
+pub fn parse_line(line: &str) -> Result<Vec<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Vec::new());
+    }
+    let mut requests = Vec::new();
+    for clause in line.split(';') {
+        if let Some(req) = parse_clause(clause)? {
+            requests.push(req);
+        }
+    }
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_verb() {
+        assert_eq!(
+            parse_line("MARGINAL 2 0 2").unwrap(),
+            vec![Request::Marginal(vec![0, 2])]
+        );
+        assert_eq!(
+            parse_line("MI 3 1 bits").unwrap(),
+            vec![Request::Mi {
+                i: 3,
+                j: 1,
+                bits: true
+            }]
+        );
+        assert_eq!(
+            parse_line("CPT 3 1 2").unwrap(),
+            vec![Request::Cpt {
+                x: 3,
+                parents: vec![1, 2]
+            }]
+        );
+        assert_eq!(parse_line("epoch").unwrap(), vec![Request::Epoch]);
+        assert_eq!(parse_line("SYNC").unwrap(), vec![Request::Sync]);
+        assert_eq!(parse_line("STATS").unwrap(), vec![Request::Stats]);
+        assert_eq!(
+            parse_line("INGEST 0,1,0|1,1,1").unwrap(),
+            vec![Request::Ingest(vec![vec![0, 1, 0], vec![1, 1, 1]])]
+        );
+        assert_eq!(parse_line("QUIT").unwrap(), vec![Request::Quit]);
+        assert_eq!(parse_line("SHUTDOWN").unwrap(), vec![Request::Shutdown]);
+    }
+
+    #[test]
+    fn fuses_semicolon_separated_clauses() {
+        let batch = parse_line("MI 0 1; MI 0 1; MARGINAL 1;").unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[2], Request::Marginal(vec![1]));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_empty_batches() {
+        assert!(parse_line("").unwrap().is_empty());
+        assert!(parse_line("   ").unwrap().is_empty());
+        assert!(parse_line("# warm-up script").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_line("MI 0").unwrap_err().contains("two variables"));
+        assert!(parse_line("MARGINAL").unwrap_err().contains("at least one"));
+        assert!(parse_line("MARGINAL x").unwrap_err().contains("variable"));
+        assert!(parse_line("INGEST 0,banana").unwrap_err().contains("bad state"));
+        assert!(parse_line("FROB 1").unwrap_err().contains("unknown"));
+        assert!(parse_line("EPOCH 3").unwrap_err().contains("no arguments"));
+    }
+}

@@ -1,0 +1,438 @@
+//! Line-protocol server loop: stdin/stdout scripts and `std::net` TCP.
+//!
+//! A [`Session`] binds one [`Engine`] front-end and one [`QueryReader`];
+//! [`serve_lines`] pumps a `BufRead` of protocol lines through it, writing
+//! one `OK`/`ERR` response line per request clause. Consecutive query
+//! clauses on one line are answered as a fused batch against a single
+//! pinned epoch — same-scope clauses share one partition scan.
+//!
+//! [`serve_tcp`] accepts connections sequentially on a
+//! [`std::net::TcpListener`] and runs [`serve_lines`] over each; `QUIT`
+//! ends a connection, `SHUTDOWN` ends the accept loop. (Multiple
+//! *concurrent* readers are the engine's job — start it with `readers: N`
+//! and give each connection handler its own endpoint; the sequential loop
+//! here is the dependency-free default the CLI uses.)
+
+use crate::engine::Engine;
+use crate::query::{parse_line, Request};
+use crate::reader::{cpt_rows, QueryReader};
+use crate::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use wfbn_core::entropy::{mutual_information, nats_to_bits};
+use wfbn_data::{Dataset, Schema};
+use wfbn_obs::{CoreMetrics, Recorder};
+
+/// Why [`serve_lines`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopControl {
+    /// The input ended.
+    Eof,
+    /// A `QUIT` request closed the connection.
+    Quit,
+    /// A `SHUTDOWN` request asked the whole server to stop.
+    Shutdown,
+}
+
+/// One serving session: engine front-end + query endpoint + schema.
+pub struct Session<R: Recorder> {
+    engine: Engine<R>,
+    reader: QueryReader<R>,
+    schema: Schema,
+    metrics: Option<Arc<CoreMetrics>>,
+}
+
+impl<R: Recorder + Send + Sync + 'static> Session<R> {
+    /// Binds a session over a running engine.
+    pub fn new(engine: Engine<R>, reader: QueryReader<R>, schema: Schema) -> Self {
+        Session {
+            engine,
+            reader,
+            schema,
+            metrics: None,
+        }
+    }
+
+    /// Attaches the recording metrics whose JSON `STATS` should report.
+    pub fn with_metrics(mut self, metrics: Arc<CoreMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The engine front-end (submission, sync, backlog).
+    pub fn engine_mut(&mut self) -> &mut Engine<R> {
+        &mut self.engine
+    }
+
+    /// The session's query endpoint.
+    pub fn reader_mut(&mut self) -> &mut QueryReader<R> {
+        &mut self.reader
+    }
+
+    /// Closes admission and returns the final table.
+    pub fn finish(self) -> Result<wfbn_core::PotentialTable, ServeError> {
+        self.engine.finish()
+    }
+
+    /// Scope a query request needs, validated against the schema, or the
+    /// per-request error to report instead.
+    fn scope_of(&self, req: &Request) -> Result<Vec<usize>, String> {
+        let scope = match req {
+            Request::Marginal(scope) => scope.clone(),
+            Request::Mi { i, j, .. } => {
+                if i == j {
+                    return Err(format!("MI of X{i} with itself"));
+                }
+                vec![*i.min(j), *i.max(j)]
+            }
+            Request::Cpt { x, parents } => {
+                let mut scope = parents.clone();
+                scope.push(*x);
+                scope.sort_unstable();
+                let before = scope.len();
+                scope.dedup();
+                if scope.len() != before {
+                    return Err("CPT: duplicate variable in child + parents".into());
+                }
+                scope
+            }
+            _ => unreachable!("scope_of is only called on query requests"),
+        };
+        let n = self.schema.num_vars();
+        if let Some(&v) = scope.iter().find(|&&v| v >= n) {
+            return Err(format!("X{v} out of range (the schema has {n} variables)"));
+        }
+        Ok(scope)
+    }
+
+    /// Answers a run of consecutive query requests as one fused batch.
+    fn answer_run(&mut self, run: &[Request], out: &mut Vec<String>) {
+        // Per-request scope or error; only valid scopes enter the batch.
+        let scoped: Vec<Result<Vec<usize>, String>> =
+            run.iter().map(|req| self.scope_of(req)).collect();
+        let batch: Vec<&[usize]> = scoped
+            .iter()
+            .filter_map(|s| s.as_deref().ok())
+            .collect();
+        let answered = self.reader.answer_batch(&batch);
+        let (epoch, mut answers) = match answered {
+            Ok((epoch, answers)) => (epoch, answers.into_iter()),
+            Err(e) => {
+                for _ in run {
+                    out.push(format!("ERR {e}"));
+                }
+                return;
+            }
+        };
+        for (req, scope) in run.iter().zip(scoped) {
+            let scope = match scope {
+                Ok(scope) => scope,
+                Err(msg) => {
+                    out.push(format!("ERR {msg}"));
+                    continue;
+                }
+            };
+            let joint = answers.next().expect("one answer per valid scope");
+            match req {
+                Request::Marginal(_) => {
+                    let counts: Vec<String> = (0..joint.num_cells())
+                        .map(|i| joint.count_at(i).to_string())
+                        .collect();
+                    out.push(format!(
+                        "OK MARGINAL e={epoch} scope={} total={} counts={}",
+                        join_usizes(&scope),
+                        joint.total(),
+                        counts.join(",")
+                    ));
+                }
+                Request::Mi { i, j, bits } => {
+                    let nats = mutual_information(&joint);
+                    let (value, unit) = if *bits {
+                        (nats_to_bits(nats), "bits")
+                    } else {
+                        (nats, "nats")
+                    };
+                    out.push(format!("OK MI e={epoch} X{i} -- X{j} {value:.6} {unit}"));
+                }
+                Request::Cpt { x, .. } => {
+                    let rows = cpt_rows(&joint, *x);
+                    let parents: Vec<usize> =
+                        scope.iter().copied().filter(|v| v != x).collect();
+                    let rendered: Vec<String> = rows
+                        .iter()
+                        .map(|row| {
+                            let states = if row.parent_states.is_empty() {
+                                "-".to_string()
+                            } else {
+                                row.parent_states
+                                    .iter()
+                                    .map(u16::to_string)
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            };
+                            let probs: Vec<String> =
+                                row.probs.iter().map(|p| format!("{p:.6}")).collect();
+                            format!("[{states}] {}", probs.join(","))
+                        })
+                        .collect();
+                    out.push(format!(
+                        "OK CPT e={epoch} x={x} parents={} rows={}: {}",
+                        join_usizes(&parents),
+                        rows.len(),
+                        rendered.join(" | ")
+                    ));
+                }
+                _ => unreachable!("runs contain only query requests"),
+            }
+        }
+    }
+
+    /// Handles one non-query request, appending its response line(s).
+    fn answer_control(&mut self, req: &Request, out: &mut Vec<String>) {
+        match req {
+            Request::Epoch => {
+                out.push(format!(
+                    "OK EPOCH published={} pinned={}",
+                    self.reader.published(),
+                    self.reader.pinned_epoch()
+                ));
+            }
+            Request::Sync => match self.engine.sync() {
+                Ok(epoch) => out.push(format!("OK SYNC e={epoch}")),
+                Err(e) => out.push(format!("ERR {e}")),
+            },
+            Request::Stats => {
+                out.push(format!(
+                    "OK STATS submitted={} published={} backlog={} cache_scopes={}",
+                    self.engine.submitted(),
+                    self.engine.published(),
+                    self.engine.backlog(),
+                    self.reader.cache_len()
+                ));
+                if let Some(metrics) = &self.metrics {
+                    out.push(metrics.snapshot().to_json());
+                }
+            }
+            Request::Ingest(rows) => {
+                let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+                let admitted = Dataset::from_rows(self.schema.clone(), &refs)
+                    .map_err(|e| e.to_string())
+                    .and_then(|batch| {
+                        self.engine.submit(batch).map_err(|e| e.to_string())
+                    });
+                match admitted {
+                    Ok(n) => out.push(format!("OK INGEST rows={} batch={n}", rows.len())),
+                    Err(msg) => out.push(format!("ERR {msg}")),
+                }
+            }
+            Request::Quit => out.push("OK BYE".into()),
+            Request::Shutdown => out.push("OK SHUTDOWN".into()),
+            _ => unreachable!("query requests are answered in runs"),
+        }
+    }
+
+    /// Processes one protocol line; responses are appended to `out`.
+    /// Returns `Quit`/`Shutdown` when the line asked to close.
+    pub fn handle_line(&mut self, line: &str, out: &mut Vec<String>) -> LoopControl {
+        let requests = match parse_line(line) {
+            Ok(requests) => requests,
+            Err(msg) => {
+                out.push(format!("ERR {msg}"));
+                return LoopControl::Eof;
+            }
+        };
+        let mut run: Vec<Request> = Vec::new();
+        for req in requests {
+            match req {
+                Request::Marginal(..) | Request::Mi { .. } | Request::Cpt { .. } => {
+                    run.push(req);
+                }
+                other => {
+                    if !run.is_empty() {
+                        let pending = std::mem::take(&mut run);
+                        self.answer_run(&pending, out);
+                    }
+                    self.answer_control(&other, out);
+                    match other {
+                        Request::Quit => return LoopControl::Quit,
+                        Request::Shutdown => return LoopControl::Shutdown,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if !run.is_empty() {
+            let pending = std::mem::take(&mut run);
+            self.answer_run(&pending, out);
+        }
+        LoopControl::Eof
+    }
+}
+
+/// Joins variable indices for response fields (`0,2,5`; `-` when empty).
+fn join_usizes(vars: &[usize]) -> String {
+    if vars.is_empty() {
+        return "-".into();
+    }
+    vars.iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Pumps protocol lines from `input` through `session`, writing response
+/// lines to `out`. Returns why the loop ended.
+pub fn serve_lines<R, I, O>(
+    session: &mut Session<R>,
+    input: I,
+    out: &mut O,
+) -> std::io::Result<LoopControl>
+where
+    R: Recorder + Send + Sync + 'static,
+    I: BufRead,
+    O: Write + ?Sized,
+{
+    let mut responses = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        responses.clear();
+        let control = session.handle_line(&line, &mut responses);
+        for response in &responses {
+            writeln!(out, "{response}")?;
+        }
+        out.flush()?;
+        if control != LoopControl::Eof {
+            return Ok(control);
+        }
+    }
+    Ok(LoopControl::Eof)
+}
+
+/// Accepts connections sequentially and serves each with [`serve_lines`]
+/// until a `SHUTDOWN` request (or an accept error) ends the loop.
+pub fn serve_tcp<R>(session: &mut Session<R>, listener: TcpListener) -> std::io::Result<()>
+where
+    R: Recorder + Send + Sync + 'static,
+{
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut writer = stream.try_clone()?;
+        match serve_lines(session, BufReader::new(stream), &mut writer)? {
+            LoopControl::Shutdown => break,
+            LoopControl::Quit | LoopControl::Eof => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use wfbn_obs::NoopRecorder;
+
+    fn session() -> Session<NoopRecorder> {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let (engine, mut readers) = Engine::start(&schema, &EngineConfig::default()).unwrap();
+        Session::new(engine, readers.pop().unwrap(), schema)
+    }
+
+    fn respond(session: &mut Session<NoopRecorder>, line: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        session.handle_line(line, &mut out);
+        out
+    }
+
+    #[test]
+    fn script_round_trip_over_lines() {
+        let mut session = session();
+        let script = "INGEST 0,0,0|0,1,0|1,0,1|1,1,1\nSYNC\nEPOCH\nMI 0 2; MARGINAL 2\nQUIT\n";
+        let mut out = Vec::new();
+        let control =
+            serve_lines(&mut session, std::io::Cursor::new(script), &mut out).unwrap();
+        assert_eq!(control, LoopControl::Quit);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "OK INGEST rows=4 batch=1");
+        assert_eq!(lines[1], "OK SYNC e=1");
+        assert_eq!(lines[2], "OK EPOCH published=1 pinned=0");
+        // X0 and X2 are identical in the batch: MI = H = ln 2 nats.
+        assert_eq!(lines[3], "OK MI e=1 X0 -- X2 0.693147 nats");
+        assert_eq!(lines[4], "OK MARGINAL e=1 scope=2 total=4 counts=2,2");
+        assert_eq!(lines[5], "OK BYE");
+    }
+
+    #[test]
+    fn fused_clauses_share_one_epoch_and_scan() {
+        let mut session = session();
+        assert_eq!(
+            respond(&mut session, "INGEST 0,1,0|1,0,1; SYNC"),
+            vec!["OK INGEST rows=2 batch=1", "OK SYNC e=1"]
+        );
+        let out = respond(&mut session, "MI 0 1; MI 1 0; CPT 1 0; MARGINAL 0 1");
+        assert_eq!(out.len(), 4, "{out:?}");
+        for line in &out {
+            assert!(line.starts_with("OK ") && line.contains("e=1"), "{line}");
+        }
+        // Same pair both directions: identical value, echoed operands.
+        assert!(out[0].starts_with("OK MI e=1 X0 -- X1"));
+        assert!(out[1].starts_with("OK MI e=1 X1 -- X0"));
+        assert_eq!(out[0].split_whitespace().last(), out[1].split_whitespace().last());
+        // One distinct scope {0,1} => a single scan, cached afterwards.
+        assert_eq!(session.reader_mut().cache_len(), 1);
+        // Deterministic CPT: X1 = 1 - X0 in the data.
+        assert_eq!(out[2], "OK CPT e=1 x=1 parents=0 rows=2: [0] 0.000000,1.000000 | [1] 1.000000,0.000000");
+    }
+
+    #[test]
+    fn errors_are_per_clause() {
+        let mut session = session();
+        assert_eq!(
+            respond(&mut session, "INGEST 0,0,0; SYNC"),
+            vec!["OK INGEST rows=1 batch=1", "OK SYNC e=1"]
+        );
+        let out = respond(&mut session, "MI 0 0; MARGINAL 9; MARGINAL 1");
+        assert!(out[0].starts_with("ERR MI of X0"), "{out:?}");
+        assert!(out[1].starts_with("ERR X9 out of range"), "{out:?}");
+        assert!(out[2].starts_with("OK MARGINAL e=1"), "{out:?}");
+        // Ingest with the wrong width is refused, not absorbed.
+        let out = respond(&mut session, "INGEST 0,1");
+        assert!(out[0].starts_with("ERR "), "{out:?}");
+        assert_eq!(session.engine_mut().submitted(), 1);
+    }
+
+    #[test]
+    fn queries_before_any_publication_are_refused() {
+        let mut session = session();
+        let out = respond(&mut session, "MI 0 1");
+        assert_eq!(out, vec!["ERR no epoch published yet"]);
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        use std::io::{BufRead as _, Write as _};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut lines = BufReader::new(stream).lines();
+            writer
+                .write_all(b"INGEST 0,0,0|1,1,1\nSYNC\nMI 0 1\nSHUTDOWN\n")
+                .unwrap();
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                got.push(lines.next().unwrap().unwrap());
+            }
+            got
+        });
+        let mut session = session();
+        serve_tcp(&mut session, listener).unwrap();
+        let got = client.join().unwrap();
+        assert_eq!(got[0], "OK INGEST rows=2 batch=1");
+        assert_eq!(got[1], "OK SYNC e=1");
+        assert_eq!(got[2], "OK MI e=1 X0 -- X1 0.693147 nats");
+        assert_eq!(got[3], "OK SHUTDOWN");
+    }
+}

@@ -1,0 +1,180 @@
+//! Read/write equivalence: a query served mid-absorb at epoch `e` must be
+//! **byte-identical** to an offline build of the first `e` batches.
+//!
+//! This is the serving layer's central correctness claim. The writer
+//! publishes after every absorbed batch, so the epoch number doubles as a
+//! prefix length; counts are exact integers, so "equivalent" means equal —
+//! no tolerance on tables, and 1e-12 on derived mutual information only to
+//! allow for the final floating-point reduction.
+
+use std::sync::Arc;
+use wfbn_core::construct::sequential_build;
+use wfbn_core::entropy::mutual_information;
+use wfbn_core::marginalize;
+use wfbn_data::{CorrelatedChain, Dataset, Generator, Schema};
+use wfbn_serve::{Engine, EngineConfig};
+
+const VARS: usize = 6;
+const BATCHES: usize = 12;
+const ROWS_PER_BATCH: usize = 150;
+
+fn workload() -> (Schema, Vec<Dataset>) {
+    let schema = Schema::uniform(VARS, 2).expect("schema");
+    let chain = CorrelatedChain::new(schema.clone(), 0.8).expect("rho");
+    let data = chain.generate(BATCHES * ROWS_PER_BATCH, 99);
+    let batches = (0..BATCHES)
+        .map(|b| {
+            let flat = data
+                .row_range(b * ROWS_PER_BATCH, (b + 1) * ROWS_PER_BATCH)
+                .to_vec();
+            Dataset::from_flat_unchecked(schema.clone(), flat)
+        })
+        .collect();
+    (schema, batches)
+}
+
+/// Offline reference: a fresh single-threaded build of the first `e` batches.
+fn offline_prefix(schema: &Schema, batches: &[Dataset], e: usize) -> wfbn_core::PotentialTable {
+    let flat: Vec<u16> = batches[..e]
+        .iter()
+        .flat_map(|b| b.flat().iter().copied())
+        .collect();
+    let prefix = Dataset::from_flat_unchecked(schema.clone(), flat);
+    sequential_build(&prefix).expect("offline build").table
+}
+
+#[test]
+fn every_epoch_equals_the_offline_prefix_build_for_each_p() {
+    let (schema, batches) = workload();
+    for p in [1usize, 2, 4, 8] {
+        let cfg = EngineConfig {
+            builder_threads: p,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut readers) = Engine::start(&schema, &cfg).expect("engine");
+        let reader = &mut readers[0];
+        for (k, batch) in batches.iter().enumerate() {
+            engine.submit(batch.clone()).expect("submit");
+            engine.sync().expect("sync");
+            let (epoch, snap) = reader.pin().expect("published");
+            assert_eq!(epoch, k as u64 + 1, "P={p}");
+
+            let offline = offline_prefix(&schema, &batches, k + 1);
+            assert_eq!(
+                snap.to_sorted_vec(),
+                offline.to_sorted_vec(),
+                "P={p}: epoch {epoch} table differs from the offline prefix"
+            );
+
+            // Derived statistics agree to 1e-12 (identical counts, identical
+            // reduction — in practice bit-for-bit).
+            let (_, served_mi) = reader.mi(0, 1).expect("mi");
+            let offline_mi =
+                mutual_information(&marginalize(&offline, &[0, 1], 1).expect("marginal"));
+            assert!(
+                (served_mi - offline_mi).abs() < 1e-12,
+                "P={p}: served MI {served_mi} vs offline {offline_mi}"
+            );
+        }
+        let final_table = engine.finish().expect("finish");
+        let offline = offline_prefix(&schema, &batches, BATCHES);
+        assert_eq!(final_table.to_sorted_vec(), offline.to_sorted_vec());
+    }
+}
+
+#[test]
+fn concurrent_reader_mid_absorb_observes_only_exact_prefixes() {
+    let (schema, batches) = workload();
+    for p in [1usize, 2, 4] {
+        let cfg = EngineConfig {
+            builder_threads: p,
+            readers: 2,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut readers) = Engine::start(&schema, &cfg).expect("engine");
+        let mut prober = readers.pop().expect("reader");
+
+        // The prober races the writer: every pin it lands mid-absorb must
+        // still be an exact prefix table.
+        let prober_thread = std::thread::spawn(move || {
+            let mut tables: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+            let mut mis: Vec<(u64, f64)> = Vec::new();
+            loop {
+                let closed = prober.is_closed();
+                if let Some((epoch, snap)) = prober.pin() {
+                    if tables.last().map(|(e, _)| *e) != Some(epoch) {
+                        tables.push((epoch, snap.to_sorted_vec()));
+                        // The query API re-pins, so it may answer at an even
+                        // newer epoch than the snapshot above — it reports
+                        // which, and both must match their own prefix.
+                        let (mi_epoch, mi) = prober.mi(0, 1).expect("mi");
+                        mis.push((mi_epoch, mi));
+                    }
+                }
+                if closed {
+                    return (tables, mis);
+                }
+                std::thread::yield_now();
+            }
+        });
+
+        for batch in &batches {
+            engine.submit(batch.clone()).expect("submit");
+        }
+        engine.sync().expect("sync");
+        engine.finish().expect("finish");
+
+        let (tables, mis) = prober_thread.join().expect("prober");
+        assert!(
+            !tables.is_empty(),
+            "P={p}: the prober never observed an epoch"
+        );
+        // The final epoch is always seen (the lane retains the newest).
+        assert_eq!(tables.last().expect("non-empty").0, BATCHES as u64);
+        let mut last = 0;
+        for (epoch, sorted) in tables {
+            assert!(epoch > last, "P={p}: epochs must be strictly monotone");
+            last = epoch;
+            let offline = offline_prefix(&schema, &batches, epoch as usize);
+            assert_eq!(
+                sorted,
+                offline.to_sorted_vec(),
+                "P={p}: epoch {epoch} observed mid-absorb differs from its prefix"
+            );
+        }
+        for (epoch, mi) in mis {
+            let offline = offline_prefix(&schema, &batches, epoch as usize);
+            let offline_mi =
+                mutual_information(&marginalize(&offline, &[0, 1], 1).expect("marginal"));
+            assert!((mi - offline_mi).abs() < 1e-12, "P={p}: epoch {epoch} MI");
+        }
+    }
+}
+
+#[test]
+fn snapshots_are_immutable_while_the_writer_moves_on() {
+    // An Arc'd snapshot pinned at epoch 1 must not change as later batches
+    // are absorbed (copy-on-publish: the writer diverges shared partitions
+    // instead of mutating them).
+    let (schema, batches) = workload();
+    let (mut engine, mut readers) = Engine::start(&schema, &EngineConfig::default()).unwrap();
+    engine.submit(batches[0].clone()).unwrap();
+    engine.sync().unwrap();
+    let (epoch, early) = readers[0].pin().expect("epoch 1");
+    assert_eq!(epoch, 1);
+    let early: Arc<wfbn_core::PotentialTable> = early;
+    let frozen = early.to_sorted_vec();
+
+    for batch in &batches[1..] {
+        engine.submit(batch.clone()).unwrap();
+    }
+    engine.sync().unwrap();
+    assert_eq!(
+        early.to_sorted_vec(),
+        frozen,
+        "epoch-1 snapshot mutated while the writer absorbed later batches"
+    );
+    let offline = offline_prefix(&schema, &batches, 1);
+    assert_eq!(early.to_sorted_vec(), offline.to_sorted_vec());
+    engine.finish().unwrap();
+}

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pr3.json: the scalar-vs-batched benchmark snapshot over
-# the fig. 3/4/5 workload shapes (simulated cycles + wall time). The
+# Regenerates the benchmark snapshot (BENCH_pr4.json by default): the
+# scalar-vs-batched build sweep over the fig. 3/4/5 workload shapes plus the
+# serve-throughput-vs-readers series (simulated cycles + wall time). The
 # simulated series are deterministic — same dataset, same cost model, same
 # numbers on any host — which is what lets tools/check_bench_regression.sh
 # gate on them. Wall numbers are host-dependent context, never gated on.
 #
 # Usage: tools/bench_snapshot.sh [extra bench_snapshot flags...]
 #   e.g. tools/bench_snapshot.sh --samples 200000 --reps 9
+#   BENCH_OUT=BENCH_custom.json tools/bench_snapshot.sh   # override target
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_pr3.json
+out=${BENCH_OUT:-BENCH_pr4.json}
 cargo build --release -p wfbn-bench --bin bench_snapshot
 ./target/release/bench_snapshot --out "$out" "$@"
 echo "bench_snapshot: wrote $out"

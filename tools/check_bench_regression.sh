@@ -11,11 +11,11 @@
 #
 # Dependency-free (grep/awk) so CI can run it without a JSON parser.
 #
-# Usage: tools/check_bench_regression.sh [BASELINE]  (default BENCH_pr3.json)
+# Usage: tools/check_bench_regression.sh [BASELINE]  (default BENCH_pr4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline=${1:-BENCH_pr3.json}
+baseline=${1:-BENCH_pr4.json}
 if [[ ! -f $baseline ]]; then
     echo "check_bench_regression: $baseline not found" >&2
     echo "generate it with: tools/bench_snapshot.sh" >&2
@@ -75,4 +75,33 @@ awk -v base="$committed" -v cur="$current" -v cores="$cores" '
         exit fail
     }
 '
+
+# pr4 snapshots also carry the serve-throughput series: check that the
+# deterministic scaling series is present and that the gated acceptance
+# value (P=8 throughput relative to P=1) meets the >= 3x floor. Older pr3
+# baselines lack the section — skip the check rather than fail, so the
+# script still validates historical snapshots.
+if grep -q '"serve"' "$baseline"; then
+    serve_scaling=$(grep -o '"serve_p8_scaling": [0-9.eE+-]*' "$baseline" | head -1 \
+            | awk '{print $2}')
+    if [[ -z $serve_scaling ]]; then
+        echo "check_bench_regression: serve section present but no serve_p8_scaling" >&2
+        exit 1
+    fi
+    current_serve=$(echo "$current_json" \
+            | grep -o '"serve_p8_scaling": [0-9.eE+-]*' | head -1 | awk '{print $2}')
+    echo "serve:    P=8 scaling baseline=$serve_scaling current=${current_serve:-<missing>}"
+    awk -v base="$serve_scaling" -v cur="${current_serve:-0}" '
+        BEGIN {
+            if (base + 0 < 3.0) {
+                printf "check_bench_regression: baseline serve_p8_scaling %.3f < 3.0\n", base
+                exit 1
+            }
+            if (cur + 0 < 3.0) {
+                printf "check_bench_regression: current serve_p8_scaling %.3f < 3.0\n", cur
+                exit 1
+            }
+        }
+    '
+fi
 echo "check_bench_regression: OK ($baseline)"

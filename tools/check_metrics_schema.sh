@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Validates a `wfbn-metrics-v2` JSON report — the file `repro --metrics`
+# Validates a `wfbn-metrics-v3` JSON report — the file `repro --metrics`
 # writes to results/metrics.json (the same document the figure binaries and
 # `wfbn build/mi --metrics` print). Checks the schema tag, every top-level
 # section, every stage key, every counter key, and one conservation law the
@@ -27,17 +27,18 @@ need() {
     fi
 }
 
-need '"schema": "wfbn-metrics-v2"' "schema tag"
+need '"schema": "wfbn-metrics-v3"' "schema tag"
 for section in '"cores":' '"totals":' '"stage_ns_total":' '"stage_ns_max":' \
-               '"queue_hwm_max":' '"probe_hist":' '"per_core":'; do
+               '"queue_hwm_max":' '"probe_hist":' '"latency_hist":' '"per_core":'; do
     need "$section" "section"
 done
-for stage in stage1_encode_route barrier_wait stage2_drain marginalize; do
+for stage in stage1_encode_route barrier_wait stage2_drain marginalize query_serve; do
     need "\"$stage\":" "stage key"
 done
 for counter in rows_encoded local_updates forwarded drained probes table_grows \
                segments_linked pairs_scanned entries_scanned rebalance_moves \
-               blocks_flushed keys_coalesced; do
+               blocks_flushed keys_coalesced queries_served cache_hits \
+               cache_misses epochs_published epochs_pinned; do
     need "\"$counter\":" "counter key"
 done
 

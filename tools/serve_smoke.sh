@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving subsystem: the MI values a live
+# `wfbn serve` session answers must match the offline `wfbn mi` screening on
+# the same CSV. Both paths reduce the same integer count tables, so at a
+# synced epoch the printed values agree to the last printed digit; the
+# comparison still allows a tiny numeric tolerance so the check pins
+# semantics, not formatting.
+#
+# Usage: tools/serve_smoke.sh [--top K]   (default K=5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+top=5
+if [[ ${1:-} == --top ]]; then
+    top=${2:?--top expects a value}
+fi
+
+cargo build --release -p wfbn-cli
+wfbn=./target/release/wfbn
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+csv=$workdir/chain.csv
+
+"$wfbn" gen --chain 6,0.8 --samples 20000 --seed 7 --out "$csv" >/dev/null
+
+# Offline screening: rank, "Xi -- Xj", value, unit.
+"$wfbn" mi --in "$csv" --top "$top" > "$workdir/offline.txt"
+if [[ ! -s $workdir/offline.txt ]]; then
+    echo "serve_smoke: offline mi produced no output" >&2
+    exit 1
+fi
+
+# Turn the offline top-K edges into serve-protocol MI queries.
+script=$workdir/queries.txt
+awk '{ printf "MI %s %s\n", substr($2, 2), substr($4, 2) }' \
+    "$workdir/offline.txt" > "$script"
+{ echo "SYNC"; cat "$script"; echo "QUIT"; } > "$workdir/session.txt"
+
+"$wfbn" serve --in "$csv" --script "$workdir/session.txt" > "$workdir/served.txt"
+
+echo "--- offline (wfbn mi) ---"
+cat "$workdir/offline.txt"
+echo "--- served (wfbn serve) ---"
+grep '^OK MI' "$workdir/served.txt"
+
+# Column 5 of the offline line is the MI value; column 6 of the served
+# "OK MI e=E Xi -- Xj V unit" line is the same value. Compare pairwise.
+paste <(awk '{print $2, $4, $5}' "$workdir/offline.txt") \
+      <(grep '^OK MI' "$workdir/served.txt" | awk '{print $4, $6, $7}') \
+| awk '
+    {
+        if ($1 != $4 || $2 != $5) {
+            printf "serve_smoke: edge mismatch: offline %s--%s vs served %s--%s\n", \
+                   $1, $2, $4, $5
+            fail = 1
+        }
+        diff = $3 - $6; if (diff < 0) diff = -diff
+        if (diff > 1e-6) {
+            printf "serve_smoke: MI mismatch on %s--%s: offline %s served %s\n", \
+                   $1, $2, $3, $6
+            fail = 1
+        }
+        count++
+    }
+    END {
+        if (count == 0) { print "serve_smoke: nothing compared"; exit 1 }
+        if (fail) exit 1
+        printf "serve_smoke: OK (%d edges matched)\n", count
+    }
+'
