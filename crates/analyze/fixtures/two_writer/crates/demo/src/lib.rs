@@ -1,0 +1,37 @@
+//! Analyzer fixture: a single-writer flag with one hb edge.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A published word with exactly one writer role.
+pub struct Flag {
+    word: AtomicUsize,
+    count: AtomicUsize,
+}
+
+impl Flag {
+    /// Publishes `v` (the `owner` role's only store).
+    pub fn publish(&self, v: usize) {
+        // hb-writer: owner
+        self.word.store(v, Ordering::Release);
+    }
+
+    /// Reads the published word.
+    pub fn read(&self) -> usize {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Single-writer bookkeeping, no synchronization carried.
+    pub fn tick(&self) {
+        let v = self.count.load(Ordering::Relaxed);
+        // SAFETY: fixture demo of a documented unsafe block; no-op cast.
+        let _p = unsafe { *(&raw const v) };
+        self.count.store(v + 1, Ordering::Relaxed);
+    }
+}
+
+impl Flag {
+    /// Seeded violation: a second writer role stores the same word.
+    pub fn hijack(&self, v: usize) {
+        // hb-writer: intruder
+        self.word.store(v, Ordering::Release);
+    }
+}

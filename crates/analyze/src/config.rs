@@ -1,0 +1,173 @@
+//! Policy and happens-before map models, loaded from `analysis/*.toml`.
+
+use crate::minitoml::{self, Doc};
+use std::path::Path;
+
+/// `analysis/policy.toml`: the wait-freedom lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Crates whose non-test code must stay RMW-free (the hot path).
+    pub hot_crates: Vec<String>,
+    /// Operation names denied on the hot path (`fetch_*`, `swap`, ...).
+    pub deny_ops: Vec<String>,
+    /// Orderings denied everywhere (`SeqCst`).
+    pub deny_orderings: Vec<String>,
+    /// Crates exempt from the hot-path op denial (`wfbn-baselines`).
+    pub exempt_crates: Vec<String>,
+    /// Whether test-context sites are exempt from the op denial.
+    pub allow_in_tests: bool,
+    /// Whether the ordering denial also covers test-context sites.
+    pub deny_orderings_in_tests: bool,
+    /// Reviewed exceptions, each with a justification.
+    pub waivers: Vec<Waiver>,
+}
+
+/// One reviewed policy exception (e.g. the barrier's arrival RMW).
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Workspace-relative file the waived site lives in.
+    pub file: String,
+    /// Receiver (field) name at the site.
+    pub field: String,
+    /// Operation name at the site.
+    pub op: String,
+    /// One-line reviewed justification (required).
+    pub why: String,
+}
+
+/// One edge of the happens-before map (`analysis/hb_map.toml`),
+/// mirroring a row of DESIGN.md §8/§11.
+#[derive(Debug, Clone)]
+pub struct HbEdge {
+    /// Workspace-relative file holding both ends of the edge.
+    pub file: String,
+    /// Field (receiver) the Release/Acquire pair synchronizes on.
+    pub field: String,
+    /// `release-acquire` (default) or `rmw` for AcqRel edges.
+    pub kind: String,
+    /// Unique writer role; must match the sites' `hb-writer:` annotations.
+    pub writer: String,
+    /// Which DESIGN.md row this edge mirrors (free text, required).
+    pub design: String,
+    /// 1-based line of the `[[edge]]` header in hb_map.toml.
+    pub line: u32,
+}
+
+/// The parsed happens-before map.
+#[derive(Debug, Clone, Default)]
+pub struct HbMap {
+    /// All declared edges.
+    pub edges: Vec<HbEdge>,
+}
+
+/// Configuration load error: file plus line/message.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Path the error came from.
+    pub file: String,
+    /// 1-based line (0 when the file itself is missing).
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+    }
+}
+
+fn load_doc(path: &Path) -> Result<Doc, ConfigError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+        file: path.display().to_string(),
+        line: 0,
+        msg: format!("cannot read: {e}"),
+    })?;
+    minitoml::parse(&text).map_err(|(line, msg)| ConfigError {
+        file: path.display().to_string(),
+        line,
+        msg,
+    })
+}
+
+impl Policy {
+    /// Loads `analysis/policy.toml`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let doc = load_doc(path)?;
+        let hot = doc.first("hot_path").cloned().unwrap_or_default();
+        let exempt = doc.first("exempt").cloned().unwrap_or_default();
+        let mut waivers = Vec::new();
+        for w in doc.all("waiver") {
+            let field = |key: &str| -> Result<String, ConfigError> {
+                w.str(key).map(str::to_owned).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: w.line,
+                    msg: format!("[[waiver]] missing required `{key}`"),
+                })
+            };
+            waivers.push(Waiver {
+                file: field("file")?,
+                field: field("field")?,
+                op: field("op")?,
+                why: field("why")?,
+            });
+        }
+        Ok(Policy {
+            hot_crates: hot.list("crates"),
+            deny_ops: hot.list("deny_ops"),
+            deny_orderings: hot.list("deny_orderings"),
+            exempt_crates: exempt.list("crates"),
+            allow_in_tests: exempt.bool_or("allow_in_tests", true),
+            deny_orderings_in_tests: hot.bool_or("deny_orderings_in_tests", true),
+            waivers,
+        })
+    }
+
+    /// The waiver covering `(file, field, op)`, if any.
+    pub fn waiver_for(&self, file: &str, field: &str, op: &str) -> Option<&Waiver> {
+        self.waivers
+            .iter()
+            .find(|w| w.file == file && w.field == field && w.op == op)
+    }
+}
+
+impl HbMap {
+    /// Loads `analysis/hb_map.toml`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let doc = load_doc(path)?;
+        let mut edges = Vec::new();
+        for e in doc.all("edge") {
+            let field = |key: &str| -> Result<String, ConfigError> {
+                e.str(key).map(str::to_owned).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: e.line,
+                    msg: format!("[[edge]] missing required `{key}`"),
+                })
+            };
+            edges.push(HbEdge {
+                file: field("file")?,
+                field: field("field")?,
+                kind: e.str("kind").unwrap_or("release-acquire").to_owned(),
+                writer: field("writer")?,
+                design: field("design")?,
+                line: e.line,
+            });
+        }
+        Ok(HbMap { edges })
+    }
+
+    /// The edge covering `(file, field)`, if any.
+    pub fn edge_for(&self, file: &str, field: &str) -> Option<&HbEdge> {
+        self.edges
+            .iter()
+            .find(|e| e.file == file && e.field == field)
+    }
+}
+
+/// Reads the `name` from a crate's `Cargo.toml` (fallback: directory name).
+pub fn crate_name(manifest: &Path) -> Option<String> {
+    let doc = load_doc(manifest).ok()?;
+    doc.first("package")
+        .and_then(|p| p.str("name"))
+        .map(str::to_owned)
+}

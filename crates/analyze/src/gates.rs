@@ -1,0 +1,299 @@
+//! The three static gates (plus the unsafe-coverage pass) over the
+//! inventory.
+//!
+//! | gate | checks | config |
+//! |---|---|---|
+//! | `safety` | every `unsafe` site has an adjacent SAFETY comment | — |
+//! | `waitfree` | no RMW ops on hot-path crates, no denied orderings | `analysis/policy.toml` |
+//! | `hb` | Release/Acquire pairs ⇔ `analysis/hb_map.toml`, one writer role per field | `analysis/hb_map.toml` |
+//! | `ratchet` | atomic-site signatures ⇔ `analysis/atomics.lock` | `analysis/atomics.lock` |
+//!
+//! Each violation is a [`Diag`] with a `file:line` culprit; the clean tree
+//! produces none, and every seeded fixture under `fixtures/` produces at
+//! least one (the negative controls in `tests/gates.rs`).
+
+use crate::config::{HbMap, Policy};
+use crate::ratchet::{self, Lock};
+use crate::scan::{AtomicSite, Ctx, Inventory};
+use std::collections::BTreeMap;
+
+/// One violation: which gate fired, where, and why.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Gate name: `safety`, `waitfree`, `hb`, or `ratchet`.
+    pub gate: &'static str,
+    /// File the culprit lives in (source file or config file).
+    pub file: String,
+    /// 1-based culprit line (0 when the culprit is a whole file).
+    pub line: u32,
+    /// Human-readable explanation with the expected fix.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}:{}: {}", self.gate, self.file, self.line, self.msg)
+    }
+}
+
+/// Gate 0: every `unsafe` item carries an adjacent SAFETY comment.
+pub fn gate_safety(inv: &Inventory) -> Vec<Diag> {
+    inv.unsafes
+        .iter()
+        .filter(|u| !u.documented)
+        .map(|u| Diag {
+            gate: "safety",
+            file: u.file.clone(),
+            line: u.line,
+            msg: format!(
+                "`unsafe {}` without an adjacent `// SAFETY:` comment; the \
+                 comment must sit directly above the item (attributes and \
+                 blank-free comment runs only — code in between breaks \
+                 adjacency)",
+                u.kind
+            ),
+        })
+        .collect()
+}
+
+/// Gate 1: the wait-freedom lint.
+pub fn gate_waitfree(inv: &Inventory, policy: &Policy) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for s in &inv.atomics {
+        let exempt_crate = policy.exempt_crates.iter().any(|c| c == &s.crate_name);
+        let waived = policy.waiver_for(&s.file, &s.receiver, &s.op).is_some();
+
+        // Denied orderings (SeqCst) apply everywhere unless waived.
+        if !waived {
+            for ord in &s.orderings {
+                if policy.deny_orderings.iter().any(|d| d == ord)
+                    && (s.ctx == Ctx::Src || policy.deny_orderings_in_tests)
+                {
+                    out.push(Diag {
+                        gate: "waitfree",
+                        file: s.file.clone(),
+                        line: s.line,
+                        msg: format!(
+                            "`{}.{}` uses denied ordering `{ord}`; the workspace \
+                             carries no {ord} site — use Release/Acquire (or \
+                             Relaxed for single-writer bookkeeping) and record \
+                             a waiver in analysis/policy.toml if this one is \
+                             truly necessary",
+                            s.receiver, s.op
+                        ),
+                    });
+                }
+            }
+        }
+
+        // RMW denial on hot-path crates' shipped code.
+        let hot = policy.hot_crates.iter().any(|c| c == &s.crate_name);
+        let denied_op = policy.deny_ops.iter().any(|d| d == &s.op);
+        if hot && denied_op && !exempt_crate && !waived && !(s.ctx == Ctx::Test && policy.allow_in_tests)
+        {
+            out.push(Diag {
+                gate: "waitfree",
+                file: s.file.clone(),
+                line: s.line,
+                msg: format!(
+                    "RMW op `{}.{}({})` on hot-path crate `{}`: the wait-free \
+                     protocol permits only single-writer stores and \
+                     Release/Acquire loads on this path (DESIGN §8); move the \
+                     contended word behind an SPSC hand-off, or add a \
+                     reviewed [[waiver]] to analysis/policy.toml",
+                    s.receiver,
+                    s.op,
+                    s.orderings.join(", "),
+                    s.crate_name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Gate 2: the happens-before map check.
+pub fn gate_hb(inv: &Inventory, map: &HbMap, map_path: &str) -> Vec<Diag> {
+    let mut out = Vec::new();
+
+    // Group src-context Release stores / Acquire loads / AcqRel RMWs by
+    // (file, field).
+    #[derive(Default)]
+    struct FieldUse<'a> {
+        releases: Vec<&'a AtomicSite>,
+        acquires: Vec<&'a AtomicSite>,
+        rmw_acqrel: Vec<&'a AtomicSite>,
+    }
+    let mut uses: BTreeMap<(String, String), FieldUse> = BTreeMap::new();
+    for s in inv.atomics.iter().filter(|s| s.ctx == Ctx::Src) {
+        let key = (s.file.clone(), s.receiver.clone());
+        let slot = uses.entry(key).or_default();
+        let is_rmw = crate::scan::RMW_OPS.contains(&s.op.as_str());
+        if is_rmw && (s.has_ordering("AcqRel") || s.has_ordering("SeqCst")) {
+            slot.rmw_acqrel.push(s);
+        } else if s.op == "store" && s.has_ordering("Release") {
+            slot.releases.push(s);
+        } else if s.op == "load" && s.has_ordering("Acquire") {
+            slot.acquires.push(s);
+        }
+    }
+
+    for ((file, field), used) in &uses {
+        let edge = map.edge_for(file, field);
+        let synchronizing = !used.releases.is_empty()
+            || !used.acquires.is_empty()
+            || !used.rmw_acqrel.is_empty();
+        if !synchronizing {
+            continue;
+        }
+        let Some(edge) = edge else {
+            let site = used
+                .releases
+                .first()
+                .or(used.acquires.first())
+                .or(used.rmw_acqrel.first())
+                .expect("synchronizing implies at least one site");
+            out.push(Diag {
+                gate: "hb",
+                file: file.clone(),
+                line: site.line,
+                msg: format!(
+                    "synchronizing access to `{field}` ({} {}) has no edge in \
+                     {map_path}: a new release/acquire pair must be added to \
+                     the map AND to DESIGN.md's happens-before table",
+                    site.op,
+                    site.orderings.join("+")
+                ),
+            });
+            continue;
+        };
+
+        // Writer-role discipline: every Release store carries an hb-writer
+        // annotation, all agree, and they match the map.
+        let mut roles: Vec<(&str, u32)> = Vec::new();
+        for r in used.releases.iter().chain(used.rmw_acqrel.iter()) {
+            match &r.writer_role {
+                None => out.push(Diag {
+                    gate: "hb",
+                    file: file.clone(),
+                    line: r.line,
+                    msg: format!(
+                        "Release site on `{field}` lacks an adjacent \
+                         `// hb-writer: <role>` annotation (expected role \
+                         `{}` per {map_path})",
+                        edge.writer
+                    ),
+                }),
+                Some(role) => roles.push((role, r.line)),
+            }
+        }
+        for (role, line) in &roles {
+            if *role != edge.writer {
+                out.push(Diag {
+                    gate: "hb",
+                    file: file.clone(),
+                    line: *line,
+                    msg: format!(
+                        "two-writer violation on `{field}`: site annotates \
+                         writer role `{role}` but {map_path} declares the \
+                         single writer `{}` — exactly one role may store \
+                         this word",
+                        edge.writer
+                    ),
+                });
+            }
+        }
+
+        // Shape: a release-acquire edge needs both ends in code.
+        if edge.kind == "rmw" {
+            if used.rmw_acqrel.is_empty() {
+                out.push(Diag {
+                    gate: "hb",
+                    file: map_path.to_owned(),
+                    line: edge.line,
+                    msg: format!(
+                        "stale edge: {map_path} declares an AcqRel RMW edge \
+                         on `{}::{field}` but the code has none",
+                        edge.file
+                    ),
+                });
+            }
+        } else {
+            if used.releases.is_empty() {
+                out.push(Diag {
+                    gate: "hb",
+                    file: file.clone(),
+                    line: used.acquires.first().map_or(0, |a| a.line),
+                    msg: format!(
+                        "Acquire load(s) on `{field}` have no Release store \
+                         counterpart in this file; the declared edge is \
+                         one-legged"
+                    ),
+                });
+            }
+            if used.acquires.is_empty() {
+                out.push(Diag {
+                    gate: "hb",
+                    file: file.clone(),
+                    line: used.releases.first().map_or(0, |r| r.line),
+                    msg: format!(
+                        "orphan Release store on `{field}`: no Acquire load \
+                         pairs with it in this file, so the store \
+                         synchronizes nothing — either add the consumer or \
+                         downgrade to Relaxed and drop the edge from \
+                         {map_path}"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Stale edges: declared in the map, absent from code.
+    for edge in &map.edges {
+        let key = (edge.file.clone(), edge.field.clone());
+        let present = uses.get(&key).is_some_and(|u| {
+            !u.releases.is_empty() || !u.acquires.is_empty() || !u.rmw_acqrel.is_empty()
+        });
+        if !present {
+            out.push(Diag {
+                gate: "hb",
+                file: map_path.to_owned(),
+                line: edge.line,
+                msg: format!(
+                    "stale edge: {map_path} declares `{}::{}` ({}) but the \
+                     code no longer has a synchronizing access on that \
+                     field — update the map and DESIGN.md together",
+                    edge.file, edge.field, edge.design
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+/// Gate 3: the atomics ratchet.
+pub fn gate_ratchet(inv: &Inventory, lock: &Lock, lock_path: &str) -> Vec<Diag> {
+    let current = ratchet::aggregate(&inv.atomics);
+    ratchet::diff(&current, lock)
+        .into_iter()
+        .map(|(sig, locked, now)| {
+            let pretty = sig.replace('\t', " ");
+            // Point at a concrete culprit line when the site exists in code.
+            let site = inv
+                .atomics
+                .iter()
+                .find(|s| ratchet::signature(s) == sig);
+            Diag {
+                gate: "ratchet",
+                file: site.map_or_else(|| lock_path.to_owned(), |s| s.file.clone()),
+                line: site.map_or(0, |s| s.line),
+                msg: format!(
+                    "atomics baseline drift for `{pretty}`: lock has x{locked}, \
+                     tree has x{now}; review the change and re-baseline with \
+                     `cargo run -p wfbn-analyze -- baseline`",
+                ),
+            }
+        })
+        .collect()
+}

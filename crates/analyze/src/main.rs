@@ -1,0 +1,218 @@
+//! CLI for the static concurrency analyzer.
+//!
+//! ```text
+//! cargo run -p wfbn-analyze -- check      [--root DIR] [--gate NAME]
+//! cargo run -p wfbn-analyze -- inventory  [--root DIR] [--json]
+//! cargo run -p wfbn-analyze -- baseline   [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 gate violations, 2 usage or config errors.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wfbn_analyze::scan::Ctx;
+use wfbn_analyze::{check, gates, load, ratchet};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut root = PathBuf::from(".");
+    let mut gate_filter: Option<String> = None;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--gate" => match args.next() {
+                Some(g) => gate_filter = Some(g),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+    // Accept invocation from anywhere inside the workspace: walk up to the
+    // directory holding `analysis/` + `crates/`.
+    if root.as_os_str() == "." {
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if dir.join("analysis").is_dir() && dir.join("crates").is_dir() {
+                root = dir;
+                break;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+
+    match cmd.as_str() {
+        "check" => run_check(&root, gate_filter.as_deref()),
+        "inventory" => run_inventory(&root, json),
+        "baseline" => run_baseline(&root),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wfbn-analyze <check|inventory|baseline> [--root DIR] [--gate NAME] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn run_check(root: &std::path::Path, gate: Option<&str>) -> ExitCode {
+    let analysis = match load(root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wfbn-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags: Vec<gates::Diag> = check(&analysis)
+        .into_iter()
+        .filter(|d| gate.is_none_or(|g| g == d.gate))
+        .collect();
+    if diags.is_empty() {
+        let scope = gate.unwrap_or("all gates");
+        println!(
+            "wfbn-analyze: OK ({scope}; {} atomic sites, {} unsafe sites, {} hb edges)",
+            analysis.inventory.atomics.len(),
+            analysis.inventory.unsafes.len(),
+            analysis.hb_map.edges.len(),
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    eprintln!("\nwfbn-analyze: {} violation(s)", diags.len());
+    ExitCode::from(1)
+}
+
+fn run_inventory(root: &std::path::Path, json: bool) -> ExitCode {
+    let inventory = match wfbn_analyze::scan_only(root) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("wfbn-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let inv = &inventory;
+    if json {
+        print!("{}", inventory_json(inv));
+        return ExitCode::SUCCESS;
+    }
+    println!("# Concurrency inventory\n");
+    println!("## Atomic operations ({})\n", inv.atomics.len());
+    let mut by_file: BTreeMap<&str, Vec<&wfbn_analyze::scan::AtomicSite>> = BTreeMap::new();
+    for s in &inv.atomics {
+        by_file.entry(&s.file).or_default().push(s);
+    }
+    for (file, sites) in &by_file {
+        println!("{file}:");
+        for s in sites {
+            let role = s
+                .writer_role
+                .as_deref()
+                .map(|r| format!(" [hb-writer: {r}]"))
+                .unwrap_or_default();
+            println!(
+                "  {:>5}  {:<4} {}.{}({}){}",
+                s.line,
+                s.ctx.name(),
+                s.receiver,
+                s.op,
+                s.orderings.join(", "),
+                role
+            );
+        }
+    }
+    println!("\n## Unsafe sites ({})\n", inv.unsafes.len());
+    for u in &inv.unsafes {
+        println!(
+            "  {}:{}  unsafe {} ({})",
+            u.file,
+            u.line,
+            u.kind,
+            if u.documented { "documented" } else { "UNDOCUMENTED" }
+        );
+    }
+    println!("\n## Atomic types\n");
+    for (file, counts) in &inv.atomic_types {
+        let s: Vec<String> = counts.iter().map(|(t, n)| format!("{t}×{n}")).collect();
+        println!("  {file}: {}", s.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Hand-rolled JSON (same policy as wfbn-obs: no serde dependency).
+fn inventory_json(inv: &wfbn_analyze::scan::Inventory) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"schema\": \"wfbn-analyze-v1\",\n  \"atomics\": [\n");
+    for (i, s) in inv.atomics.iter().enumerate() {
+        let sep = if i + 1 == inv.atomics.len() { "" } else { "," };
+        let orderings: Vec<String> = s.orderings.iter().map(|o| format!("\"{}\"", esc(o))).collect();
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"crate\": \"{}\", \"ctx\": \"{}\", \
+             \"receiver\": \"{}\", \"op\": \"{}\", \"orderings\": [{}]}}{sep}\n",
+            esc(&s.file),
+            s.line,
+            esc(&s.crate_name),
+            s.ctx.name(),
+            esc(&s.receiver),
+            esc(&s.op),
+            orderings.join(", "),
+        ));
+    }
+    out.push_str("  ],\n  \"unsafe\": [\n");
+    for (i, u) in inv.unsafes.iter().enumerate() {
+        let sep = if i + 1 == inv.unsafes.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"documented\": {}}}{sep}\n",
+            esc(&u.file),
+            u.line,
+            u.kind,
+            u.documented
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_baseline(root: &std::path::Path) -> ExitCode {
+    let (inventory, lock) = match wfbn_analyze::scan_only(root)
+        .and_then(|inv| wfbn_analyze::load_lock(root).map(|l| (inv, l)))
+    {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("wfbn-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = ratchet::render(&inventory.atomics, &lock);
+    let path = root.join("analysis/atomics.lock");
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("wfbn-analyze: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    let src = inventory
+        .atomics
+        .iter()
+        .filter(|s| s.ctx == Ctx::Src)
+        .count();
+    println!(
+        "wfbn-analyze: baselined {} atomic sites ({src} src, {} test) to {}",
+        inventory.atomics.len(),
+        inventory.atomics.len() - src,
+        path.display()
+    );
+    ExitCode::SUCCESS
+}

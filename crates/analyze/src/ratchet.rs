@@ -1,0 +1,193 @@
+//! The atomics ratchet: `analysis/atomics.lock`.
+//!
+//! Every atomic operation in the workspace is summarized into a *signature*
+//! — `(crate, file, ctx, receiver, op, orderings)` — and the lock file
+//! records the expected count per signature. Line numbers are deliberately
+//! not part of the signature, so unrelated edits above a site do not churn
+//! the baseline; adding, removing, or re-ordering-changing an atomic site
+//! does.
+//!
+//! `check` fails on *any* drift — a new signature, a vanished one, or a
+//! count change — with instructions to re-run `baseline`. Like PR 3's bench
+//! regression gate, the point is not to forbid change but to make every
+//! change to the concurrency surface an explicit, reviewed diff.
+//!
+//! Lines may carry a trailing ` # why: ...` justification; `baseline`
+//! preserves justifications for signatures that survive regeneration.
+
+use crate::scan::{AtomicSite, Ctx};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated lock entries: signature → (count, optional justification).
+pub type Lock = BTreeMap<String, (usize, Option<String>)>;
+
+/// Builds the signature string for one site.
+pub fn signature(site: &AtomicSite) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}",
+        site.crate_name,
+        site.file,
+        site.ctx.name(),
+        site.receiver,
+        site.op,
+        site.orderings.join("+"),
+    )
+}
+
+/// Aggregates scanned sites into signature counts.
+pub fn aggregate(sites: &[AtomicSite]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for s in sites {
+        *out.entry(signature(s)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Parses a lock file's text.
+///
+/// Format, one entry per line (tab-separated, `x<count>` last):
+/// `crate<TAB>file<TAB>ctx<TAB>receiver<TAB>op<TAB>orderings<TAB>x<count>`
+/// optionally followed by ` # why: <justification>`.
+pub fn parse(text: &str) -> Result<Lock, String> {
+    let mut lock = Lock::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (entry, why) = match line.split_once(" # why: ") {
+            Some((e, w)) => (e.trim_end(), Some(w.trim().to_owned())),
+            None => (line, None),
+        };
+        let fields: Vec<&str> = entry.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(format!(
+                "line {}: expected 7 tab-separated fields, got {}",
+                idx + 1,
+                fields.len()
+            ));
+        }
+        let count: usize = fields[6]
+            .strip_prefix('x')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("line {}: malformed count `{}`", idx + 1, fields[6]))?;
+        let sig = fields[..6].join("\t");
+        lock.insert(sig, (count, why));
+    }
+    Ok(lock)
+}
+
+/// Renders a lock file from current sites, preserving justifications from
+/// `previous` for signatures that still exist.
+pub fn render(sites: &[AtomicSite], previous: &Lock) -> String {
+    let counts = aggregate(sites);
+    let mut out = String::new();
+    out.push_str(
+        "# analysis/atomics.lock — the atomics ratchet (generated; do not hand-edit counts).\n\
+         #\n\
+         # Every atomic operation in crates/ is summarized here as\n\
+         # crate<TAB>file<TAB>ctx<TAB>receiver<TAB>op<TAB>orderings<TAB>x<count>.\n\
+         # `wfbn-analyze -- check` fails on any drift in either direction; a new\n\
+         # atomic site therefore requires a reviewed baseline update:\n\
+         #     cargo run -p wfbn-analyze -- baseline\n\
+         # Append ` # why: <one line>` to an entry to record its justification\n\
+         # (preserved across regeneration). Policy for which ops are even\n\
+         # allowed on the hot path lives in analysis/policy.toml; this file\n\
+         # only pins the reviewed surface.\n",
+    );
+    let test_sites = sites.iter().filter(|s| s.ctx == Ctx::Test).count();
+    let _ = writeln!(
+        out,
+        "#\n# {} sites ({} src, {} test) across {} signatures.\n",
+        sites.len(),
+        sites.len() - test_sites,
+        test_sites,
+        counts.len(),
+    );
+    for (sig, count) in &counts {
+        let _ = write!(out, "{sig}\tx{count}");
+        if let Some((_, Some(why))) = previous.get(sig) {
+            let _ = write!(out, " # why: {why}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Drift between the current tree and the lock: `(signature, lock count,
+/// current count)`; 0 on either side means absent.
+pub fn diff(current: &BTreeMap<String, usize>, lock: &Lock) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (sig, count) in current {
+        let locked = lock.get(sig).map_or(0, |(c, _)| *c);
+        if locked != *count {
+            out.push((sig.clone(), locked, *count));
+        }
+    }
+    for (sig, (count, _)) in lock {
+        if !current.contains_key(sig) {
+            out.push((sig.clone(), *count, 0));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(receiver: &str, op: &str, ord: &str, ctx: Ctx) -> AtomicSite {
+        AtomicSite {
+            file: "src/lib.rs".into(),
+            line: 1,
+            crate_name: "demo".into(),
+            ctx,
+            receiver: receiver.into(),
+            op: op.into(),
+            orderings: vec![ord.into()],
+            writer_role: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_with_justifications() {
+        let sites = vec![
+            site("len", "store", "Release", Ctx::Src),
+            site("len", "store", "Release", Ctx::Src),
+            site("live", "fetch_add", "Relaxed", Ctx::Test),
+        ];
+        let mut prev = Lock::new();
+        prev.insert(
+            signature(&sites[2]),
+            (9, Some("test drop counter".into())),
+        );
+        let text = render(&sites, &prev);
+        let lock = parse(&text).expect("parses");
+        assert_eq!(lock.len(), 2);
+        assert_eq!(lock[&signature(&sites[0])].0, 2);
+        assert_eq!(
+            lock[&signature(&sites[2])].1.as_deref(),
+            Some("test drop counter")
+        );
+        assert!(diff(&aggregate(&sites), &lock).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_both_directions() {
+        let sites = vec![site("a", "store", "Release", Ctx::Src)];
+        let lock = parse(&render(&sites, &Lock::new())).expect("parses");
+        let grown = vec![
+            site("a", "store", "Release", Ctx::Src),
+            site("b", "load", "Acquire", Ctx::Src),
+        ];
+        let d = diff(&aggregate(&grown), &lock);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, 0); // not in lock
+        let shrunk: Vec<AtomicSite> = Vec::new();
+        let d = diff(&aggregate(&shrunk), &lock);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].2, 0); // vanished from tree
+    }
+}

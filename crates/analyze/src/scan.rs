@@ -1,0 +1,627 @@
+//! Token-stream scanner: turns lexed source into the concurrency inventory.
+//!
+//! Three extraction passes run over each file's tokens:
+//!
+//! 1. **Atomic operations** — method calls whose argument list names a
+//!    memory `Ordering` (`store`/`load`/`swap`), plus the unambiguous RMW
+//!    family (`fetch_*`, `compare_exchange*`). `Vec::swap(i, j)` and
+//!    `core::cmp::Ordering::Less` never match: the former has no ordering
+//!    argument, the latter's variant is not a memory ordering.
+//! 2. **`unsafe` items** — blocks, fns, impls, traits — each checked for an
+//!    *adjacent* `// SAFETY:` comment: the contiguous run of comment and
+//!    attribute lines directly above the item (or a trailing comment on the
+//!    same line). Code between the comment and the item breaks adjacency —
+//!    the false-accept the old 6-line-window shell heuristic had.
+//! 3. **Test context** — `#[cfg(test)]` items and files under `tests/` are
+//!    flagged so policy gates can treat test scaffolding differently from
+//!    hot-path code.
+//!
+//! Release stores may carry a `// hb-writer: <role>` annotation naming the
+//! unique writer role of the stored-to field; the happens-before gate
+//! cross-checks those roles against `analysis/hb_map.toml`.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether a site sits in shipped code or in test scaffolding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Ctx {
+    /// Non-test code compiled into the library/binary.
+    Src,
+    /// `#[cfg(test)]` items or files under a `tests/` directory.
+    Test,
+}
+
+impl Ctx {
+    /// Stable lowercase name used in lock files and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctx::Src => "src",
+            Ctx::Test => "test",
+        }
+    }
+}
+
+/// One atomic operation site.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the method name.
+    pub line: u32,
+    /// Crate the file belongs to (from its `Cargo.toml`).
+    pub crate_name: String,
+    /// Src or Test context.
+    pub ctx: Ctx,
+    /// Identifier the method was called on (best-effort field name).
+    pub receiver: String,
+    /// Method name: `store`, `load`, `swap`, `fetch_add`, ...
+    pub op: String,
+    /// Memory orderings named in the argument list, in source order.
+    /// `["?"]` when an RMW op passes its ordering through a variable.
+    pub orderings: Vec<String>,
+    /// `// hb-writer: <role>` annotation adjacent to the site, if any.
+    pub writer_role: Option<String>,
+}
+
+impl AtomicSite {
+    /// True if any named ordering equals `ord`.
+    pub fn has_ordering(&self, ord: &str) -> bool {
+        self.orderings.iter().any(|o| o == ord)
+    }
+}
+
+/// One `unsafe` block/fn/impl/trait site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Src or Test context.
+    pub ctx: Ctx,
+    /// `block`, `fn`, `impl`, `trait`, or `other`.
+    pub kind: &'static str,
+    /// Whether an adjacent SAFETY comment documents the site.
+    pub documented: bool,
+}
+
+/// The whole workspace's concurrency inventory.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    /// Every atomic operation, in (file, line) order.
+    pub atomics: Vec<AtomicSite>,
+    /// Every `unsafe` site, in (file, line) order.
+    pub unsafes: Vec<UnsafeSite>,
+    /// Atomic type mentions (`AtomicUsize`, ...) per file, for reporting.
+    pub atomic_types: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Ops that are atomic only when an `Ordering` appears in the call.
+const ORDERED_OPS: &[&str] = &["load", "store", "swap"];
+
+/// Read-modify-write ops; unambiguous regardless of how the ordering is
+/// spelled.
+pub const RMW_OPS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Scans one file's source text.
+///
+/// `file` is the path recorded in diagnostics, `crate_name` the owning
+/// crate, and `file_ctx` the whole-file default context (Test for files
+/// under `tests/`).
+pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inventory {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+
+    let attr = attr_ranges(toks);
+    let in_test = test_regions(toks, &attr);
+    let lines = LineInfo::new(toks, &attr, &lexed.comments);
+
+    let mut inv = Inventory::default();
+
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let ctx = if file_ctx == Ctx::Test || in_test[i] {
+            Ctx::Test
+        } else {
+            Ctx::Src
+        };
+
+        if ATOMIC_TYPES.contains(&name.as_str()) {
+            *inv.atomic_types
+                .entry(file.to_owned())
+                .or_default()
+                .entry(name.clone())
+                .or_insert(0) += 1;
+        }
+
+        if name == "unsafe" && !attr.covers(i) {
+            inv.unsafes.push(UnsafeSite {
+                file: file.to_owned(),
+                line: t.line,
+                crate_name: crate_name.to_owned(),
+                ctx,
+                kind: unsafe_kind(toks, i),
+                documented: lines.has_adjacent(t.line, &["SAFETY:", "# Safety"]),
+            });
+            continue;
+        }
+
+        let is_ordered = ORDERED_OPS.contains(&name.as_str());
+        let is_rmw = RMW_OPS.contains(&name.as_str());
+        if (is_ordered || is_rmw)
+            && i > 0
+            && toks[i - 1].kind == TokKind::Punct('.')
+            && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('('))
+        {
+            let orderings = call_orderings(toks, i + 1);
+            if is_ordered && orderings.is_empty() {
+                continue; // Vec::swap, HashMap::load-alikes, etc.
+            }
+            let orderings = if orderings.is_empty() {
+                vec!["?".to_owned()]
+            } else {
+                orderings
+            };
+            inv.atomics.push(AtomicSite {
+                file: file.to_owned(),
+                line: t.line,
+                crate_name: crate_name.to_owned(),
+                ctx,
+                receiver: receiver_of(toks, i - 1),
+                op: name.clone(),
+                orderings,
+                writer_role: lines.writer_role(t.line),
+            });
+        }
+    }
+
+    inv
+}
+
+impl Inventory {
+    /// Merges another file's inventory into this one.
+    pub fn absorb(&mut self, other: Inventory) {
+        self.atomics.extend(other.atomics);
+        self.unsafes.extend(other.unsafes);
+        for (file, counts) in other.atomic_types {
+            let slot = self.atomic_types.entry(file).or_default();
+            for (ty, n) in counts {
+                *slot.entry(ty).or_insert(0) += n;
+            }
+        }
+    }
+}
+
+/// Attribute token ranges: `#[...]` and `#![...]` spans.
+struct AttrRanges {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl AttrRanges {
+    fn covers(&self, idx: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| s <= idx && idx <= e)
+    }
+
+    /// Index of the range starting at `idx`, if any.
+    fn starting_at(&self, idx: usize) -> Option<(usize, usize)> {
+        self.ranges.iter().copied().find(|&(s, _)| s == idx)
+    }
+}
+
+fn attr_ranges(toks: &[Tok]) -> AttrRanges {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct('#') {
+            let mut j = i + 1;
+            if matches!(toks.get(j), Some(t) if t.kind == TokKind::Punct('!')) {
+                j += 1;
+            }
+            if matches!(toks.get(j), Some(t) if t.kind == TokKind::Punct('[')) {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < toks.len() {
+                    match toks[k].kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                ranges.push((i, k.min(toks.len().saturating_sub(1))));
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    AttrRanges { ranges }
+}
+
+/// Marks token indices that sit inside a `#[cfg(test)]`-gated item.
+fn test_regions(toks: &[Tok], attr: &AttrRanges) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    for &(s, e) in &attr.ranges {
+        if !attr_is_cfg_test(&toks[s..=e.min(toks.len() - 1)]) {
+            continue;
+        }
+        // Skip any further attributes, then mark the gated item's extent:
+        // to the matching `}` of its first brace, or to a `;` for bodyless
+        // items.
+        let mut j = e + 1;
+        while let Some((_, ae)) = attr.starting_at(j) {
+            j = ae + 1;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < toks.len() {
+            match toks[k].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        for flag in in_test.iter_mut().take((k + 1).min(toks.len())).skip(s) {
+            *flag = true;
+        }
+    }
+    in_test
+}
+
+fn attr_is_cfg_test(attr_toks: &[Tok]) -> bool {
+    let mut idents = attr_toks.iter().filter_map(|t| match &t.kind {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    });
+    let first = idents.next();
+    if first != Some("cfg") {
+        return false;
+    }
+    let rest: Vec<_> = idents.collect();
+    rest.contains(&"test") && !rest.contains(&"not")
+}
+
+/// What follows an `unsafe` keyword.
+fn unsafe_kind(toks: &[Tok], i: usize) -> &'static str {
+    match toks.get(i + 1).map(|t| &t.kind) {
+        Some(TokKind::Punct('{')) => "block",
+        Some(TokKind::Ident(s)) => match s.as_str() {
+            "fn" => "fn",
+            "impl" => "impl",
+            "trait" => "trait",
+            "extern" => "fn",
+            _ => "other",
+        },
+        _ => "other",
+    }
+}
+
+/// Memory orderings named anywhere in the call starting at the `(` token.
+fn call_orderings(toks: &[Tok], open: usize) -> Vec<String> {
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    let mut k = open;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // Require a `Ordering::` (or `…::Ordering::`) path prefix so
+            // a stray variable named `Relaxed`-like cannot match.
+            TokKind::Ident(s)
+                if ORDERINGS.contains(&s.as_str())
+                    && k >= 3
+                    && toks[k - 1].kind == TokKind::Punct(':')
+                    && toks[k - 2].kind == TokKind::Punct(':')
+                    && toks[k - 3].kind == TokKind::Ident("Ordering".into()) =>
+            {
+                out.push(s.clone());
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Best-effort receiver (field) name: the identifier before the `.` at
+/// `dot`, looking through one closing `]`/`)` group.
+fn receiver_of(toks: &[Tok], dot: usize) -> String {
+    if dot == 0 {
+        return "expr".to_owned();
+    }
+    match &toks[dot - 1].kind {
+        TokKind::Ident(s) => s.clone(),
+        TokKind::Punct(close @ (']' | ')')) => {
+            let open = if *close == ']' { '[' } else { '(' };
+            let mut depth = 0isize;
+            let mut k = dot - 1;
+            loop {
+                match &toks[k].kind {
+                    TokKind::Punct(c) if *c == *close => depth += 1,
+                    TokKind::Punct(c) if *c == open => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    return "expr".to_owned();
+                }
+                k -= 1;
+            }
+            match k.checked_sub(1).map(|p| &toks[p].kind) {
+                Some(TokKind::Ident(s)) => s.clone(),
+                _ => "expr".to_owned(),
+            }
+        }
+        _ => "expr".to_owned(),
+    }
+}
+
+/// Per-line classification for the adjacency rules.
+struct LineInfo {
+    /// Lines containing at least one non-attribute code token.
+    code: BTreeSet<u32>,
+    /// Lines containing attribute tokens (and no other code).
+    attr: BTreeSet<u32>,
+    /// Comment text per line (block comments mark every spanned line).
+    comment: BTreeMap<u32, String>,
+}
+
+impl LineInfo {
+    fn new(toks: &[Tok], attr: &AttrRanges, comments: &[Comment]) -> Self {
+        let mut code = BTreeSet::new();
+        let mut attr_lines = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if attr.covers(i) {
+                attr_lines.insert(t.line);
+            } else {
+                code.insert(t.line);
+            }
+        }
+        let mut comment = BTreeMap::<u32, String>::new();
+        for c in comments {
+            for line in c.start_line..=c.end_line {
+                comment.entry(line).or_default().push_str(&c.text);
+            }
+        }
+        LineInfo {
+            code,
+            attr: attr_lines,
+            comment,
+        }
+    }
+
+    /// True if a comment adjacent to `line` contains any of `needles`.
+    ///
+    /// Adjacent means: a comment on `line` itself (trailing), or within the
+    /// contiguous run of comment/attribute lines directly above — any code
+    /// line breaks the run. This is the fix for the shell heuristic's
+    /// false accepts: a SAFETY note six lines up, with code in between,
+    /// no longer counts.
+    fn has_adjacent(&self, line: u32, needles: &[&str]) -> bool {
+        let hit = |l: u32| {
+            self.comment
+                .get(&l)
+                .is_some_and(|t| needles.iter().any(|n| t.contains(n)))
+        };
+        if hit(line) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let is_comment = self.comment.contains_key(&l);
+            let is_attr = self.attr.contains(&l) && !self.code.contains(&l);
+            if self.code.contains(&l) && !is_comment {
+                // Pure code line: adjacency broken. A line holding both code
+                // and a trailing comment still counts as a comment line for
+                // the search below, then breaks the walk.
+                return false;
+            }
+            if is_comment && hit(l) {
+                return true;
+            }
+            if self.code.contains(&l) {
+                return false; // code + trailing comment without the needle
+            }
+            if !is_comment && !is_attr {
+                return false; // blank line breaks adjacency
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// Extracts an adjacent `hb-writer: <role>` annotation, if present.
+    fn writer_role(&self, line: u32) -> Option<String> {
+        let extract = |l: u32| -> Option<String> {
+            let text = self.comment.get(&l)?;
+            let pos = text.find("hb-writer:")?;
+            let rest = &text[pos + "hb-writer:".len()..];
+            let role: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| !c.is_whitespace())
+                .collect();
+            (!role.is_empty()).then_some(role)
+        };
+        if let Some(r) = extract(line) {
+            return Some(r);
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let is_comment = self.comment.contains_key(&l);
+            let is_attr = self.attr.contains(&l) && !self.code.contains(&l);
+            if is_comment {
+                if let Some(r) = extract(l) {
+                    return Some(r);
+                }
+            }
+            if self.code.contains(&l) || (!is_comment && !is_attr) {
+                return None;
+            }
+            l -= 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Inventory {
+        scan_file(src, "test.rs", "demo", Ctx::Src)
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_site() {
+        let inv = scan("fn f() { match x.cmp(&y) { core::cmp::Ordering::Less => {} _ => {} } }");
+        assert!(inv.atomics.is_empty());
+    }
+
+    #[test]
+    fn vec_swap_is_not_an_atomic_site() {
+        let inv = scan("fn f(v: &mut Vec<u8>) { v.swap(0, 1); order.swap(i, j); }");
+        assert!(inv.atomics.is_empty());
+    }
+
+    #[test]
+    fn store_with_ordering_is_found_with_field_and_ordering() {
+        let inv = scan("fn f() { self.tail.len.store(idx + 1, Ordering::Release); }");
+        assert_eq!(inv.atomics.len(), 1);
+        let s = &inv.atomics[0];
+        assert_eq!(s.receiver, "len");
+        assert_eq!(s.op, "store");
+        assert_eq!(s.orderings, vec!["Release"]);
+    }
+
+    #[test]
+    fn indexed_receiver_resolves_to_the_array_name() {
+        let inv = scan("fn f() { cells[key as usize].fetch_add(1, Ordering::Relaxed); }");
+        assert_eq!(inv.atomics[0].receiver, "cells");
+        assert_eq!(inv.atomics[0].op, "fetch_add");
+    }
+
+    #[test]
+    fn compare_exchange_collects_both_orderings() {
+        let inv =
+            scan("fn f() { w.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire); }");
+        assert_eq!(inv.atomics[0].orderings, vec!["AcqRel", "Acquire"]);
+    }
+
+    #[test]
+    fn rmw_with_variable_ordering_still_registers() {
+        let inv = scan("fn f(o: Ordering) { w.fetch_add(1, o); }");
+        assert_eq!(inv.atomics[0].orderings, vec!["?"]);
+    }
+
+    #[test]
+    fn cfg_test_module_marks_sites_as_test_ctx() {
+        let src = "fn f() { w.store(1, Ordering::Release); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g() { w.store(2, Ordering::SeqCst); }\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.atomics[0].ctx, Ctx::Src);
+        assert_eq!(inv.atomics[1].ctx, Ctx::Test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_src() {
+        let src = "#[cfg(not(test))]\nfn f() { w.store(1, Ordering::Release); }\n";
+        assert_eq!(scan(src).atomics[0].ctx, Ctx::Src);
+    }
+
+    #[test]
+    fn adjacent_safety_comment_documents_unsafe() {
+        let src = "fn f() {\n    // SAFETY: idx is in bounds.\n    unsafe { g() };\n}\n";
+        assert!(scan(src).unsafes[0].documented);
+    }
+
+    #[test]
+    fn safety_comment_above_attributes_still_counts() {
+        let src = "// SAFETY: the repr makes this sound.\n#[repr(C)]\n#[derive(Clone)]\nunsafe impl Send for X {}\n";
+        let inv = scan(src);
+        assert_eq!(inv.unsafes[0].kind, "impl");
+        assert!(inv.unsafes[0].documented);
+    }
+
+    #[test]
+    fn safety_comment_separated_by_code_is_a_false_accept_no_more() {
+        let src = "// SAFETY: documents ONLY the first block.\nlet a = unsafe { g() };\nlet b = 1;\nlet c = unsafe { h() };\n";
+        let inv = scan(src);
+        assert!(inv.unsafes[0].documented);
+        assert!(!inv.unsafes[1].documented, "code broke adjacency");
+    }
+
+    #[test]
+    fn trailing_same_line_safety_counts() {
+        let src = "let a = unsafe { g() }; // SAFETY: g is pure.\n";
+        assert!(scan(src).unsafes[0].documented);
+    }
+
+    #[test]
+    fn writer_role_annotation_is_extracted() {
+        let src = "fn f() {\n    // hb-writer: producer\n    tail.len.store(1, Ordering::Release);\n}\n";
+        assert_eq!(scan(src).atomics[0].writer_role.as_deref(), Some("producer"));
+    }
+
+    #[test]
+    fn doc_example_atomics_are_invisible(){
+        let src = "/// ```\n/// hits.fetch_add(1, Ordering::Relaxed);\n/// ```\npub fn wait() {}\n";
+        assert!(scan(src).atomics.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Negative-control tests: one fixture per gate under `fixtures/`, each a
+//! miniature workspace (`crates/demo` + `analysis/` configs) seeded with
+//! exactly one violation. Every test asserts the *precise* culprit — gate
+//! name, file, and 1-based line — so a scanner regression that still
+//! "fails somewhere" cannot pass. The `clean` fixture is the positive
+//! control: identical structure, zero diagnostics.
+
+use std::path::PathBuf;
+use wfbn_analyze::{check_root, gates::Diag};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn check(name: &str) -> Vec<Diag> {
+    check_root(&fixture(name)).unwrap_or_else(|e| panic!("fixture `{name}` failed to load: {e}"))
+}
+
+/// Asserts the fixture yields exactly one diagnostic and returns it.
+fn sole_diag(name: &str) -> Diag {
+    let diags = check(name);
+    assert_eq!(
+        diags.len(),
+        1,
+        "fixture `{name}` must produce exactly its seeded violation, got: {:#?}",
+        diags
+    );
+    diags.into_iter().next().expect("len checked above")
+}
+
+#[test]
+fn clean_fixture_passes_all_gates() {
+    let diags = check("clean");
+    assert!(
+        diags.is_empty(),
+        "the clean fixture is the positive control; diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn stray_rmw_in_hot_crate_fails_waitfree_gate() {
+    let d = sole_diag("stray_rmw");
+    assert_eq!(d.gate, "waitfree");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 34, "culprit is the fetch_add in bump()");
+    assert!(d.msg.contains("fetch_add"), "msg names the op: {}", d.msg);
+    assert!(d.msg.contains("demo-core"), "msg names the crate: {}", d.msg);
+}
+
+#[test]
+fn seqcst_ordering_fails_waitfree_gate() {
+    let d = sole_diag("seqcst");
+    assert_eq!(d.gate, "waitfree");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 34, "culprit is the SeqCst load in total()");
+    assert!(d.msg.contains("SeqCst"), "msg names the ordering: {}", d.msg);
+}
+
+#[test]
+fn second_writer_role_fails_hb_gate() {
+    let d = sole_diag("two_writer");
+    assert_eq!(d.gate, "hb");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 35, "culprit is hijack()'s Release store");
+    assert!(
+        d.msg.contains("intruder") && d.msg.contains("owner"),
+        "msg names both the annotated and the declared writer: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn release_store_without_map_edge_fails_hb_gate() {
+    let d = sole_diag("orphan_release");
+    assert_eq!(d.gate, "hb");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 35, "culprit is leak()'s orphan Release store");
+    assert!(
+        d.msg.contains("no edge"),
+        "msg says the map is missing the pair: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn map_edge_without_code_fails_hb_gate_at_the_map_line() {
+    let d = sole_diag("stale_edge");
+    assert_eq!(d.gate, "hb");
+    assert_eq!(
+        d.file, "analysis/hb_map.toml",
+        "a stale edge is a *config* culprit"
+    );
+    assert_eq!(d.line, 8, "culprit is the ghost [[edge]] header");
+    assert!(d.msg.contains("ghost"), "msg names the field: {}", d.msg);
+}
+
+#[test]
+fn safety_comment_separated_by_code_fails_safety_gate() {
+    // The seeded pattern is exactly the old 6-line-lookback heuristic's
+    // false accept: a SAFETY comment within the window but attached to a
+    // *different* item, with code in between.
+    let d = sole_diag("undoc_unsafe");
+    assert_eq!(d.gate, "safety");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 35, "culprit is the undocumented `unsafe impl Send`");
+    assert!(
+        d.msg.contains("unsafe impl"),
+        "msg names the item kind: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn atomic_op_absent_from_lock_fails_ratchet_gate() {
+    let d = sole_diag("unlisted_atomic");
+    assert_eq!(d.gate, "ratchet");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 24, "culprit is the first site of the drifted signature");
+    assert!(
+        d.msg.contains("x1") && d.msg.contains("x2"),
+        "msg shows both sides of the drift: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn diag_display_is_file_line_precise() {
+    let d = sole_diag("stray_rmw");
+    let rendered = d.to_string();
+    assert!(
+        rendered.starts_with("[waitfree] crates/demo/src/lib.rs:34: "),
+        "diagnostics must render as [gate] file:line: msg, got: {rendered}"
+    );
+}

@@ -1,0 +1,107 @@
+//! Property tests for the scanner's token discipline: decoy `unsafe` /
+//! `fetch_*` / `Ordering::SeqCst` spellings inside comments, doc comments,
+//! strings, raw strings, byte strings, generics, and lifetime/char
+//! ambiguities must never register — while every *real* unsafe item and
+//! atomic op interleaved among them is counted exactly once, on exactly the
+//! right line.
+
+use proptest::prelude::*;
+use wfbn_analyze::scan::{scan_file, Ctx};
+
+/// Noise chunks: each contains at least one decoy token that a naive
+/// text-grep scanner would miscount. `{i}` is replaced by the chunk index
+/// so generated items never collide.
+const NOISE: &[&str] = &[
+    "// unsafe fetch_add(1, Ordering::SeqCst) in a line comment\n",
+    "/* unsafe /* nested: x.fetch_add(1, Ordering::SeqCst) */ still comment */\n",
+    "/// doc: `unsafe { x.fetch_add(1, Ordering::SeqCst) }`\nfn doc_decoy_{i}() {}\n",
+    "static S_{i}: &str = \"unsafe { brace in string } x.fetch_add(1, Ordering::SeqCst)\";\n",
+    "static R_{i}: &str = r#\"raw \"unsafe\" Ordering::SeqCst fetch_add\"#;\n",
+    "static B_{i}: &[u8] = br#\"unsafe fetch_add Ordering::SeqCst\"#;\n",
+    "fn generic_{i}<T: Into<Vec<u8>>>(t: T) -> Option<Vec<u8>> { Some(t.into()) }\n",
+    "fn life_{i}<'a>(x: &'a str) -> char { let _ = x; 'u' }\n",
+    "fn cmp_{i}(o: core::cmp::Ordering) -> bool { o == core::cmp::Ordering::Less }\n",
+];
+
+#[derive(Debug, Clone)]
+enum Chunk {
+    Noise(usize),
+    RealUnsafe,
+    RealAtomic,
+}
+
+fn chunk() -> impl Strategy<Value = Chunk> {
+    // The vendored proptest subset has no `prop_oneof`; a selector range
+    // does the same job. Indices past NOISE alternate the two real kinds,
+    // giving roughly a 3:1 noise-to-real mix.
+    (0..NOISE.len() + 6).prop_map(|n| match n.checked_sub(NOISE.len()) {
+        None => Chunk::Noise(n),
+        Some(r) if r % 2 == 0 => Chunk::RealUnsafe,
+        Some(_) => Chunk::RealAtomic,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decoys_never_register_and_real_sites_count_exactly(
+        chunks in prop::collection::vec(chunk(), 0..40)
+    ) {
+        let mut src = String::from("use core::sync::atomic::{AtomicUsize, Ordering};\n");
+        let mut line = 2u32; // next line to be written
+        let mut expect_unsafe_lines = Vec::new();
+        let mut expect_atomic_lines = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            let text = match c {
+                Chunk::Noise(n) => NOISE[*n].replace("{i}", &i.to_string()),
+                Chunk::RealUnsafe => {
+                    // SAFETY comment on `line`, the unsafe fn on `line + 1`.
+                    expect_unsafe_lines.push(line + 1);
+                    format!("// SAFETY: property-test scaffold\nunsafe fn real_unsafe_{i}() {{}}\n")
+                }
+                Chunk::RealAtomic => {
+                    expect_atomic_lines.push(line);
+                    format!("fn real_atomic_{i}(x: &AtomicUsize) -> usize {{ x.load(Ordering::Acquire) }}\n")
+                }
+            };
+            line += u32::try_from(text.matches('\n').count()).expect("chunks are small");
+            src.push_str(&text);
+        }
+
+        let inv = scan_file(&src, "prop.rs", "prop-crate", Ctx::Src);
+
+        let atomic_lines: Vec<u32> = inv.atomics.iter().map(|a| a.line).collect();
+        prop_assert_eq!(
+            atomic_lines, expect_atomic_lines,
+            "atomic sites must be exactly the real ops, line-precise"
+        );
+        for a in &inv.atomics {
+            prop_assert_eq!(a.op.as_str(), "load");
+            prop_assert_eq!(a.orderings.as_slice(), ["Acquire"]);
+            prop_assert_eq!(a.receiver.as_str(), "x");
+        }
+
+        let unsafe_lines: Vec<u32> = inv.unsafes.iter().map(|u| u.line).collect();
+        prop_assert_eq!(
+            unsafe_lines, expect_unsafe_lines,
+            "unsafe sites must be exactly the real items, line-precise"
+        );
+        for u in &inv.unsafes {
+            prop_assert!(u.documented, "adjacent SAFETY comment must be seen");
+        }
+    }
+
+    #[test]
+    fn pure_noise_yields_an_empty_inventory(
+        picks in prop::collection::vec(0..NOISE.len(), 1..30)
+    ) {
+        let mut src = String::new();
+        for (i, n) in picks.iter().enumerate() {
+            src.push_str(&NOISE[*n].replace("{i}", &i.to_string()));
+        }
+        let inv = scan_file(&src, "noise.rs", "prop-crate", Ctx::Src);
+        prop_assert!(inv.atomics.is_empty(), "decoy atomic registered: {:?}", inv.atomics);
+        prop_assert!(inv.unsafes.is_empty(), "decoy unsafe registered: {:?}", inv.unsafes);
+    }
+}

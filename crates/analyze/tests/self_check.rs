@@ -1,0 +1,27 @@
+//! The analyzer applied to its own workspace: the shipped tree must pass
+//! all four gates. Because this runs under plain `cargo test`, editing
+//! `analysis/hb_map.toml` to drop a real edge, removing an `hb-writer`
+//! annotation, or adding an atomic site without re-baselining
+//! `analysis/atomics.lock` turns tier-1 CI red — not just the dedicated
+//! `analyze` workflow leg.
+
+use std::path::Path;
+use wfbn_analyze::check_root;
+
+#[test]
+fn workspace_passes_all_gates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the workspace root");
+    let diags = check_root(root).expect("workspace configs must load");
+    assert!(
+        diags.is_empty(),
+        "the shipped tree must be gate-clean; run `cargo run -p wfbn-analyze -- check`:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

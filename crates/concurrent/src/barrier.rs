@@ -74,11 +74,13 @@ impl SpinBarrier {
         let my_sense = !self.sense.load(Ordering::Relaxed);
         // AcqRel: releases this thread's pre-barrier writes and acquires the
         // writes of threads that arrived earlier.
+        // hb-writer: arriver
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arriver: reset the counter for the next round, then flip
             // the sense (Release publishes the reset together with every
             // participant's pre-barrier writes).
             self.remaining.store(self.n, Ordering::Relaxed);
+            // hb-writer: leader
             self.sense.store(my_sense, Ordering::Release);
             true
         } else {

@@ -121,6 +121,7 @@ impl<T> EpochPublisher<T> {
         );
         // Release: pairs with the readers' Acquire load in `published`;
         // everything pushed above is visible to a reader that sees this epoch.
+        // hb-writer: publisher
         self.shared.store(self.epoch, Ordering::Release);
         self.current = Some(snap);
         self.epoch

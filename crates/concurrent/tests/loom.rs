@@ -10,6 +10,14 @@
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
+// All counters in this file use Relaxed: they are test scaffolding whose
+// visibility rides on the edges under test (the queue's Release/Acquire
+// publication, the barrier's sense edge, `join`'s synchronization) — never
+// on the counter's own ordering. If a primitive's edge broke, the Relaxed
+// counters would expose it; SeqCst would paper over exactly the bugs these
+// models exist to find. (The vendored explorer executes all orderings as
+// SeqCst anyway — DESIGN.md §8 — so the models prove the downgrade safe at
+// the interleaving level, and TSan covers the real memory model.)
 use wfbn_concurrent::{channel, epoch_channel, SpinBarrier, SEG_CAP};
 
 /// The explorer silently degrades to a single std-thread execution if the
@@ -62,7 +70,7 @@ fn queue_drop_with_unconsumed_elements_frees_exactly_once() {
     struct Tracked(Arc<AtomicUsize>);
     impl Drop for Tracked {
         fn drop(&mut self) {
-            self.0.fetch_sub(1, Ordering::SeqCst);
+            self.0.fetch_sub(1, Ordering::Relaxed);
         }
     }
     loom::model(|| {
@@ -71,7 +79,7 @@ fn queue_drop_with_unconsumed_elements_frees_exactly_once() {
         let l2 = Arc::clone(&live);
         let t = loom::thread::spawn(move || {
             for _ in 0..(SEG_CAP + 1) {
-                l2.fetch_add(1, Ordering::SeqCst);
+                l2.fetch_add(1, Ordering::Relaxed);
                 tx.push(Tracked(Arc::clone(&l2)));
             }
         });
@@ -81,7 +89,7 @@ fn queue_drop_with_unconsumed_elements_frees_exactly_once() {
         t.join().unwrap();
         // Producer has dropped tx; the last Shared ref is gone on one side or
         // the other, and the chain was destroyed there.
-        assert_eq!(live.load(Ordering::SeqCst), 0, "leak or double drop");
+        assert_eq!(live.load(Ordering::Relaxed), 0, "leak or double drop");
     });
     assert_explored();
 }
@@ -104,30 +112,30 @@ fn barrier_reuse_across_generations() {
         );
         let t = loom::thread::spawn(move || {
             for round in 1..=ROUNDS {
-                h2.fetch_add(1, Ordering::SeqCst);
+                h2.fetch_add(1, Ordering::Relaxed);
                 if b2.wait() {
-                    l2.fetch_add(1, Ordering::SeqCst);
+                    l2.fetch_add(1, Ordering::Relaxed);
                 }
                 assert!(
-                    h2.load(Ordering::SeqCst) >= round * 2,
+                    h2.load(Ordering::Relaxed) >= round * 2,
                     "stale pre-barrier write"
                 );
             }
         });
         for round in 1..=ROUNDS {
-            hits.fetch_add(1, Ordering::SeqCst);
+            hits.fetch_add(1, Ordering::Relaxed);
             if barrier.wait() {
-                leaders.fetch_add(1, Ordering::SeqCst);
+                leaders.fetch_add(1, Ordering::Relaxed);
             }
             assert!(
-                hits.load(Ordering::SeqCst) >= round * 2,
+                hits.load(Ordering::Relaxed) >= round * 2,
                 "stale pre-barrier write"
             );
         }
         t.join().unwrap();
-        assert_eq!(hits.load(Ordering::SeqCst), 2 * ROUNDS);
+        assert_eq!(hits.load(Ordering::Relaxed), 2 * ROUNDS);
         assert_eq!(
-            leaders.load(Ordering::SeqCst),
+            leaders.load(Ordering::Relaxed),
             ROUNDS,
             "leader election must be exactly-once per round"
         );

@@ -1,44 +1,15 @@
 #!/usr/bin/env bash
 # Requires every `unsafe` block, fn, or impl under crates/ to carry an
-# adjacent `// SAFETY:` comment (on the same line or within the preceding
-# 6 lines). The workspace forbids `unsafe_op_in_unsafe_fn` and clippy warns
-# on `undocumented_unsafe_blocks`; this script is the belt to those braces —
-# it also covers `unsafe impl`, which the clippy lint historically missed,
-# and runs without compiling anything.
+# adjacent `// SAFETY:` comment. Since PR 5 this is a thin wrapper over the
+# analyzer's token-level pass (`wfbn-analyze`, gate `safety`), which
+# replaced the old 6-line-lookback grep: that heuristic falsely accepted an
+# undocumented item whenever an unrelated SAFETY comment sat within the
+# window (see crates/analyze/fixtures/undoc_unsafe for the exact shape).
+# The analyzer instead requires a contiguous comment/attribute run directly
+# above the item — any code or blank line breaks adjacency.
 #
 # Usage: tools/check_safety_comments.sh   (exits non-zero on violations)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LOOKBACK=6
-fail=0
-
-# Lines whose code (not comment/string) mentions `unsafe`:
-#  - drop pure comment lines (// ... unsafe ...) and doc comments,
-#  - drop lint-name mentions (unsafe_op_in_unsafe_fn, unsafe_code),
-#  - keep real `unsafe` keywords even mid-line.
-while IFS=: read -r file line content; do
-    case "$content" in
-        *'//'*unsafe*)
-            # Keep only if `unsafe` appears before the comment marker.
-            before_comment=${content%%//*}
-            [[ $before_comment == *unsafe* ]] || continue
-            ;;
-    esac
-    [[ $content =~ unsafe_op_in_unsafe_fn|unsafe_code ]] && continue
-
-    start=$((line > LOOKBACK ? line - LOOKBACK : 1))
-    if ! sed -n "${start},${line}p" "$file" | grep -q 'SAFETY:'; then
-        echo "missing // SAFETY: comment before $file:$line"
-        echo "    $content"
-        fail=1
-    fi
-done < <(grep -rn --include='*.rs' -E '(^|[^_[:alnum:]"])unsafe([^_[:alnum:]]|$)' crates/)
-
-if [[ $fail -ne 0 ]]; then
-    echo
-    echo "Every unsafe block must explain its proof obligation with a"
-    echo "// SAFETY: comment immediately above it."
-    exit 1
-fi
-echo "check_safety_comments: OK"
+exec cargo run -q -p wfbn-analyze -- check --gate safety
