@@ -20,6 +20,24 @@ pub struct Policy {
     pub deny_orderings_in_tests: bool,
     /// Reviewed exceptions, each with a justification.
     pub waivers: Vec<Waiver>,
+    /// Crates whose non-test code may hold no blocking construct
+    /// (`[noblock]` section; empty = gate disabled).
+    pub noblock_crates: Vec<String>,
+    /// Reviewed blocking-construct exceptions (`[[noblock_waiver]]`).
+    pub noblock_waivers: Vec<NoblockWaiver>,
+}
+
+/// One reviewed blocking-construct exception (e.g. the builders'
+/// setup/teardown `.join()`, or the ownership-audit shadow Mutex).
+#[derive(Debug, Clone)]
+pub struct NoblockWaiver {
+    /// Workspace-relative file the waived construct lives in.
+    pub file: String,
+    /// Construct name (`Mutex`, `join`, `sleep`, ...); covers every
+    /// occurrence of that construct in the file.
+    pub construct: String,
+    /// One-line reviewed justification (required).
+    pub why: String,
 }
 
 /// One reviewed policy exception (e.g. the barrier's arrival RMW).
@@ -112,6 +130,22 @@ impl Policy {
                 why: field("why")?,
             });
         }
+        let noblock = doc.first("noblock").cloned().unwrap_or_default();
+        let mut noblock_waivers = Vec::new();
+        for w in doc.all("noblock_waiver") {
+            let field = |key: &str| -> Result<String, ConfigError> {
+                w.str(key).map(str::to_owned).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: w.line,
+                    msg: format!("[[noblock_waiver]] missing required `{key}`"),
+                })
+            };
+            noblock_waivers.push(NoblockWaiver {
+                file: field("file")?,
+                construct: field("construct")?,
+                why: field("why")?,
+            });
+        }
         Ok(Policy {
             hot_crates: hot.list("crates"),
             deny_ops: hot.list("deny_ops"),
@@ -120,6 +154,8 @@ impl Policy {
             allow_in_tests: exempt.bool_or("allow_in_tests", true),
             deny_orderings_in_tests: hot.bool_or("deny_orderings_in_tests", true),
             waivers,
+            noblock_crates: noblock.list("crates"),
+            noblock_waivers,
         })
     }
 
@@ -128,6 +164,80 @@ impl Policy {
         self.waivers
             .iter()
             .find(|w| w.file == file && w.field == field && w.op == op)
+    }
+
+    /// The blocking-construct waiver covering `(file, construct)`, if any.
+    pub fn noblock_waiver_for(&self, file: &str, construct: &str) -> Option<&NoblockWaiver> {
+        self.noblock_waivers
+            .iter()
+            .find(|w| w.file == file && w.construct == construct)
+    }
+}
+
+/// `analysis/progress.toml`: the bounded-loop (termination) declarations
+/// for gate `waitloop`. A missing file disables the gate (fixtures that
+/// predate it stay valid).
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    /// Crates whose non-test poll loops must carry a `wf-bound`.
+    pub crates: Vec<String>,
+    /// Method names whose call inside a loop marks it as polling
+    /// (`try_pop`, `pop_block`, `is_closed`, ...).
+    pub poll_methods: Vec<String>,
+    /// Accepted bound kinds (`iters`, `backlog`, `rendezvous`, ...).
+    pub kinds: Vec<String>,
+    /// Declared loops, cross-checked against the annotations.
+    pub loops: Vec<LoopDecl>,
+}
+
+/// One declared poll loop: `[[loop]]` in `analysis/progress.toml`.
+///
+/// Matching is by `(file, bound)` multiset, not line number, so ordinary
+/// edits that shift lines never churn the table.
+#[derive(Debug, Clone)]
+pub struct LoopDecl {
+    /// Workspace-relative file the loop lives in.
+    pub file: String,
+    /// The exact `wf-bound` annotation text, e.g. `backlog(segments)`.
+    pub bound: String,
+    /// One-line termination proof sketch (required; mirrored in
+    /// DESIGN.md §13).
+    pub why: String,
+    /// 1-based line of the `[[loop]]` header in progress.toml.
+    pub line: u32,
+}
+
+impl Progress {
+    /// Loads `analysis/progress.toml`; a missing file yields the empty
+    /// (disabled) configuration.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        if !path.is_file() {
+            return Ok(Progress::default());
+        }
+        let doc = load_doc(path)?;
+        let wl = doc.first("waitloop").cloned().unwrap_or_default();
+        let mut loops = Vec::new();
+        for l in doc.all("loop") {
+            let field = |key: &str| -> Result<String, ConfigError> {
+                l.str(key).map(str::to_owned).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: l.line,
+                    msg: format!("[[loop]] missing required `{key}`"),
+                })
+            };
+            loops.push(LoopDecl {
+                file: field("file")?,
+                bound: field("bound")?,
+                why: field("why")?,
+                line: l.line,
+            });
+        }
+        Ok(Progress {
+            crates: wl.list("crates"),
+            poll_methods: wl.list("poll_methods"),
+            kinds: wl.list("kinds"),
+            loops,
+        })
     }
 }
 

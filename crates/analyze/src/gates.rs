@@ -1,4 +1,4 @@
-//! The three static gates (plus the unsafe-coverage pass) over the
+//! The five static gates (plus the unsafe-coverage pass) over the
 //! inventory.
 //!
 //! | gate | checks | config |
@@ -7,12 +7,14 @@
 //! | `waitfree` | no RMW ops on hot-path crates, no denied orderings | `analysis/policy.toml` |
 //! | `hb` | Release/Acquire pairs ⇔ `analysis/hb_map.toml`, one writer role per field | `analysis/hb_map.toml` |
 //! | `ratchet` | atomic-site signatures ⇔ `analysis/atomics.lock` | `analysis/atomics.lock` |
+//! | `waitloop` | every hot-path poll loop carries a declared `wf-bound` | `analysis/progress.toml` |
+//! | `noblock` | no blocking construct on hot-path crates' shipped code | `analysis/policy.toml` |
 //!
 //! Each violation is a [`Diag`] with a `file:line` culprit; the clean tree
 //! produces none, and every seeded fixture under `fixtures/` produces at
 //! least one (the negative controls in `tests/gates.rs`).
 
-use crate::config::{HbMap, Policy};
+use crate::config::{HbMap, Policy, Progress};
 use crate::ratchet::{self, Lock};
 use crate::scan::{AtomicSite, Ctx, Inventory};
 use std::collections::BTreeMap;
@@ -20,7 +22,8 @@ use std::collections::BTreeMap;
 /// One violation: which gate fired, where, and why.
 #[derive(Debug, Clone)]
 pub struct Diag {
-    /// Gate name: `safety`, `waitfree`, `hb`, or `ratchet`.
+    /// Gate name: `safety`, `waitfree`, `hb`, `ratchet`, `waitloop`, or
+    /// `noblock`.
     pub gate: &'static str,
     /// File the culprit lives in (source file or config file).
     pub file: String,
@@ -129,7 +132,15 @@ pub fn gate_hb(inv: &Inventory, map: &HbMap, map_path: &str) -> Vec<Diag> {
         let key = (s.file.clone(), s.receiver.clone());
         let slot = uses.entry(key).or_default();
         let is_rmw = crate::scan::RMW_OPS.contains(&s.op.as_str());
-        if is_rmw && (s.has_ordering("AcqRel") || s.has_ordering("SeqCst")) {
+        // Any acquiring or releasing RMW counts — a CAS with a plain
+        // `Acquire` success ordering is still the reader end of an edge
+        // and must not slip past the map unclassified.
+        if is_rmw
+            && (s.has_ordering("AcqRel")
+                || s.has_ordering("SeqCst")
+                || s.has_ordering("Acquire")
+                || s.has_ordering("Release"))
+        {
             slot.rmw_acqrel.push(s);
         } else if s.op == "store" && s.has_ordering("Release") {
             slot.releases.push(s);
@@ -225,9 +236,11 @@ pub fn gate_hb(inv: &Inventory, map: &HbMap, map_path: &str) -> Vec<Diag> {
                     file: file.clone(),
                     line: used.acquires.first().map_or(0, |a| a.line),
                     msg: format!(
-                        "Acquire load(s) on `{field}` have no Release store \
-                         counterpart in this file; the declared edge is \
-                         one-legged"
+                        "orphan Acquire: load(s) on `{field}` have no Release \
+                         store counterpart in this file — the declared edge \
+                         is one-legged, so the load synchronizes with \
+                         nothing; restore the Release publish or drop the \
+                         edge from {map_path}"
                     ),
                 });
             }
@@ -269,6 +282,144 @@ pub fn gate_hb(inv: &Inventory, map: &HbMap, map_path: &str) -> Vec<Diag> {
         }
     }
 
+    out
+}
+
+/// Gate 4: the bounded-loop (termination) check.
+///
+/// A *poll loop* is any `loop`/`while` whose condition or body re-reads
+/// shared state: an atomic `load`, a configured poll method
+/// (`try_pop`, ...), or a `spin_loop`/`yield_now` hint. Every such loop in
+/// the configured crates' shipped code must carry a contiguous
+/// `// wf-bound: <kind>(<arg>)` annotation, and the `(file, bound)`
+/// multiset of annotations must equal the `[[loop]]` table in
+/// `analysis/progress.toml` — so an unannotated poll loop, an annotation
+/// with no reviewed declaration, and a stale declaration all fail.
+pub fn gate_waitloop(inv: &Inventory, progress: &Progress, progress_path: &str) -> Vec<Diag> {
+    let mut out = Vec::new();
+    if progress.crates.is_empty() {
+        return out; // gate disabled (no progress.toml)
+    }
+
+    // Declared (file, bound) -> the [[loop]] header lines still unmatched.
+    let mut decls: BTreeMap<(&str, &str), Vec<u32>> = BTreeMap::new();
+    for d in &progress.loops {
+        decls
+            .entry((d.file.as_str(), d.bound.as_str()))
+            .or_default()
+            .push(d.line);
+    }
+
+    for l in &inv.loops {
+        if l.ctx != Ctx::Src || !progress.crates.iter().any(|c| c == &l.crate_name) {
+            continue;
+        }
+        let is_poll = !l.loads.is_empty()
+            || !l.spins.is_empty()
+            || l.calls
+                .iter()
+                .any(|(n, _)| progress.poll_methods.iter().any(|m| m == n));
+        if !is_poll && l.bound.is_none() {
+            continue;
+        }
+        let Some(bound) = &l.bound else {
+            out.push(Diag {
+                gate: "waitloop",
+                file: l.file.clone(),
+                line: l.line,
+                msg: format!(
+                    "poll loop (`{}` polling {}) has no adjacent \
+                     `// wf-bound: <kind>(<arg>)` annotation; every hot-path \
+                     poll loop needs a declared termination bound backed by a \
+                     [[loop]] entry in {progress_path} (DESIGN §13)",
+                    l.kind,
+                    l.trigger_summary(&progress.poll_methods),
+                ),
+            });
+            continue;
+        };
+        let kind = bound.split('(').next().unwrap_or(bound);
+        if !progress.kinds.iter().any(|k| k == kind) {
+            out.push(Diag {
+                gate: "waitloop",
+                file: l.file.clone(),
+                line: l.line,
+                msg: format!(
+                    "unknown wf-bound kind `{kind}` (annotation `{bound}`); \
+                     accepted kinds are [{}] per {progress_path}",
+                    progress.kinds.join(", ")
+                ),
+            });
+            continue;
+        }
+        let matched = decls
+            .get_mut(&(l.file.as_str(), bound.as_str()))
+            .and_then(|lines| (!lines.is_empty()).then(|| lines.remove(0)));
+        if matched.is_none() {
+            out.push(Diag {
+                gate: "waitloop",
+                file: l.file.clone(),
+                line: l.line,
+                msg: format!(
+                    "wf-bound `{bound}` on this poll loop is not declared in \
+                     {progress_path}: add a [[loop]] entry with file/bound \
+                     and a one-line `why` proof sketch",
+                ),
+            });
+        }
+    }
+
+    // Leftover declarations have no annotated loop behind them.
+    for ((file, bound), lines) in decls {
+        for line in lines {
+            out.push(Diag {
+                gate: "waitloop",
+                file: progress_path.to_owned(),
+                line,
+                msg: format!(
+                    "stale [[loop]] declaration: {progress_path} declares \
+                     bound `{bound}` in `{file}` but no annotated poll loop \
+                     matches — update the table and DESIGN §13 together",
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+/// Gate 5: the blocking-construct lint.
+///
+/// Denies every recorded blocking construct (lock/condvar/channel types,
+/// `park`/`sleep`/`recv` calls, bare `.join()`, `spin_loop` outside any
+/// loop) in the `[noblock]` crates' shipped code, minus reviewed
+/// `[[noblock_waiver]]` entries.
+pub fn gate_noblock(inv: &Inventory, policy: &Policy) -> Vec<Diag> {
+    let mut out = Vec::new();
+    if policy.noblock_crates.is_empty() {
+        return out; // gate disabled (no [noblock] section)
+    }
+    for b in &inv.blocking {
+        if b.ctx != Ctx::Src || !policy.noblock_crates.iter().any(|c| c == &b.crate_name) {
+            continue;
+        }
+        if policy.noblock_waiver_for(&b.file, &b.construct).is_some() {
+            continue;
+        }
+        out.push(Diag {
+            gate: "noblock",
+            file: b.file.clone(),
+            line: b.line,
+            msg: format!(
+                "blocking construct `{}` on hot-path crate `{}`: the \
+                 wait-free path admits no lock, park, sleep, channel recv, \
+                 or join (DESIGN §8); move it to setup/teardown scaffolding \
+                 or add a reviewed [[noblock_waiver]] with its justification \
+                 to analysis/policy.toml",
+                b.construct, b.crate_name
+            ),
+        });
+    }
     out
 }
 

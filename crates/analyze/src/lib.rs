@@ -13,9 +13,14 @@
 //!   `file:line`-precise, without compiling anything.
 //! * **Gates** ([`gates`]) — the wait-freedom lint (`analysis/policy.toml`),
 //!   the happens-before map check (`analysis/hb_map.toml`, mirroring
-//!   DESIGN.md §8/§11), and the atomics ratchet (`analysis/atomics.lock`),
-//!   plus the unsafe-coverage pass that replaced
-//!   `tools/check_safety_comments.sh`'s 6-line-window heuristic.
+//!   DESIGN.md §8/§11), the atomics ratchet (`analysis/atomics.lock`), the
+//!   bounded-loop termination check (`analysis/progress.toml`, DESIGN.md
+//!   §13), and the blocking-construct lint, plus the unsafe-coverage pass
+//!   that replaced `tools/check_safety_comments.sh`'s 6-line-window
+//!   heuristic.
+//! * **Output** ([`sarif`]) — `check --format sarif` renders the same
+//!   diagnostics as SARIF 2.1.0 for CI annotation; `--changed-since REF`
+//!   filters them to the files a diff touches.
 //!
 //! Drift in either direction — an edge in code missing from the map, or a
 //! stale map entry with no code behind it — fails `check`, so the docs and
@@ -26,6 +31,7 @@ pub mod gates;
 pub mod lexer;
 pub mod minitoml;
 pub mod ratchet;
+pub mod sarif;
 pub mod scan;
 pub mod workspace;
 
@@ -42,6 +48,8 @@ pub struct Analysis {
     pub hb_map: config::HbMap,
     /// The atomics ratchet baseline.
     pub lock: ratchet::Lock,
+    /// The bounded-loop (termination) declarations.
+    pub progress: config::Progress,
 }
 
 /// Scans `root` without loading any config (for `inventory`/`baseline`).
@@ -69,15 +77,19 @@ pub fn load(root: &Path) -> Result<Analysis, String> {
     let hb_map =
         config::HbMap::load(&root.join("analysis/hb_map.toml")).map_err(|e| e.to_string())?;
     let lock = load_lock(root)?;
+    let progress = config::Progress::load(&root.join("analysis/progress.toml"))
+        .map_err(|e| e.to_string())?;
     Ok(Analysis {
         inventory,
         policy,
         hb_map,
         lock,
+        progress,
     })
 }
 
-/// Runs all four gates and returns every violation, most file:line-sorted.
+/// Runs all five gates (plus the safety pass) and returns every violation,
+/// file:line-sorted.
 pub fn check(analysis: &Analysis) -> Vec<Diag> {
     let mut diags = gates::gate_safety(&analysis.inventory);
     diags.extend(gates::gate_waitfree(&analysis.inventory, &analysis.policy));
@@ -91,6 +103,12 @@ pub fn check(analysis: &Analysis) -> Vec<Diag> {
         &analysis.lock,
         "analysis/atomics.lock",
     ));
+    diags.extend(gates::gate_waitloop(
+        &analysis.inventory,
+        &analysis.progress,
+        "analysis/progress.toml",
+    ));
+    diags.extend(gates::gate_noblock(&analysis.inventory, &analysis.policy));
     diags.sort_by(|a, b| (&a.file, a.line, a.gate).cmp(&(&b.file, b.line, b.gate)));
     diags
 }

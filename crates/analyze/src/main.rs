@@ -2,17 +2,24 @@
 //!
 //! ```text
 //! cargo run -p wfbn-analyze -- check      [--root DIR] [--gate NAME]
+//!                                         [--format text|sarif]
+//!                                         [--changed-since REF]
 //! cargo run -p wfbn-analyze -- inventory  [--root DIR] [--json]
 //! cargo run -p wfbn-analyze -- baseline   [--root DIR]
 //! ```
 //!
+//! `--format sarif` renders the diagnostics as SARIF 2.1.0 on stdout (for
+//! CI upload/annotation); `--changed-since REF` keeps only diagnostics in
+//! files `git diff --name-only REF` reports, so a PR leg can annotate its
+//! own diff while a separate whole-tree leg keeps full enforcement.
+//!
 //! Exit codes: 0 clean, 1 gate violations, 2 usage or config errors.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use wfbn_analyze::scan::Ctx;
-use wfbn_analyze::{check, gates, load, ratchet};
+use wfbn_analyze::{check, gates, load, ratchet, sarif};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -22,6 +29,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut gate_filter: Option<String> = None;
     let mut json = false;
+    let mut format = String::from("text");
+    let mut changed_since: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -30,6 +39,14 @@ fn main() -> ExitCode {
             },
             "--gate" => match args.next() {
                 Some(g) => gate_filter = Some(g),
+                None => return usage(),
+            },
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "sarif" => format = f,
+                _ => return usage(),
+            },
+            "--changed-since" => match args.next() {
+                Some(r) => changed_since = Some(r),
                 None => return usage(),
             },
             "--json" => json = true,
@@ -52,7 +69,7 @@ fn main() -> ExitCode {
     }
 
     match cmd.as_str() {
-        "check" => run_check(&root, gate_filter.as_deref()),
+        "check" => run_check(&root, gate_filter.as_deref(), &format, changed_since.as_deref()),
         "inventory" => run_inventory(&root, json),
         "baseline" => run_baseline(&root),
         _ => usage(),
@@ -61,12 +78,41 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wfbn-analyze <check|inventory|baseline> [--root DIR] [--gate NAME] [--json]"
+        "usage: wfbn-analyze <check|inventory|baseline> [--root DIR] [--gate NAME] \
+         [--format text|sarif] [--changed-since REF] [--json]"
     );
     ExitCode::from(2)
 }
 
-fn run_check(root: &std::path::Path, gate: Option<&str>) -> ExitCode {
+/// Files `git diff --name-only REF` reports, repo-relative with `/`
+/// separators (matching the inventory's paths when `root` is the repo
+/// root).
+fn changed_files(root: &std::path::Path, rev: &str) -> Result<BTreeSet<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", rev])
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {rev} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+fn run_check(
+    root: &std::path::Path,
+    gate: Option<&str>,
+    format: &str,
+    changed_since: Option<&str>,
+) -> ExitCode {
     let analysis = match load(root) {
         Ok(a) => a,
         Err(e) => {
@@ -74,17 +120,44 @@ fn run_check(root: &std::path::Path, gate: Option<&str>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags: Vec<gates::Diag> = check(&analysis)
+    let mut diags: Vec<gates::Diag> = check(&analysis)
         .into_iter()
         .filter(|d| gate.is_none_or(|g| g == d.gate))
         .collect();
+    if let Some(rev) = changed_since {
+        let changed = match changed_files(root, rev) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("wfbn-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let before = diags.len();
+        diags.retain(|d| changed.contains(&d.file));
+        eprintln!(
+            "wfbn-analyze: diff mode vs {rev}: {} changed file(s), {} of {before} \
+             diagnostic(s) in the diff",
+            changed.len(),
+            diags.len()
+        );
+    }
+    if format == "sarif" {
+        print!("{}", sarif::render(&diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     if diags.is_empty() {
         let scope = gate.unwrap_or("all gates");
         println!(
-            "wfbn-analyze: OK ({scope}; {} atomic sites, {} unsafe sites, {} hb edges)",
+            "wfbn-analyze: OK ({scope}; {} atomic sites, {} unsafe sites, {} hb edges, \
+             {} bounded loops)",
             analysis.inventory.atomics.len(),
             analysis.inventory.unsafes.len(),
             analysis.hb_map.edges.len(),
+            analysis.progress.loops.len(),
         );
         return ExitCode::SUCCESS;
     }

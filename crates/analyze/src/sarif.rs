@@ -1,0 +1,131 @@
+//! SARIF 2.1.0 output for `check --format sarif`.
+//!
+//! Hand-rolled JSON, same no-serde policy as the wfbn-obs report writers:
+//! the shape below is the minimal valid subset CI annotators consume — a
+//! single run, one `reportingDescriptor` per gate, one `result` per
+//! [`Diag`] with a `physicalLocation` carrying the workspace-relative URI
+//! and the 1-based culprit line.
+
+use crate::gates::Diag;
+
+/// Every gate as a SARIF rule: (id, short description).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "safety",
+        "every `unsafe` item carries an adjacent SAFETY comment",
+    ),
+    (
+        "waitfree",
+        "no RMW atomics on hot-path crates, no denied orderings (analysis/policy.toml)",
+    ),
+    (
+        "hb",
+        "Release/Acquire pairs match analysis/hb_map.toml in both directions, one writer role per word",
+    ),
+    (
+        "ratchet",
+        "the set of atomic sites matches the reviewed analysis/atomics.lock baseline",
+    ),
+    (
+        "waitloop",
+        "every hot-path poll loop carries a wf-bound termination annotation declared in analysis/progress.toml",
+    ),
+    (
+        "noblock",
+        "no blocking construct (lock, park, sleep, channel recv, join) on hot-path crates",
+    ),
+];
+
+/// Renders `diags` as a SARIF 2.1.0 log (pretty-printed, trailing newline).
+pub fn render(diags: &[Diag]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"wfbn-analyze\",\n          \
+         \"informationUri\": \"https://github.com/wfbn/wfbn\",\n          \
+         \"rules\": [\n",
+    );
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        let sep = if i + 1 == RULES.len() { "" } else { "," };
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{sep}\n",
+            esc(id),
+            esc(desc)
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let sep = if i + 1 == diags.len() { "" } else { "," };
+        // SARIF regions are 1-based; a whole-file diag (line 0) gets line 1.
+        let line = d.line.max(1);
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {line}}}}}}}]}}{sep}\n",
+            esc(d.gate),
+            esc(&d.msg),
+            esc(&d.file),
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// JSON string escaping: backslash, quote, and control characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_diag_list_is_a_valid_run_with_all_rules() {
+        let s = render(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"results\": ["));
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "rule {id} listed");
+        }
+    }
+
+    #[test]
+    fn diag_renders_rule_message_and_location() {
+        let d = Diag {
+            gate: "waitloop",
+            file: "crates/demo/src/lib.rs".to_owned(),
+            line: 42,
+            msg: "poll loop with \"quotes\"\nand a newline".to_owned(),
+        };
+        let s = render(&[d]);
+        assert!(s.contains("\"ruleId\": \"waitloop\""));
+        assert!(s.contains("\"uri\": \"crates/demo/src/lib.rs\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\\\"quotes\\\"\\nand"), "escaped payload: {s}");
+    }
+
+    #[test]
+    fn whole_file_diags_clamp_to_line_one() {
+        let d = Diag {
+            gate: "ratchet",
+            file: "analysis/atomics.lock".to_owned(),
+            line: 0,
+            msg: "drift".to_owned(),
+        };
+        assert!(render(&[d]).contains("\"startLine\": 1"));
+    }
+}

@@ -1,6 +1,6 @@
 //! Token-stream scanner: turns lexed source into the concurrency inventory.
 //!
-//! Three extraction passes run over each file's tokens:
+//! Five extraction passes run over each file's tokens:
 //!
 //! 1. **Atomic operations** — method calls whose argument list names a
 //!    memory `Ordering` (`store`/`load`/`swap`), plus the unambiguous RMW
@@ -15,10 +15,20 @@
 //! 3. **Test context** — `#[cfg(test)]` items and files under `tests/` are
 //!    flagged so policy gates can treat test scaffolding differently from
 //!    hot-path code.
+//! 4. **Loops** — every `loop`/`while`/`for` extent, with the atomic loads,
+//!    method calls, and `spin_loop`/`yield_now` hints *attributed to the
+//!    innermost enclosing loop*. The `waitloop` gate decides from those
+//!    triggers which loops are poll loops and demands a `// wf-bound:`
+//!    termination annotation on each (see [`LoopSite`]).
+//! 5. **Blocking constructs** — lock/condvar/channel types, `park`/`sleep`/
+//!    `recv` calls, bare `.join()`, and `spin_loop` outside any loop; the
+//!    `noblock` gate denies them on hot-path crates (see [`BlockingSite`]).
 //!
 //! Release stores may carry a `// hb-writer: <role>` annotation naming the
 //! unique writer role of the stored-to field; the happens-before gate
-//! cross-checks those roles against `analysis/hb_map.toml`.
+//! cross-checks those roles against `analysis/hb_map.toml`. Poll loops
+//! carry a `// wf-bound: <kind>(<arg>)` annotation, cross-checked against
+//! `analysis/progress.toml` by the same adjacency rules.
 
 use crate::lexer::{lex, Comment, Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -88,6 +98,74 @@ pub struct UnsafeSite {
     pub documented: bool,
 }
 
+/// One `loop`/`while`/`for` extent that received at least one polling
+/// trigger (or a `wf-bound` annotation).
+///
+/// Triggers are attributed to the **innermost** enclosing loop only; a
+/// trigger in the body of a `for` loop is dropped (the iteration count is
+/// bounded by the iterator — an unbounded poll inside it would be its own
+/// `while`/`loop` and register there), while a trigger in a `for` loop's
+/// *head* (the iterator expression) still attaches to the `for`.
+#[derive(Debug, Clone)]
+pub struct LoopSite {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the `loop`/`while`/`for` keyword.
+    pub line: u32,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Src or Test context.
+    pub ctx: Ctx,
+    /// `loop`, `while`, or `for`.
+    pub kind: &'static str,
+    /// Adjacent `// wf-bound: <kind>(<arg>)` annotation, if any.
+    pub bound: Option<String>,
+    /// Atomic `load` sites inside the loop: (receiver, line).
+    pub loads: Vec<(String, u32)>,
+    /// Method/path calls inside the loop: (name, line). The gate filters
+    /// these against the configured poll-method list.
+    pub calls: Vec<(String, u32)>,
+    /// `spin_loop`/`yield_now` hints inside the loop: (name, line).
+    pub spins: Vec<(String, u32)>,
+}
+
+impl LoopSite {
+    /// A short human-readable list of the loop's polling triggers.
+    pub fn trigger_summary(&self, poll_methods: &[String]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (r, _) in &self.loads {
+            parts.push(format!("load(`{r}`)"));
+        }
+        for (c, _) in &self.calls {
+            if poll_methods.iter().any(|m| m == c) {
+                parts.push(format!("`.{c}()`"));
+            }
+        }
+        for (s, _) in &self.spins {
+            parts.push(format!("`{s}()`"));
+        }
+        parts.dedup();
+        parts.truncate(4);
+        parts.join(", ")
+    }
+}
+
+/// One blocking-construct site (lock/condvar/channel type, park/sleep/recv
+/// call, bare `.join()`, or a `spin_loop` outside any loop).
+#[derive(Debug, Clone)]
+pub struct BlockingSite {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the construct.
+    pub line: u32,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Src or Test context.
+    pub ctx: Ctx,
+    /// Construct name: `Mutex`, `join`, `sleep`, `spin_loop`, ...
+    pub construct: String,
+}
+
 /// The whole workspace's concurrency inventory.
 #[derive(Debug, Default)]
 pub struct Inventory {
@@ -95,6 +173,10 @@ pub struct Inventory {
     pub atomics: Vec<AtomicSite>,
     /// Every `unsafe` site, in (file, line) order.
     pub unsafes: Vec<UnsafeSite>,
+    /// Every loop that polls (or is annotated), in (file, line) order.
+    pub loops: Vec<LoopSite>,
+    /// Every blocking-construct site, in (file, line) order.
+    pub blocking: Vec<BlockingSite>,
     /// Atomic type mentions (`AtomicUsize`, ...) per file, for reporting.
     pub atomic_types: BTreeMap<String, BTreeMap<String, usize>>,
 }
@@ -136,6 +218,18 @@ pub const RMW_OPS: &[&str] = &[
 
 const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
+/// Type names that imply blocking (or a parked thread) when mentioned in
+/// code. `mpsc` covers any `std::sync::mpsc` path segment.
+const BLOCKING_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"];
+
+/// Call names that block the calling thread. Only `.name(` / `::name(`
+/// call positions match, so a local variable named `sleep` is invisible.
+const BLOCKING_CALLS: &[&str] = &["park", "park_timeout", "sleep", "recv", "recv_timeout"];
+
+/// Busy-wait hints; inside a loop they mark it as polling, outside any
+/// loop `spin_loop` is itself recorded as a blocking-ish construct.
+const SPIN_HINTS: &[&str] = &["spin_loop", "yield_now"];
+
 /// Scans one file's source text.
 ///
 /// `file` is the path recorded in diagnostics, `crate_name` the owning
@@ -148,8 +242,14 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
     let attr = attr_ranges(toks);
     let in_test = test_regions(toks, &attr);
     let lines = LineInfo::new(toks, &attr, &lexed.comments);
+    let extents = loop_extents(toks, &attr);
 
     let mut inv = Inventory::default();
+
+    // Per-extent trigger accumulators, filled during the main walk.
+    let mut loop_loads: Vec<Vec<(String, u32)>> = vec![Vec::new(); extents.len()];
+    let mut loop_calls: Vec<Vec<(String, u32)>> = vec![Vec::new(); extents.len()];
+    let mut loop_spins: Vec<Vec<(String, u32)>> = vec![Vec::new(); extents.len()];
 
     for (i, t) in toks.iter().enumerate() {
         let TokKind::Ident(name) = &t.kind else {
@@ -169,6 +269,38 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
                 .or_insert(0) += 1;
         }
 
+        // A blocking-type name reached through a non-`sync` path segment
+        // (`Stage::Barrier`, some enum's `::Mutex` variant) is another
+        // namespace's identifier, not the std/loom synchronization type.
+        let path_prefixed = i >= 2
+            && toks[i - 1].kind == TokKind::Punct(':')
+            && toks[i - 2].kind == TokKind::Punct(':');
+        let foreign_path = path_prefixed
+            && i >= 3
+            && matches!(&toks[i - 3].kind,
+                TokKind::Ident(seg) if seg != "sync" && seg != "std" && seg != "loom");
+        // `Barrier = 1,` inside an enum declares a discriminant for a
+        // variant that merely shares the name. A bare name directly
+        // followed by a single `=` is never a *use* of the std/loom type:
+        // type position is reached via `:`/`::`, value position via
+        // `::new(..)`.
+        let variant_decl = !path_prefixed
+            && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct('='))
+            && !matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Punct('='));
+        if BLOCKING_TYPES.contains(&name.as_str())
+            && !attr.covers(i)
+            && !foreign_path
+            && !variant_decl
+        {
+            inv.blocking.push(BlockingSite {
+                file: file.to_owned(),
+                line: t.line,
+                crate_name: crate_name.to_owned(),
+                ctx,
+                construct: name.clone(),
+            });
+        }
+
         if name == "unsafe" && !attr.covers(i) {
             inv.unsafes.push(UnsafeSite {
                 file: file.to_owned(),
@@ -177,6 +309,61 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
                 ctx,
                 kind: unsafe_kind(toks, i),
                 documented: lines.has_adjacent(t.line, &["SAFETY:", "# Safety"]),
+            });
+            continue;
+        }
+
+        // Call position: `.name(` or `::name(`.
+        let called = matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('('))
+            && i > 0
+            && (toks[i - 1].kind == TokKind::Punct('.')
+                || (i >= 2
+                    && toks[i - 1].kind == TokKind::Punct(':')
+                    && toks[i - 2].kind == TokKind::Punct(':')));
+
+        if called && SPIN_HINTS.contains(&name.as_str()) {
+            // A spin hint belongs to the nearest enclosing non-`for` loop
+            // (a `for` body is already iteration-bounded; the spin's
+            // progress argument lives with the polling `while`/`loop`).
+            match innermost(&extents, i, true) {
+                Some(ei) => loop_spins[ei].push((name.clone(), t.line)),
+                None if name == "spin_loop" => inv.blocking.push(BlockingSite {
+                    file: file.to_owned(),
+                    line: t.line,
+                    crate_name: crate_name.to_owned(),
+                    ctx,
+                    construct: "spin_loop".to_owned(),
+                }),
+                None => {}
+            }
+            continue;
+        }
+
+        if called && BLOCKING_CALLS.contains(&name.as_str()) {
+            inv.blocking.push(BlockingSite {
+                file: file.to_owned(),
+                line: t.line,
+                crate_name: crate_name.to_owned(),
+                ctx,
+                construct: name.clone(),
+            });
+            continue;
+        }
+
+        // Bare `.join()` — empty argument list distinguishes a thread join
+        // from `Path::join(..)` / `slice.join(sep)`, which take arguments.
+        if name == "join"
+            && i > 0
+            && toks[i - 1].kind == TokKind::Punct('.')
+            && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Punct('('))
+            && matches!(toks.get(i + 2), Some(t) if t.kind == TokKind::Punct(')'))
+        {
+            inv.blocking.push(BlockingSite {
+                file: file.to_owned(),
+                line: t.line,
+                crate_name: crate_name.to_owned(),
+                ctx,
+                construct: "join".to_owned(),
             });
             continue;
         }
@@ -197,6 +384,11 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
             } else {
                 orderings
             };
+            if name == "load" {
+                if let Some(ei) = body_or_head(&extents, i) {
+                    loop_loads[ei].push((receiver_of(toks, i - 1), t.line));
+                }
+            }
             inv.atomics.push(AtomicSite {
                 file: file.to_owned(),
                 line: t.line,
@@ -207,10 +399,158 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
                 orderings,
                 writer_role: lines.writer_role(t.line),
             });
+            continue;
+        }
+
+        // Generic call trigger for the poll-method cross-check.
+        if called {
+            if let Some(ei) = body_or_head(&extents, i) {
+                loop_calls[ei].push((name.clone(), t.line));
+            }
         }
     }
 
+    for (ei, e) in extents.iter().enumerate() {
+        let bound = lines.wf_bound(e.line);
+        if loop_loads[ei].is_empty()
+            && loop_calls[ei].is_empty()
+            && loop_spins[ei].is_empty()
+            && bound.is_none()
+        {
+            continue; // plain bounded iteration, nothing to check
+        }
+        let ctx = if file_ctx == Ctx::Test || in_test[e.kw] {
+            Ctx::Test
+        } else {
+            Ctx::Src
+        };
+        inv.loops.push(LoopSite {
+            file: file.to_owned(),
+            line: e.line,
+            crate_name: crate_name.to_owned(),
+            ctx,
+            kind: e.kind,
+            bound,
+            loads: std::mem::take(&mut loop_loads[ei]),
+            calls: std::mem::take(&mut loop_calls[ei]),
+            spins: std::mem::take(&mut loop_spins[ei]),
+        });
+    }
+    inv.loops.sort_by_key(|a| a.line);
+
     inv
+}
+
+/// One `loop`/`while`/`for` construct's token extent.
+struct LoopExtent {
+    /// `loop`, `while`, or `for`.
+    kind: &'static str,
+    /// 1-based line of the keyword.
+    line: u32,
+    /// Token index of the keyword.
+    kw: usize,
+    /// Token index of the body's opening `{`.
+    body_open: usize,
+    /// Token index of the body's matching `}`.
+    end: usize,
+}
+
+/// Extracts every loop extent. `for` is a loop only when an `in` keyword
+/// precedes its body at bracket depth 0 — `impl Trait for Type` and
+/// `for<'a>` bounds have none and are skipped.
+fn loop_extents(toks: &[Tok], attr: &AttrRanges) -> Vec<LoopExtent> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let kind = match name.as_str() {
+            "loop" => "loop",
+            "while" => "while",
+            "for" => "for",
+            _ => continue,
+        };
+        if attr.covers(i) {
+            continue;
+        }
+        // Locate the body `{`: first brace at paren/bracket depth 0 after
+        // the keyword (closure braces inside the condition sit inside
+        // parens and are skipped by the depth count).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut saw_in = false;
+        let mut body_open = None;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('(' | '[') => depth += 1,
+                TokKind::Punct(')' | ']') => depth -= 1,
+                TokKind::Punct('{') if depth == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => depth -= 1,
+                TokKind::Punct(';') if depth == 0 => break, // not a loop after all
+                TokKind::Ident(s) if depth == 0 && s == "in" => saw_in = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(bo) = body_open else {
+            continue;
+        };
+        if kind == "for" && !saw_in {
+            continue;
+        }
+        let mut d = 0i32;
+        let mut k = bo;
+        let mut end = toks.len().saturating_sub(1);
+        while k < toks.len() {
+            match toks[k].kind {
+                TokKind::Punct('{') => d += 1,
+                TokKind::Punct('}') => {
+                    d -= 1;
+                    if d == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(LoopExtent {
+            kind,
+            line: t.line,
+            kw: i,
+            body_open: bo,
+            end,
+        });
+    }
+    out
+}
+
+/// Index of the innermost extent containing token `idx` (condition and
+/// body both count). `skip_for` restricts to non-`for` loops.
+fn innermost(extents: &[LoopExtent], idx: usize, skip_for: bool) -> Option<usize> {
+    extents
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kw < idx && idx <= e.end && !(skip_for && e.kind == "for"))
+        .min_by_key(|(_, e)| e.end - e.kw)
+        .map(|(ei, _)| ei)
+}
+
+/// Innermost extent for a load/call trigger, applying the `for` rule:
+/// a trigger in a `for` loop's *body* is dropped (bounded iteration),
+/// one in its head (the iterator expression) still attaches.
+fn body_or_head(extents: &[LoopExtent], idx: usize) -> Option<usize> {
+    let ei = innermost(extents, idx, false)?;
+    let e = &extents[ei];
+    if e.kind == "for" && idx > e.body_open {
+        return None;
+    }
+    Some(ei)
 }
 
 impl Inventory {
@@ -218,6 +558,8 @@ impl Inventory {
     pub fn absorb(&mut self, other: Inventory) {
         self.atomics.extend(other.atomics);
         self.unsafes.extend(other.unsafes);
+        self.loops.extend(other.loops);
+        self.blocking.extend(other.blocking);
         for (file, counts) in other.atomic_types {
             let slot = self.atomic_types.entry(file).or_default();
             for (ty, n) in counts {
@@ -315,17 +657,51 @@ fn test_regions(toks: &[Tok], attr: &AttrRanges) -> Vec<bool> {
     in_test
 }
 
+/// Whether an attribute gates its item to test builds: a `cfg` predicate
+/// naming `test` outside any `not(..)` group. `cfg(test)` and
+/// `cfg(all(test, not(feature = "loom")))` qualify; `cfg(not(test))` does
+/// not.
 fn attr_is_cfg_test(attr_toks: &[Tok]) -> bool {
-    let mut idents = attr_toks.iter().filter_map(|t| match &t.kind {
-        TokKind::Ident(s) => Some(s.as_str()),
-        _ => None,
-    });
-    let first = idents.next();
-    if first != Some("cfg") {
-        return false;
+    let mut saw_cfg = false;
+    let mut depth = 0usize;
+    // Paren depths at which a `not(` group opened; `test` seen while any
+    // are live is negated.
+    let mut not_depths: Vec<usize> = Vec::new();
+    let mut pending_not = false;
+    for t in attr_toks {
+        match &t.kind {
+            TokKind::Punct('(') => {
+                depth += 1;
+                if pending_not {
+                    not_depths.push(depth);
+                }
+                pending_not = false;
+            }
+            TokKind::Punct(')') => {
+                if not_depths.last() == Some(&depth) {
+                    not_depths.pop();
+                }
+                depth = depth.saturating_sub(1);
+                pending_not = false;
+            }
+            TokKind::Ident(s) => {
+                pending_not = false;
+                if !saw_cfg {
+                    if s == "cfg" {
+                        saw_cfg = true;
+                    } else {
+                        return false;
+                    }
+                } else if s == "not" {
+                    pending_not = true;
+                } else if s == "test" && not_depths.is_empty() {
+                    return true;
+                }
+            }
+            _ => pending_not = false,
+        }
     }
-    let rest: Vec<_> = idents.collect();
-    rest.contains(&"test") && !rest.contains(&"not")
+    false
 }
 
 /// What follows an `unsafe` keyword.
@@ -486,18 +862,21 @@ impl LineInfo {
         false
     }
 
-    /// Extracts an adjacent `hb-writer: <role>` annotation, if present.
-    fn writer_role(&self, line: u32) -> Option<String> {
+    /// Extracts an adjacent `<marker> <value>` annotation, if present:
+    /// a trailing comment on `line` itself, or one in the contiguous
+    /// comment/attribute run directly above (same adjacency rules as
+    /// [`has_adjacent`](Self::has_adjacent)).
+    fn marker_value(&self, line: u32, marker: &str) -> Option<String> {
         let extract = |l: u32| -> Option<String> {
             let text = self.comment.get(&l)?;
-            let pos = text.find("hb-writer:")?;
-            let rest = &text[pos + "hb-writer:".len()..];
-            let role: String = rest
+            let pos = text.find(marker)?;
+            let rest = &text[pos + marker.len()..];
+            let value: String = rest
                 .trim_start()
                 .chars()
                 .take_while(|c| !c.is_whitespace())
                 .collect();
-            (!role.is_empty()).then_some(role)
+            (!value.is_empty()).then_some(value)
         };
         if let Some(r) = extract(line) {
             return Some(r);
@@ -505,18 +884,32 @@ impl LineInfo {
         let mut l = line.saturating_sub(1);
         while l >= 1 {
             let is_comment = self.comment.contains_key(&l);
-            let is_attr = self.attr.contains(&l) && !self.code.contains(&l);
-            if is_comment {
+            let is_code = self.code.contains(&l);
+            let is_attr = self.attr.contains(&l) && !is_code;
+            // A trailing comment on a *code* line annotates that line, not
+            // the one below it — only pure comment lines carry upward.
+            if is_comment && !is_code {
                 if let Some(r) = extract(l) {
                     return Some(r);
                 }
             }
-            if self.code.contains(&l) || (!is_comment && !is_attr) {
+            if is_code || (!is_comment && !is_attr) {
                 return None;
             }
             l -= 1;
         }
         None
+    }
+
+    /// Extracts an adjacent `hb-writer: <role>` annotation, if present.
+    fn writer_role(&self, line: u32) -> Option<String> {
+        self.marker_value(line, "hb-writer:")
+    }
+
+    /// Extracts an adjacent `wf-bound: <kind>(<arg>)` annotation, if
+    /// present.
+    fn wf_bound(&self, line: u32) -> Option<String> {
+        self.marker_value(line, "wf-bound:")
     }
 }
 
@@ -586,6 +979,21 @@ mod tests {
     }
 
     #[test]
+    fn cfg_all_test_not_feature_gates_as_test_ctx() {
+        // The real test modules are gated `#[cfg(all(test, not(feature =
+        // "loom")))]`; the `not(..)` negates the feature, not `test`.
+        let src = "#[cfg(all(test, not(feature = \"loom\")))]\nmod tests {\n  \
+                   fn g() { w.store(2, Ordering::SeqCst); }\n}\n";
+        assert_eq!(scan(src).atomics[0].ctx, Ctx::Test);
+    }
+
+    #[test]
+    fn cfg_any_not_test_alone_is_src() {
+        let src = "#[cfg(any(not(test), feature = \"x\"))]\nfn f() { w.store(1, Ordering::Release); }\n";
+        assert_eq!(scan(src).atomics[0].ctx, Ctx::Src);
+    }
+
+    #[test]
     fn adjacent_safety_comment_documents_unsafe() {
         let src = "fn f() {\n    // SAFETY: idx is in bounds.\n    unsafe { g() };\n}\n";
         assert!(scan(src).unsafes[0].documented);
@@ -623,5 +1031,110 @@ mod tests {
     fn doc_example_atomics_are_invisible(){
         let src = "/// ```\n/// hits.fetch_add(1, Ordering::Relaxed);\n/// ```\npub fn wait() {}\n";
         assert!(scan(src).atomics.is_empty());
+    }
+
+    #[test]
+    fn while_polling_an_atomic_is_a_loop_site_with_the_load() {
+        let src = "fn wait(f: &AtomicBool) {\n    while !f.load(Ordering::Acquire) {\n        core::hint::spin_loop();\n    }\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.loops.len(), 1);
+        let l = &inv.loops[0];
+        assert_eq!((l.kind, l.line), ("while", 2));
+        assert_eq!(l.loads, vec![("f".to_owned(), 2)]);
+        assert_eq!(l.spins, vec![("spin_loop".to_owned(), 3)]);
+        assert!(l.bound.is_none());
+    }
+
+    #[test]
+    fn wf_bound_annotation_attaches_to_the_loop_line() {
+        let src = "fn wait(f: &AtomicBool) {\n    // wf-bound: rendezvous(P)\n    while !f.load(Ordering::Acquire) {}\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.loops[0].bound.as_deref(), Some("rendezvous(P)"));
+    }
+
+    #[test]
+    fn triggers_attribute_to_the_innermost_loop_only() {
+        let src = "fn f(q: &Q) {\n    loop {\n        while let Some(v) = q.try_pop() {\n            use_(v);\n        }\n        break;\n    }\n}\n";
+        let inv = scan(src);
+        // Only the inner while registers (it holds the try_pop trigger);
+        // the outer loop has no triggers of its own.
+        assert_eq!(inv.loops.len(), 1);
+        assert_eq!(inv.loops[0].kind, "while");
+        assert!(inv.loops[0].calls.iter().any(|(n, _)| n == "try_pop"));
+    }
+
+    #[test]
+    fn for_loop_bodies_do_not_register_poll_triggers() {
+        let src = "fn f(cells: &[AtomicU64]) {\n    for c in cells {\n        let _ = c.load(Ordering::Relaxed);\n    }\n}\n";
+        assert!(scan(src).loops.is_empty(), "bounded iteration is not a poll loop");
+    }
+
+    #[test]
+    fn impl_trait_for_type_is_not_a_for_loop() {
+        let src = "impl Probe for Gate {\n    fn go(&self) { self.w.load(Ordering::Acquire); }\n}\n";
+        assert!(scan(src).loops.is_empty());
+    }
+
+    #[test]
+    fn spin_in_a_for_body_escalates_to_the_enclosing_while() {
+        let src = "fn f(g: &G) {\n    while g.open() {\n        for _ in 0..8 {\n            std::hint::spin_loop();\n        }\n    }\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.loops.len(), 1);
+        assert_eq!(inv.loops[0].kind, "while");
+        assert_eq!(inv.loops[0].spins.len(), 1);
+    }
+
+    #[test]
+    fn spin_outside_any_loop_is_a_blocking_site() {
+        let src = "fn f() { std::hint::spin_loop(); }\n";
+        let inv = scan(src);
+        assert!(inv.loops.is_empty());
+        assert_eq!(inv.blocking.len(), 1);
+        assert_eq!(inv.blocking[0].construct, "spin_loop");
+    }
+
+    #[test]
+    fn mutex_type_and_thread_join_are_blocking_sites() {
+        let src = "use std::sync::Mutex;\nfn f(h: std::thread::JoinHandle<()>) {\n    h.join().unwrap();\n}\n";
+        let inv = scan(src);
+        let names: Vec<&str> = inv.blocking.iter().map(|b| b.construct.as_str()).collect();
+        assert_eq!(names, vec!["Mutex", "join"]);
+    }
+
+    #[test]
+    fn enum_variant_named_barrier_is_not_a_blocking_type() {
+        let src = "fn f(cr: &R) { cr.stage_ns(Stage::Barrier, 7); }\n";
+        assert!(scan(src).blocking.is_empty());
+        let std_src = "fn f() { let b = std::sync::Barrier::new(2); }\n";
+        assert_eq!(scan(std_src).blocking[0].construct, "Barrier");
+    }
+
+    #[test]
+    fn enum_variant_discriminant_named_barrier_is_not_a_blocking_type() {
+        let src = "pub enum Stage { Encode = 0, Barrier = 1, Drain = 2 }\n";
+        assert!(scan(src).blocking.is_empty());
+        // ...but a path-reached std type followed by `=` still counts.
+        let std_src = "fn f() { let b: std::sync::Barrier = make(); }\n";
+        assert_eq!(scan(std_src).blocking[0].construct, "Barrier");
+    }
+
+    #[test]
+    fn path_join_and_str_join_take_arguments_and_are_invisible() {
+        let src = "fn f(p: &Path, xs: &[String]) {\n    let _ = p.join(\"x\");\n    let _ = xs.join(\", \");\n}\n";
+        assert!(scan(src).blocking.is_empty());
+    }
+
+    #[test]
+    fn thread_sleep_is_a_blocking_site() {
+        let src = "fn f() { std::thread::sleep(Duration::from_millis(1)); }\n";
+        assert_eq!(scan(src).blocking[0].construct, "sleep");
+    }
+
+    #[test]
+    fn wf_bound_in_a_string_or_doc_example_never_registers() {
+        let src = "fn f(q: &Q) {\n    let _s = \"// wf-bound: iters(8)\";\n    while q.try_pop().is_some() {}\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.loops.len(), 1);
+        assert!(inv.loops[0].bound.is_none(), "string decoy must not annotate the loop");
     }
 }

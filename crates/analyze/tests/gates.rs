@@ -134,3 +134,58 @@ fn diag_display_is_file_line_precise() {
         "diagnostics must render as [gate] file:line: msg, got: {rendered}"
     );
 }
+
+#[test]
+fn unannotated_poll_loop_fails_waitloop_gate() {
+    let d = sole_diag("unbounded_spin");
+    assert_eq!(d.gate, "waitloop");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 46, "culprit is drain()'s bare `while try_pop` poll loop");
+    assert!(
+        d.msg.contains("wf-bound") && d.msg.contains("try_pop"),
+        "msg names the missing annotation and the polled method: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn mutex_on_hot_path_fails_noblock_gate() {
+    let d = sole_diag("blocking_mutex");
+    assert_eq!(d.gate, "noblock");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 55, "culprit is total_locked()'s Mutex::new");
+    assert!(
+        d.msg.contains("Mutex") && d.msg.contains("demo-core"),
+        "msg names the construct and the crate: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn acquire_load_without_release_store_fails_hb_gate() {
+    let d = sole_diag("orphan_acquire");
+    assert_eq!(d.gate, "hb");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 20, "culprit is read()'s now-one-legged Acquire load");
+    assert!(
+        d.msg.contains("orphan Acquire") && d.msg.contains("word"),
+        "msg names the shape and the field: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn loop_declaration_without_code_fails_waitloop_gate_at_the_table_line() {
+    let d = sole_diag("stale_loop_bound");
+    assert_eq!(d.gate, "waitloop");
+    assert_eq!(
+        d.file, "analysis/progress.toml",
+        "a stale declaration is a *config* culprit"
+    );
+    assert_eq!(d.line, 12, "culprit is the ghost [[loop]] header");
+    assert!(
+        d.msg.contains("iters(8)"),
+        "msg names the undeclared bound: {}",
+        d.msg
+    );
+}

@@ -105,3 +105,87 @@ proptest! {
         prop_assert!(inv.unsafes.is_empty(), "decoy unsafe registered: {:?}", inv.unsafes);
     }
 }
+
+/// Decoy chunks for the loop scanner: every one spells `wf-bound:`, a loop
+/// keyword, or a blocking-construct name somewhere a real scanner must not
+/// look — strings, raw strings, block comments and doc prose attached to
+/// non-loop items.
+const LOOP_NOISE: &[&str] = &[
+    "static W_{i}: &str = \"// wf-bound: iters(8) in a string\";\n",
+    "static WR_{i}: &str = r#\"wf-bound: backlog(q) while loop spin_loop()\"#;\n",
+    "/* wf-bound: rendezvous(P) in a block comment, not adjacent to a loop */\nfn wf_gap_{i}() {}\n",
+    "/// doc prose: `// wf-bound: iters(4)` and `loop {{ spin_loop() }}`\nfn wf_doc_{i}() {}\n",
+    "static M_{i}: &str = \"std::sync::Mutex::new park sleep thread::park\";\n",
+];
+
+#[derive(Debug, Clone)]
+enum LoopChunk {
+    Noise(usize),
+    BareLoop,
+    BoundLoop,
+}
+
+fn loop_chunk() -> impl Strategy<Value = LoopChunk> {
+    (0..LOOP_NOISE.len() + 4).prop_map(|n| match n.checked_sub(LOOP_NOISE.len()) {
+        None => LoopChunk::Noise(n),
+        Some(r) if r % 2 == 0 => LoopChunk::BareLoop,
+        Some(_) => LoopChunk::BoundLoop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wf_bound_decoys_never_annotate_and_real_loops_scan_exactly(
+        chunks in prop::collection::vec(loop_chunk(), 0..40)
+    ) {
+        let mut src = String::new();
+        let mut line = 1u32;
+        // (line, expected bound) per real poll loop, in order.
+        let mut expect: Vec<(u32, Option<&str>)> = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            let text = match c {
+                LoopChunk::Noise(n) => LOOP_NOISE[*n].replace("{i}", &i.to_string()),
+                LoopChunk::BareLoop => {
+                    expect.push((line, None));
+                    format!("fn drain_{i}(q: &mut Q) {{ while q.try_pop().is_some() {{}} }}\n")
+                }
+                LoopChunk::BoundLoop => {
+                    expect.push((line, Some("iters(3)")));
+                    format!(
+                        "fn drain_b_{i}(q: &mut Q) {{ while q.try_pop().is_some() {{}} }} \
+                         // wf-bound: iters(3)\n"
+                    )
+                }
+            };
+            line += u32::try_from(text.matches('\n').count()).expect("chunks are small");
+            src.push_str(&text);
+        }
+
+        let inv = scan_file(&src, "prop.rs", "prop-crate", Ctx::Src);
+
+        let got: Vec<(u32, Option<&str>)> = inv
+            .loops
+            .iter()
+            .map(|l| (l.line, l.bound.as_deref()))
+            .collect();
+        prop_assert_eq!(
+            got, expect,
+            "loop sites must be exactly the real poll loops, line-precise, \
+             with only adjacent annotations attached"
+        );
+        for l in &inv.loops {
+            prop_assert!(
+                l.calls.iter().any(|(name, _)| name == "try_pop"),
+                "the polled method must be recorded: {:?}",
+                l.calls
+            );
+        }
+        prop_assert!(
+            inv.blocking.is_empty(),
+            "decoy blocking construct registered: {:?}",
+            inv.blocking
+        );
+    }
+}

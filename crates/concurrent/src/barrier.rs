@@ -85,6 +85,9 @@ impl SpinBarrier {
             true
         } else {
             let mut spins = 0u32;
+            // wf-bound: rendezvous(P) — exits when the last of the P
+            // participants arrives and the leader flips the sense; the
+            // paper admits exactly one such rendezvous per build.
             while self.sense.load(Ordering::Acquire) != my_sense {
                 if spins < SPINS_BEFORE_YIELD {
                     crate::sync::hint::spin_loop();

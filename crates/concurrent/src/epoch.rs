@@ -159,6 +159,9 @@ impl<T> EpochReader<T> {
     /// The returned epoch never decreases across calls, and the reference
     /// stays valid (and its contents immutable) until the next `pin`.
     pub fn pin(&mut self) -> Option<(u64, &Arc<T>)> {
+        // wf-bound: backlog(lane) — each iteration pops one epoch already
+        // committed to the SPSC lane; the publisher pushes at most one per
+        // publish, so the drain is bounded by the backlog at entry.
         while let Some((epoch, snap)) = self.lane.try_pop() {
             debug_assert!(epoch > self.pinned_epoch, "epochs arrive in order");
             self.pinned_epoch = epoch;

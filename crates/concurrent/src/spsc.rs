@@ -292,6 +292,9 @@ impl<T> Consumer<T> {
     /// `None` does **not** mean the producer is finished — pair with
     /// [`is_closed`](Self::is_closed) for termination (see [`channel`]).
     pub fn try_pop(&mut self) -> Option<T> {
+        // wf-bound: backlog(segments) — each iteration either returns,
+        // or frees the exhausted head segment and advances to a `next`
+        // link that existed at entry; the chain is finite.
         loop {
             // SAFETY: `head` is alive until we free it below.
             let head = unsafe { self.head.as_ref() };
@@ -342,6 +345,9 @@ impl<T> Consumer<T> {
     /// finished; pair with [`is_closed`](Self::is_closed) for termination.
     pub fn pop_block(&mut self, out: &mut Vec<T>) -> usize {
         let mut taken = 0usize;
+        // wf-bound: backlog(segments) — per segment visit: drain the
+        // committed chunk, or follow the `next` link, or return; bounded
+        // by the segments linked at entry.
         loop {
             // SAFETY: `head` is alive until we free it below.
             let head = unsafe { self.head.as_ref() };

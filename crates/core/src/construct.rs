@@ -285,6 +285,9 @@ pub fn waitfree_build_with_recorded<R: Recorder>(
                             if R::ENABLED {
                                 cr.queue_depth(consumer.visible_backlog());
                             }
+                            // wf-bound: backlog(visible) — the producer is
+                            // done (post-barrier), so each pop removes one of
+                            // the finitely many committed elements.
                             while let Some(key) = consumer.try_pop() {
                                 debug_assert_eq!(partitioner.owner(key), t);
                                 let probes = table.increment_probed(key, 1);
@@ -528,6 +531,10 @@ pub fn waitfree_build_with_batched_recorded<R: Recorder>(
                             if R::ENABLED {
                                 cr.queue_depth(consumer.visible_backlog());
                             }
+                            // wf-bound: backlog(visible) — the producer is
+                            // done (post-barrier); each round takes a
+                            // committed chunk and exits on the first empty
+                            // poll.
                             loop {
                                 block.clear();
                                 if consumer.pop_block(&mut block) == 0 {

@@ -187,6 +187,10 @@ pub fn pipelined_build_with_recorded<R: Recorder>(
                                 if R::ENABLED {
                                     cr.queue_depth(consumer.visible_backlog());
                                 }
+                                // wf-bound: backlog(visible) — exits on the
+                                // first empty poll; each pop removes one
+                                // committed element, at most the rows the
+                                // peers forward.
                                 while let Some(key) = consumer.try_pop() {
                                     let probes = table.increment_probed(key, 1);
                                     cr.probe_len(probes);
@@ -208,6 +212,9 @@ pub fn pipelined_build_with_recorded<R: Recorder>(
                         cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
                         let mut open: Vec<Consumer<u64>> =
                             ep.consumers.drain(..).flatten().collect();
+                        // wf-bound: peers-close(P) — every peer closes its
+                        // queues when its own finite encode ends, so each of
+                        // the P-1 consumers is retained only finitely often.
                         while !open.is_empty() {
                             open.retain_mut(|consumer| {
                                 // Order matters: observe `closed` *before*
@@ -217,6 +224,9 @@ pub fn pipelined_build_with_recorded<R: Recorder>(
                                 if R::ENABLED {
                                     cr.queue_depth(consumer.visible_backlog());
                                 }
+                                // wf-bound: backlog(visible) — each pop
+                                // removes one committed element; the peer
+                                // stops pushing once closed.
                                 while let Some(key) = consumer.try_pop() {
                                     let probes = table.increment_probed(key, 1);
                                     cr.probe_len(probes);
@@ -384,6 +394,9 @@ pub fn pipelined_build_with_batched_recorded<R: Recorder>(
                                 if R::ENABLED {
                                     cr.queue_depth(consumer.visible_backlog());
                                 }
+                                // wf-bound: backlog(visible) — each round
+                                // takes a committed chunk; exits on the first
+                                // empty poll.
                                 loop {
                                     block.clear();
                                     if consumer.pop_block(&mut block) == 0 {
@@ -417,6 +430,9 @@ pub fn pipelined_build_with_batched_recorded<R: Recorder>(
                         cr.stage_ns(Stage::Encode, t1.saturating_sub(t0));
                         let mut open: Vec<Consumer<(u64, u64)>> =
                             ep.consumers.drain(..).flatten().collect();
+                        // wf-bound: peers-close(P) — every peer flushes its
+                        // combiner and closes when its finite encode ends, so
+                        // each consumer is retained only finitely often.
                         while !open.is_empty() {
                             open.retain_mut(|consumer| {
                                 // Observe `closed` *before* the final drain so
@@ -425,6 +441,9 @@ pub fn pipelined_build_with_batched_recorded<R: Recorder>(
                                 if R::ENABLED {
                                     cr.queue_depth(consumer.visible_backlog());
                                 }
+                                // wf-bound: backlog(visible) — each round
+                                // takes a committed chunk; the peer stops
+                                // pushing once closed.
                                 loop {
                                     block.clear();
                                     if consumer.pop_block(&mut block) == 0 {

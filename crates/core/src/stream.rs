@@ -242,6 +242,9 @@ impl StreamingBuilder {
                                 if R::ENABLED {
                                     cr.queue_depth(consumer.visible_backlog());
                                 }
+                                // wf-bound: backlog(visible) — the producers
+                                // are done (post-barrier), so each pop removes
+                                // one of the finitely many committed elements.
                                 while let Some(key) = consumer.try_pop() {
                                     let probes = table.increment_probed(key, 1);
                                     cr.probe_len(probes);
@@ -419,6 +422,10 @@ impl StreamingBuilder {
                                 if R::ENABLED {
                                     cr.queue_depth(consumer.visible_backlog());
                                 }
+                                // wf-bound: backlog(visible) — the producers
+                                // are done (post-barrier); each round takes a
+                                // committed chunk, exiting on the first empty
+                                // poll.
                                 loop {
                                     block.clear();
                                     if consumer.pop_block(&mut block) == 0 {

@@ -137,6 +137,9 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
             .name("wfbn-serve-writer".into())
             .spawn(move || {
                 let mut builder = builder;
+                // wf-bound: service(shutdown) — the writer's lifetime loop:
+                // each round absorbs one admitted batch or yields, and it
+                // exits once the admission lane is closed and drained.
                 loop {
                     match admission.try_pop() {
                         Some(batch) => {
@@ -214,6 +217,10 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
     /// Admits `batch`, blocking (spin + yield) while the backlog is at
     /// capacity. Fails with [`ServeError::Closed`] if the writer exited.
     pub fn submit(&mut self, mut batch: Dataset) -> Result<u64, ServeError> {
+        // wf-bound: backpressure(capacity) — blocks only while the writer's
+        // backlog sits at capacity; the writer publishes each absorbed batch,
+        // so admission reopens (or `closed` surfaces) in finitely many of
+        // its steps.
         loop {
             match self.try_submit(batch) {
                 Ok(n) => return Ok(n),
@@ -233,6 +240,9 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
     /// Fails with [`ServeError::Closed`] if the writer exited before
     /// catching up (an absorption error).
     pub fn sync(&mut self) -> Result<u64, ServeError> {
+        // wf-bound: backpressure(backlog) — waits for the writer to absorb
+        // the finitely many already-submitted batches; each publication
+        // advances `published`, and a writer exit surfaces as `closed`.
         loop {
             let published = self.published();
             if published >= self.submitted {

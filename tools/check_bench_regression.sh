@@ -17,24 +17,32 @@ cd "$(dirname "$0")/.."
 
 baseline=${1:-BENCH_pr4.json}
 if [[ ! -f $baseline ]]; then
-    echo "check_bench_regression: $baseline not found" >&2
-    echo "generate it with: tools/bench_snapshot.sh" >&2
-    exit 1
+    # A fresh clone (or a branch that never committed a snapshot) has no
+    # baseline — that is not a regression, there is simply nothing to
+    # compare against. Note it and succeed; a *malformed* baseline below
+    # still fails loudly.
+    echo "check_bench_regression: no baseline ($baseline not found); skipping"
+    echo "check_bench_regression: generate one with tools/bench_snapshot.sh"
+    exit 0
 fi
 
 # Pull the workload and the committed batched series out of the baseline.
 extract_scalar() {
-    grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}'
+    # `|| true`: a missing key must fall through to the explicit malformed-
+    # baseline message below, not die silently under `set -euo pipefail`.
+    grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}' || true
 }
 n=$(extract_scalar n)
 m=$(extract_scalar m)
 seed=$(extract_scalar seed)
 cores=$(grep -o '"cores": \[[0-9, ]*\]' "$baseline" | head -1 \
-        | sed 's/.*\[//; s/\]//; s/ //g')
+        | sed 's/.*\[//; s/\]//; s/ //g' || true)
 committed=$(grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' "$baseline" | head -1 \
-        | sed 's/.*\[//; s/\]//; s/ //g')
+        | sed 's/.*\[//; s/\]//; s/ //g' || true)
 if [[ -z $n || -z $m || -z $seed || -z $cores || -z $committed ]]; then
-    echo "check_bench_regression: could not parse workload/series from $baseline" >&2
+    echo "check_bench_regression: $baseline is malformed — could not parse" >&2
+    echo "  workload (n/m/seed/cores) and sim_batched_cycles series from it" >&2
+    echo "  re-generate with: tools/bench_snapshot.sh" >&2
     exit 1
 fi
 
@@ -64,6 +72,14 @@ awk -v base="$committed" -v cur="$current" -v cores="$cores" '
         }
         fail = 0
         for (i = 1; i <= nb; i++) {
+            # Guard against a malformed series: a non-numeric entry coerces
+            # to 0 in awk, and a zero baseline would divide by zero below —
+            # both mean the snapshot is corrupt, not that the code regressed.
+            if (b[i] !~ /^[0-9.eE+-]+$/ || c[i] !~ /^[0-9.eE+-]+$/ || b[i] + 0 <= 0) {
+                printf "check_bench_regression: malformed series entry %d (baseline=%s, current=%s)\n", \
+                       i, b[i], c[i]
+                exit 1
+            }
             ratio = c[i] / b[i]
             printf "  P=%-3s %14.0f -> %14.0f cycles (%.3fx)\n", p[i], b[i], c[i], ratio
             if (ratio > 1.10) {

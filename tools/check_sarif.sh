@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Validates a SARIF 2.1.0 log produced by `wfbn-analyze -- check --format
+# sarif`: well-formed JSON (when python3 is available) plus the structural
+# anchors CI annotators rely on — schema/version, the driver name, the six
+# gate rules, and a results array. Dependency-light by design: the grep
+# fallback keeps it working on runners without python3.
+#
+# Usage: tools/check_sarif.sh FILE.sarif
+set -euo pipefail
+
+file=${1:?usage: tools/check_sarif.sh FILE.sarif}
+if [[ ! -s $file ]]; then
+    echo "check_sarif: $file missing or empty" >&2
+    exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$file" >/dev/null || {
+        echo "check_sarif: $file is not well-formed JSON" >&2
+        exit 1
+    }
+else
+    echo "check_sarif: python3 unavailable; structural greps only"
+fi
+
+require() {
+    grep -qF "$1" "$file" || {
+        echo "check_sarif: $file lacks required anchor: $1" >&2
+        exit 1
+    }
+}
+require '"$schema": "https://json.schemastore.org/sarif-2.1.0.json"'
+require '"version": "2.1.0"'
+require '"name": "wfbn-analyze"'
+require '"rules": ['
+require '"results": ['
+for rule in safety waitfree hb ratchet waitloop noblock; do
+    require "\"id\": \"$rule\""
+done
+echo "check_sarif: OK ($file)"
