@@ -6,6 +6,7 @@ pub mod infer;
 pub mod learn;
 pub mod mi;
 pub mod serve;
+pub mod workload;
 
 use wfbn_bn::network::BayesNet;
 use wfbn_bn::repository;

@@ -40,6 +40,7 @@ pub(crate) fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), S
         "learn" => commands::learn::run(rest, out),
         "infer" => commands::infer::run(rest, out),
         "serve" => commands::serve::run(rest, out),
+        "workload" => commands::workload::run(rest, out),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
             Ok(())
@@ -68,6 +69,11 @@ Subcommands:
          --in FILE [--threads P] [--batch ROWS] [--batched] [--metrics]
          [--script FILE | --listen ADDR]   (default: line protocol on stdin)
          protocol: MARGINAL/MI/CPT/EPOCH/SYNC/INGEST/STATS/QUIT, ';' fuses
+  workload  deterministic serve workload scenarios with SLO gates
+         --list | --scenario NAME [--emit [--out FILE] | --run [--threads P]]
+         [--rows R] [--batches B] [--queries Q] [--readers N] [--seed S]
+         scenarios: uniform zipf burst adversarial-partition wide-sparse
+                    hot-query starve-reader
 
 Repository networks: sprinkler, cancer, asia, alarm-like, insurance-like";
 

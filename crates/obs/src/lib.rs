@@ -19,7 +19,7 @@
 //! * [`MetricsReport`] — owned snapshot with cross-core aggregation
 //!   (totals, per-stage critical path, probe histograms, queue high-water
 //!   marks), report merging across repetitions, conservation-law
-//!   validation, and stable `wfbn-metrics-v3` JSON for the `--metrics`
+//!   validation, and stable `wfbn-metrics-v4` JSON for the `--metrics`
 //!   flags on the CLI and bench binaries.
 //!
 //! Feature flags: `metrics` makes every [`CoreMetrics::snapshot`]
@@ -38,6 +38,7 @@ pub mod report;
 pub use metrics::{CoreHandle, CoreMetrics};
 pub use recorder::{
     lat_bucket, probe_bucket, CoreRecorder, Counter, NoopCore, NoopRecorder, Recorder, Stage,
-    LAT_BUCKETS, LAT_BUCKET_LABELS, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS, PROBE_BUCKET_LABELS,
+    LAT_BUCKETS, LAT_BUCKET_LABELS, LAT_BUCKET_UPPER_NS, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS,
+    PROBE_BUCKET_LABELS,
 };
 pub use report::{CoreReport, MetricsReport, SCHEMA};

@@ -242,7 +242,12 @@ mod tests {
             c.query_latency(5_000_000);
         }
         let r = m.snapshot();
-        assert_eq!(r.cores[0].lat_hist, [1, 1, 0, 0, 0, 0, 0, 1]);
+        // 500 ns -> bucket 2, 2 µs -> bucket 4, 5 ms -> the >=4ms tail.
+        let mut expect = [0u64; LAT_BUCKETS];
+        expect[2] = 1;
+        expect[4] = 1;
+        expect[LAT_BUCKETS - 1] = 1;
+        assert_eq!(r.cores[0].lat_hist, expect);
         assert_eq!(r.lat_hist_mass(), 3);
     }
 

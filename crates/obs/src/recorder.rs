@@ -170,30 +170,77 @@ pub fn probe_bucket(probes: u64) -> usize {
 pub const PROBE_BUCKET_LABELS: [&str; PROBE_BUCKETS] =
     ["1", "2", "3", "4", "5-8", "9-16", "17-32", ">32"];
 
-/// Number of query-latency histogram buckets (powers of four from 1 µs).
-pub const LAT_BUCKETS: usize = 8;
+/// Number of query-latency histogram buckets (v4: 16 power-of-two buckets
+/// from 250 ns, fine enough for p99/p999 upper-bound estimates).
+pub const LAT_BUCKETS: usize = 16;
 
 /// Maps a query's wall latency in nanoseconds to its histogram bucket:
-/// `<1µs`, then `[1,4)`, `[4,16)`, `[16,64)`, `[64,256)` µs, `[256µs,1ms)`,
-/// `[1,4)` ms, and `>=4ms`.
+/// `<250ns`, then power-of-two ranges up to `[2,4)` ms, and `>=4ms`. The v3
+/// schema's 8 power-of-four buckets were too coarse to bound a p99 tighter
+/// than 4x; the v4 buckets bound every percentile below 4 ms within 2x.
 #[inline]
 pub fn lat_bucket(ns: u64) -> usize {
     match ns {
-        0..=999 => 0,
-        1_000..=3_999 => 1,
-        4_000..=15_999 => 2,
-        16_000..=63_999 => 3,
-        64_000..=255_999 => 4,
-        256_000..=999_999 => 5,
-        1_000_000..=3_999_999 => 6,
-        _ => 7,
+        0..=249 => 0,
+        250..=499 => 1,
+        500..=999 => 2,
+        1_000..=1_999 => 3,
+        2_000..=3_999 => 4,
+        4_000..=7_999 => 5,
+        8_000..=15_999 => 6,
+        16_000..=31_999 => 7,
+        32_000..=63_999 => 8,
+        64_000..=127_999 => 9,
+        128_000..=255_999 => 10,
+        256_000..=511_999 => 11,
+        512_000..=999_999 => 12,
+        1_000_000..=1_999_999 => 13,
+        2_000_000..=3_999_999 => 14,
+        _ => 15,
     }
 }
 
 /// Human-readable latency bucket labels, index-aligned with
 /// [`lat_bucket`]'s ranges.
 pub const LAT_BUCKET_LABELS: [&str; LAT_BUCKETS] = [
-    "<1us", "1-4us", "4-16us", "16-64us", "64-256us", "256us-1ms", "1-4ms", ">=4ms",
+    "<250ns",
+    "250-500ns",
+    "500ns-1us",
+    "1-2us",
+    "2-4us",
+    "4-8us",
+    "8-16us",
+    "16-32us",
+    "32-64us",
+    "64-128us",
+    "128-256us",
+    "256-512us",
+    "512us-1ms",
+    "1-2ms",
+    "2-4ms",
+    ">=4ms",
+];
+
+/// Exclusive upper edge of each latency bucket in nanoseconds, index-aligned
+/// with [`lat_bucket`]; the unbounded last bucket reports `u64::MAX`. Used by
+/// the report's percentile estimator: "p99 <= edge" is exact by construction.
+pub const LAT_BUCKET_UPPER_NS: [u64; LAT_BUCKETS] = [
+    250,
+    500,
+    1_000,
+    2_000,
+    4_000,
+    8_000,
+    16_000,
+    32_000,
+    64_000,
+    128_000,
+    256_000,
+    512_000,
+    1_000_000,
+    2_000_000,
+    4_000_000,
+    u64::MAX,
 ];
 
 /// Per-core event sink handed to exactly one worker thread.
@@ -339,16 +386,33 @@ mod tests {
     #[test]
     fn lat_buckets_partition_the_range() {
         assert_eq!(lat_bucket(0), 0);
-        assert_eq!(lat_bucket(999), 0);
-        assert_eq!(lat_bucket(1_000), 1);
-        assert_eq!(lat_bucket(3_999), 1);
-        assert_eq!(lat_bucket(4_000), 2);
-        assert_eq!(lat_bucket(16_000), 3);
-        assert_eq!(lat_bucket(64_000), 4);
-        assert_eq!(lat_bucket(256_000), 5);
-        assert_eq!(lat_bucket(1_000_000), 6);
-        assert_eq!(lat_bucket(4_000_000), 7);
-        assert_eq!(lat_bucket(u64::MAX), 7);
+        assert_eq!(lat_bucket(249), 0);
+        assert_eq!(lat_bucket(250), 1);
+        assert_eq!(lat_bucket(500), 2);
+        assert_eq!(lat_bucket(999), 2);
+        assert_eq!(lat_bucket(1_000), 3);
+        assert_eq!(lat_bucket(2_000), 4);
+        assert_eq!(lat_bucket(4_000), 5);
+        assert_eq!(lat_bucket(16_000), 7);
+        assert_eq!(lat_bucket(64_000), 9);
+        assert_eq!(lat_bucket(256_000), 11);
+        assert_eq!(lat_bucket(512_000), 12);
+        assert_eq!(lat_bucket(1_000_000), 13);
+        assert_eq!(lat_bucket(2_000_000), 14);
+        assert_eq!(lat_bucket(4_000_000), 15);
+        assert_eq!(lat_bucket(u64::MAX), 15);
         assert_eq!(LAT_BUCKET_LABELS.len(), LAT_BUCKETS);
+    }
+
+    #[test]
+    fn lat_bucket_upper_edges_match_the_partition() {
+        // Every bucket's upper edge is exclusive: the edge itself lands in
+        // the next bucket, edge-1 lands in this one.
+        for (i, &edge) in LAT_BUCKET_UPPER_NS.iter().enumerate() {
+            assert_eq!(lat_bucket(edge.saturating_sub(1)), i, "edge {edge}");
+            if edge != u64::MAX {
+                assert_eq!(lat_bucket(edge), i + 1, "edge {edge}");
+            }
+        }
     }
 }

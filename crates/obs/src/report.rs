@@ -6,21 +6,25 @@
 //! A [`MetricsReport`] is plain data: once snapshotted it can be merged with
 //! reports from other runs (bench repetitions), validated against the routing
 //! and queue conservation laws of the two-stage primitive (plus the serving
-//! layer's query/epoch laws), and rendered as a stable `wfbn-metrics-v3`
-//! JSON document for the `--metrics` flags.
+//! layer's query/epoch/latency laws), and rendered as a stable
+//! `wfbn-metrics-v4` JSON document for the `--metrics` flags.
 
 use crate::recorder::{
-    Counter, Stage, LAT_BUCKETS, LAT_BUCKET_LABELS, NUM_COUNTERS, NUM_STAGES, PROBE_BUCKETS,
-    PROBE_BUCKET_LABELS,
+    Counter, Stage, LAT_BUCKETS, LAT_BUCKET_LABELS, LAT_BUCKET_UPPER_NS, NUM_COUNTERS,
+    NUM_STAGES, PROBE_BUCKETS, PROBE_BUCKET_LABELS,
 };
 
 /// Identifier embedded in every emitted JSON document; bump on any
 /// key/shape change so downstream tooling can detect incompatibility.
 /// v2 added the write-combining counters (`blocks_flushed`,
-/// `keys_coalesced`) and their conservation rules; v3 adds the serving
+/// `keys_coalesced`) and their conservation rules; v3 added the serving
 /// layer (`query_serve` stage, query/cache/epoch counters, the
-/// `latency_hist` histogram) and its conservation rules.
-pub const SCHEMA: &str = "wfbn-metrics-v3";
+/// `latency_hist` histogram) and its conservation rules; v4 refines the
+/// latency histogram to 16 power-of-two buckets, adds the
+/// `latency_percentiles` and `fairness` summary blocks, and tightens the
+/// latency conservation law to per core (each reader's histogram mass must
+/// equal its own `queries_served`).
+pub const SCHEMA: &str = "wfbn-metrics-v4";
 
 /// One core's telemetry, copied out of its [`CoreMetrics`](crate::CoreMetrics)
 /// slot.
@@ -145,6 +149,59 @@ impl MetricsReport {
         self.cores.iter().map(|r| r.queue_hwm).max().unwrap_or(0)
     }
 
+    /// Upper bound in nanoseconds on the `q`-quantile (`0 < q <= 1`) of the
+    /// aggregated query-latency distribution, or `None` if no latency was
+    /// recorded. The bound is the exclusive upper edge of the histogram
+    /// bucket holding the nearest-rank sample, so "p99 <= returned value" is
+    /// exact; the unbounded `>=4ms` bucket reports `u64::MAX`.
+    pub fn lat_percentile_le(&self, q: f64) -> Option<u64> {
+        let hist = self.lat_hist_total();
+        let mass: u64 = hist.iter().sum();
+        if mass == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        // Nearest-rank: the smallest rank r with r >= q * mass.
+        let rank = ((q * mass as f64).ceil() as u64).clamp(1, mass);
+        let mut seen = 0u64;
+        for (i, &count) in hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(LAT_BUCKET_UPPER_NS[i]);
+            }
+        }
+        None
+    }
+
+    /// Cores that served at least one query — the serving-reader cores of a
+    /// replay, in core order.
+    pub fn serving_cores(&self) -> Vec<usize> {
+        (0..self.cores.len())
+            .filter(|&i| self.cores[i].counter(Counter::QueriesServed) > 0)
+            .collect()
+    }
+
+    /// `queries_served` per core for the given core ids.
+    pub fn served_by(&self, cores: &[usize]) -> Vec<u64> {
+        cores
+            .iter()
+            .map(|&i| self.cores[i].counter(Counter::QueriesServed))
+            .collect()
+    }
+
+    /// Max/min ratio of `queries_served` across the given reader cores — the
+    /// fairness figure the SLO gate bounds. `None` if `cores` is empty;
+    /// `f64::INFINITY` if some listed core served nothing (a starved
+    /// reader).
+    pub fn fairness_ratio(&self, cores: &[usize]) -> Option<f64> {
+        let served = self.served_by(cores);
+        let min = *served.iter().min()?;
+        let max = *served.iter().max()?;
+        if min == 0 {
+            return Some(f64::INFINITY);
+        }
+        Some(max as f64 / min as f64)
+    }
+
     /// Accumulates `other` into `self`, core by core: counters, stage times,
     /// and histograms add; queue high-water marks take the max. Grows to the
     /// larger core count if the reports disagree.
@@ -181,10 +238,13 @@ impl MetricsReport {
     ///   one element: `blocks_flushed ≤ forwarded − keys_coalesced`
     ///   (blocks × flush accounting).
     ///
-    /// Serving-layer laws (v3):
+    /// Serving-layer laws (v3, tightened per core in v4):
     ///
     /// * latency-histogram mass must equal total `queries_served` whenever
     ///   both are non-zero (one latency sample per served query);
+    /// * per core, a non-empty latency histogram must have mass exactly
+    ///   `queries_served` on that core — a reader cannot record another
+    ///   reader's latencies (single-writer histogram words);
     /// * per core, cache activity implies queries: `cache_hits +
     ///   cache_misses > 0` requires `queries_served > 0`;
     /// * per core, `epochs_pinned` must not exceed total `epochs_published`
@@ -261,6 +321,16 @@ impl MetricsReport {
                 "latency-histogram mass {lat_mass} != queries_served {served}"
             ));
         }
+        for (core, r) in self.cores.iter().enumerate() {
+            let mass = r.lat_mass();
+            let core_served = r.counter(Counter::QueriesServed);
+            if mass != 0 && mass != core_served {
+                return Err(format!(
+                    "core {core}: latency-histogram mass {mass} != \
+                     queries_served {core_served}"
+                ));
+            }
+        }
         let published = self.total(Counter::EpochsPublished);
         for (core, r) in self.cores.iter().enumerate() {
             let hits = r.counter(Counter::CacheHits);
@@ -336,6 +406,43 @@ impl MetricsReport {
         out.push_str(&json_lat_hist_obj(&self.lat_hist_total(), indent + 2));
         out.push_str(",\n");
 
+        out.push_str(&format!("{p1}\"latency_percentiles\": {{\n"));
+        out.push_str(&format!(
+            "{p2}\"p50_le_ns\": {},\n",
+            json_opt_edge(self.lat_percentile_le(0.50))
+        ));
+        out.push_str(&format!(
+            "{p2}\"p99_le_ns\": {},\n",
+            json_opt_edge(self.lat_percentile_le(0.99))
+        ));
+        out.push_str(&format!(
+            "{p2}\"p999_le_ns\": {}\n",
+            json_opt_edge(self.lat_percentile_le(0.999))
+        ));
+        out.push_str(&format!("{p1}}},\n"));
+
+        let readers = self.serving_cores();
+        let served = self.served_by(&readers);
+        out.push_str(&format!("{p1}\"fairness\": {{\n"));
+        out.push_str(&format!("{p2}\"serving_cores\": {},\n", readers.len()));
+        out.push_str(&format!(
+            "{p2}\"served_min\": {},\n",
+            served.iter().min().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "{p2}\"served_max\": {},\n",
+            served.iter().max().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "{p2}\"max_min_ratio\": {}\n",
+            match self.fairness_ratio(&readers) {
+                Some(r) if r.is_finite() => format!("{r:.3}"),
+                // Empty reader set or a starved reader: no finite ratio.
+                _ => "null".to_string(),
+            }
+        ));
+        out.push_str(&format!("{p1}}},\n"));
+
         out.push_str(&format!("{p1}\"per_core\": [\n"));
         for (i, r) in self.cores.iter().enumerate() {
             out.push_str(&format!("{p2}{{\n"));
@@ -361,6 +468,16 @@ impl MetricsReport {
         out.push_str(&format!("{p1}]\n"));
         out.push_str(&format!("{p0}}}"));
         out
+    }
+}
+
+/// Renders a percentile upper edge: a number when bounded, `null` when no
+/// latency was recorded or the estimate falls in the unbounded `>=4ms`
+/// bucket (whose edge, `u64::MAX`, would be meaningless in the document).
+fn json_opt_edge(v: Option<u64>) -> String {
+    match v {
+        Some(u64::MAX) | None => "null".to_string(),
+        Some(x) => x.to_string(),
     }
 }
 
@@ -587,11 +704,56 @@ mod tests {
     }
 
     #[test]
+    fn per_core_latency_mass_mismatch_is_reported() {
+        let mut r = serve_like_report();
+        // Move one unit of core 1's mass onto core 0 (which served nothing):
+        // the global mass still equals total served, but core 0 now holds a
+        // histogram it cannot own.
+        r.cores[1].lat_hist[0] = 3;
+        r.cores[0].lat_hist[0] = 1;
+        let err = r.validate().expect_err("cross-core latency mass");
+        assert!(err.contains("core 0"), "{err}");
+        assert!(err.contains("latency-histogram mass"), "{err}");
+    }
+
+    #[test]
+    fn percentile_estimator_returns_bucket_upper_edges() {
+        let mut r = MetricsReport::empty(1);
+        r.cores[0].counters[Counter::QueriesServed as usize] = 100;
+        // 99 samples in bucket 3 ([1,2)us), 1 sample in bucket 7 ([16,32)us).
+        r.cores[0].lat_hist[3] = 99;
+        r.cores[0].lat_hist[7] = 1;
+        assert_eq!(r.lat_percentile_le(0.50), Some(2_000));
+        assert_eq!(r.lat_percentile_le(0.99), Some(2_000));
+        assert_eq!(r.lat_percentile_le(0.999), Some(32_000));
+        assert_eq!(r.lat_percentile_le(1.0), Some(32_000));
+        assert_eq!(MetricsReport::empty(2).lat_percentile_le(0.99), None);
+    }
+
+    #[test]
+    fn fairness_helpers_identify_serving_cores_and_ratio() {
+        let mut r = MetricsReport::empty(4);
+        r.cores[2].counters[Counter::QueriesServed as usize] = 30;
+        r.cores[3].counters[Counter::QueriesServed as usize] = 10;
+        assert_eq!(r.serving_cores(), vec![2, 3]);
+        assert_eq!(r.served_by(&[2, 3]), vec![30, 10]);
+        assert_eq!(r.fairness_ratio(&[2, 3]), Some(3.0));
+        // A listed core that served nothing is a starved reader.
+        assert_eq!(r.fairness_ratio(&[1, 2]), Some(f64::INFINITY));
+        assert_eq!(r.fairness_ratio(&[]), None);
+    }
+
+    #[test]
     fn json_contains_schema_and_all_keys() {
         let json = build_like_report().to_json();
-        assert!(json.contains("\"schema\": \"wfbn-metrics-v3\""));
+        assert!(json.contains("\"schema\": \"wfbn-metrics-v4\""));
         assert!(json.contains("\"latency_hist\""));
+        assert!(json.contains("\"latency_percentiles\""));
+        assert!(json.contains("\"p999_le_ns\""));
+        assert!(json.contains("\"fairness\""));
+        assert!(json.contains("\"max_min_ratio\""));
         assert!(json.contains("\">=4ms\""));
+        assert!(json.contains("\"250-500ns\""));
         assert!(json.contains("\"cores\": 2"));
         for c in Counter::ALL {
             assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c.name());

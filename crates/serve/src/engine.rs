@@ -15,7 +15,10 @@
 //! thread the only writer of the *published* count (the epoch word), so
 //! `submitted − published` is an always-consistent backlog bound.
 //! [`Engine::submit`] blocks (yielding) while the backlog is at capacity;
-//! [`Engine::try_submit`] refuses instead, handing the batch back.
+//! [`Engine::try_submit`] refuses instead, handing the batch back. Capacity
+//! refusals are tallied in a plain front-end field ([`Engine::refused`]) —
+//! like `submitted` it has exactly one writer (the front-end thread), so
+//! the admission counters stay free of atomics entirely.
 //!
 //! # Telemetry
 //!
@@ -86,6 +89,7 @@ pub struct Engine<R: Recorder> {
     /// The engine's own epoch endpoint, used for backlog/sync accounting.
     watch: EpochReader<PotentialTable>,
     submitted: u64,
+    refused: u64,
     capacity: u64,
     writer: JoinHandle<Result<PotentialTable, CoreError>>,
     rec: Arc<R>,
@@ -167,6 +171,7 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
                 lane,
                 watch,
                 submitted: 0,
+                refused: 0,
                 capacity: cfg.queue_capacity,
                 writer,
                 rec,
@@ -178,6 +183,14 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
     /// Batches submitted so far (admitted, not necessarily yet absorbed).
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Capacity refusals the admission gate issued: one per refused
+    /// [`Engine::try_submit`] call plus one per [`Engine::submit`] call
+    /// that had to wait for backpressure to clear. Closed-engine refusals
+    /// are not counted — they are shutdown, not admission control.
+    pub fn refused(&self) -> u64 {
+        self.refused
     }
 
     /// Newest epoch the writer has published (equals batches absorbed).
@@ -203,9 +216,9 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
         &self.rec
     }
 
-    /// Admits `batch` if the backlog is below capacity; otherwise hands it
-    /// back immediately. Returns the submitted count after admission.
-    pub fn try_submit(&mut self, batch: Dataset) -> Result<u64, Dataset> {
+    /// Admission without refusal accounting; `Err` hands the batch back
+    /// (closed engine or backlog at capacity).
+    fn admit(&mut self, batch: Dataset) -> Result<u64, Dataset> {
         if self.is_closed() || !admissible(self.submitted, self.published(), self.capacity) {
             return Err(batch);
         }
@@ -214,19 +227,38 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
         Ok(self.submitted)
     }
 
+    /// Admits `batch` if the backlog is below capacity; otherwise hands it
+    /// back immediately. Returns the submitted count after admission.
+    pub fn try_submit(&mut self, batch: Dataset) -> Result<u64, Dataset> {
+        match self.admit(batch) {
+            Err(batch) if !self.is_closed() => {
+                self.refused += 1;
+                Err(batch)
+            }
+            other => other,
+        }
+    }
+
     /// Admits `batch`, blocking (spin + yield) while the backlog is at
     /// capacity. Fails with [`ServeError::Closed`] if the writer exited.
     pub fn submit(&mut self, mut batch: Dataset) -> Result<u64, ServeError> {
+        let mut counted = false;
         // wf-bound: backpressure(capacity) — blocks only while the writer's
         // backlog sits at capacity; the writer publishes each absorbed batch,
         // so admission reopens (or `closed` surfaces) in finitely many of
         // its steps.
         loop {
-            match self.try_submit(batch) {
+            match self.admit(batch) {
                 Ok(n) => return Ok(n),
                 Err(returned) => {
                     if self.is_closed() {
                         return Err(ServeError::Closed);
+                    }
+                    // One refusal per batch that met backpressure, not one
+                    // per spin iteration.
+                    if !counted {
+                        self.refused += 1;
+                        counted = true;
                     }
                     batch = returned;
                     std::thread::yield_now();
@@ -375,6 +407,36 @@ mod tests {
         assert_eq!(report.cores[cfg.reader_core(0)].counter(Counter::QueriesServed), 2);
         assert_eq!(report.cores[cfg.reader_core(1)].counter(Counter::QueriesServed), 1);
         assert!(report.cores[0].counter(Counter::RowsEncoded) > 0);
+    }
+
+    #[test]
+    fn refusals_complement_admissions_and_skip_closed_engines() {
+        let schema = Schema::uniform(2, 2).unwrap();
+        let cfg = EngineConfig {
+            queue_capacity: 1,
+            ..EngineConfig::default()
+        };
+        let (mut engine, _readers) = Engine::start(&schema, &cfg).unwrap();
+        // Every try_submit on an open engine either admits or counts one
+        // refusal, so the two tallies partition the attempts exactly —
+        // regardless of how the race with the writer's publications lands.
+        let attempts = 200u64;
+        for _ in 0..attempts {
+            let _ = engine.try_submit(batch(&schema, &[&[0, 1]]));
+        }
+        assert_eq!(engine.submitted() + engine.refused(), attempts);
+        // A blocking submit that had to wait counts at most one refusal.
+        let refused_before = engine.refused();
+        engine.submit(batch(&schema, &[&[1, 0]])).unwrap();
+        assert!(engine.refused() - refused_before <= 1);
+
+        // Closed-engine refusals are shutdown, not admission control.
+        let other = Schema::uniform(3, 3).unwrap();
+        engine.submit(batch(&other, &[&[0, 0, 0]])).unwrap();
+        assert!(matches!(engine.sync(), Err(ServeError::Closed)));
+        let refused_before = engine.refused();
+        assert!(engine.try_submit(batch(&schema, &[&[0, 0]])).is_err());
+        assert_eq!(engine.refused(), refused_before);
     }
 
     #[test]

@@ -56,6 +56,23 @@ pub enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// The protocol verb this request was written with.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Marginal(..) => "MARGINAL",
+            Request::Mi { .. } => "MI",
+            Request::Cpt { .. } => "CPT",
+            Request::Epoch => "EPOCH",
+            Request::Sync => "SYNC",
+            Request::Stats => "STATS",
+            Request::Ingest(..) => "INGEST",
+            Request::Quit => "QUIT",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
 fn parse_usize(tok: &str, what: &str) -> Result<usize, String> {
     tok.parse()
         .map_err(|_| format!("{what}: expected a variable index, got {tok:?}"))

@@ -35,44 +35,77 @@ pub enum LoopControl {
     Shutdown,
 }
 
-/// One serving session: engine front-end + query endpoint + schema.
-pub struct Session<R: Recorder> {
-    engine: Engine<R>,
+/// The query half of a session: one [`QueryReader`] endpoint plus the
+/// schema its scopes are validated against.
+///
+/// A [`Session`] owns one of these next to the engine front-end; workload
+/// drivers that fan protocol query streams across *several* concurrent
+/// readers own one `ReaderSession` per reader thread instead — each parses
+/// and answers its own lines against its own pinned epochs, so the replay
+/// path is byte-for-byte the serving path.
+pub struct ReaderSession<R: Recorder> {
     reader: QueryReader<R>,
     schema: Schema,
-    metrics: Option<Arc<CoreMetrics>>,
 }
 
-impl<R: Recorder + Send + Sync + 'static> Session<R> {
-    /// Binds a session over a running engine.
-    pub fn new(engine: Engine<R>, reader: QueryReader<R>, schema: Schema) -> Self {
-        Session {
-            engine,
-            reader,
-            schema,
-            metrics: None,
-        }
+impl<R: Recorder + Send + Sync + 'static> ReaderSession<R> {
+    /// Binds a query endpoint to the schema it serves.
+    pub fn new(reader: QueryReader<R>, schema: Schema) -> Self {
+        ReaderSession { reader, schema }
     }
 
-    /// Attaches the recording metrics whose JSON `STATS` should report.
-    pub fn with_metrics(mut self, metrics: Arc<CoreMetrics>) -> Self {
-        self.metrics = Some(metrics);
-        self
-    }
-
-    /// The engine front-end (submission, sync, backlog).
-    pub fn engine_mut(&mut self) -> &mut Engine<R> {
-        &mut self.engine
-    }
-
-    /// The session's query endpoint.
+    /// The underlying query endpoint.
     pub fn reader_mut(&mut self) -> &mut QueryReader<R> {
         &mut self.reader
     }
 
-    /// Closes admission and returns the final table.
-    pub fn finish(self) -> Result<wfbn_core::PotentialTable, ServeError> {
-        self.engine.finish()
+    /// The schema scopes are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Parses one protocol line and answers it on this reader alone.
+    /// Query clauses are fused exactly as [`Session::handle_line`] fuses
+    /// them; `EPOCH` is answered locally; engine-side verbs (`INGEST`,
+    /// `SYNC`, `STATS`, `QUIT`, `SHUTDOWN`) are refused — a reader endpoint
+    /// has no engine front-end to forward them to.
+    pub fn handle_query_line(&mut self, line: &str, out: &mut Vec<String>) {
+        let requests = match parse_line(line) {
+            Ok(requests) => requests,
+            Err(msg) => {
+                out.push(format!("ERR {msg}"));
+                return;
+            }
+        };
+        let mut run: Vec<Request> = Vec::new();
+        for req in requests {
+            match req {
+                Request::Marginal(..) | Request::Mi { .. } | Request::Cpt { .. } => {
+                    run.push(req);
+                }
+                other => {
+                    if !run.is_empty() {
+                        let pending = std::mem::take(&mut run);
+                        self.answer_run(&pending, out);
+                    }
+                    match other {
+                        Request::Epoch => out.push(format!(
+                            "OK EPOCH published={} pinned={}",
+                            self.reader.published(),
+                            self.reader.pinned_epoch()
+                        )),
+                        _ => out.push(format!(
+                            "ERR {} is not available on a reader endpoint",
+                            other.verb()
+                        )),
+                    }
+                }
+            }
+        }
+        if !run.is_empty() {
+            let pending = std::mem::take(&mut run);
+            self.answer_run(&pending, out);
+        }
     }
 
     /// Scope a query request needs, validated against the schema, or the
@@ -187,6 +220,50 @@ impl<R: Recorder + Send + Sync + 'static> Session<R> {
             }
         }
     }
+}
+
+/// One serving session: engine front-end + query endpoint + schema.
+pub struct Session<R: Recorder> {
+    engine: Engine<R>,
+    queries: ReaderSession<R>,
+    metrics: Option<Arc<CoreMetrics>>,
+}
+
+impl<R: Recorder + Send + Sync + 'static> Session<R> {
+    /// Binds a session over a running engine.
+    pub fn new(engine: Engine<R>, reader: QueryReader<R>, schema: Schema) -> Self {
+        Session {
+            engine,
+            queries: ReaderSession::new(reader, schema),
+            metrics: None,
+        }
+    }
+
+    /// Attaches the recording metrics whose JSON `STATS` should report.
+    pub fn with_metrics(mut self, metrics: Arc<CoreMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The engine front-end (submission, sync, backlog).
+    pub fn engine_mut(&mut self) -> &mut Engine<R> {
+        &mut self.engine
+    }
+
+    /// The session's query endpoint.
+    pub fn reader_mut(&mut self) -> &mut QueryReader<R> {
+        self.queries.reader_mut()
+    }
+
+    /// Closes admission and returns the final table.
+    pub fn finish(self) -> Result<wfbn_core::PotentialTable, ServeError> {
+        self.engine.finish()
+    }
+
+    /// Answers a run of consecutive query requests as one fused batch.
+    fn answer_run(&mut self, run: &[Request], out: &mut Vec<String>) {
+        self.queries.answer_run(run, out);
+    }
 
     /// Handles one non-query request, appending its response line(s).
     fn answer_control(&mut self, req: &Request, out: &mut Vec<String>) {
@@ -194,8 +271,8 @@ impl<R: Recorder + Send + Sync + 'static> Session<R> {
             Request::Epoch => {
                 out.push(format!(
                     "OK EPOCH published={} pinned={}",
-                    self.reader.published(),
-                    self.reader.pinned_epoch()
+                    self.queries.reader_mut().published(),
+                    self.queries.reader_mut().pinned_epoch()
                 ));
             }
             Request::Sync => match self.engine.sync() {
@@ -204,11 +281,13 @@ impl<R: Recorder + Send + Sync + 'static> Session<R> {
             },
             Request::Stats => {
                 out.push(format!(
-                    "OK STATS submitted={} published={} backlog={} cache_scopes={}",
+                    "OK STATS submitted={} published={} backlog={} refused={} \
+                     cache_scopes={}",
                     self.engine.submitted(),
                     self.engine.published(),
                     self.engine.backlog(),
-                    self.reader.cache_len()
+                    self.engine.refused(),
+                    self.queries.reader_mut().cache_len()
                 ));
                 if let Some(metrics) = &self.metrics {
                     out.push(metrics.snapshot().to_json());
@@ -216,7 +295,7 @@ impl<R: Recorder + Send + Sync + 'static> Session<R> {
             }
             Request::Ingest(rows) => {
                 let refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
-                let admitted = Dataset::from_rows(self.schema.clone(), &refs)
+                let admitted = Dataset::from_rows(self.queries.schema().clone(), &refs)
                     .map_err(|e| e.to_string())
                     .and_then(|batch| {
                         self.engine.submit(batch).map_err(|e| e.to_string())
@@ -407,6 +486,51 @@ mod tests {
         let mut session = session();
         let out = respond(&mut session, "MI 0 1");
         assert_eq!(out, vec!["ERR no epoch published yet"]);
+    }
+
+    #[test]
+    fn stats_reports_admission_counters() {
+        let mut session = session();
+        respond(&mut session, "INGEST 0,0,0; SYNC");
+        let out = respond(&mut session, "STATS");
+        assert_eq!(
+            out,
+            vec!["OK STATS submitted=1 published=1 backlog=0 refused=0 cache_scopes=0"]
+        );
+    }
+
+    #[test]
+    fn reader_session_answers_queries_but_refuses_engine_verbs() {
+        let schema = Schema::uniform(3, 2).unwrap();
+        let (mut engine, mut readers) =
+            Engine::start(&schema, &EngineConfig::default()).unwrap();
+        engine
+            .submit(
+                Dataset::from_rows(schema.clone(), &[&[0, 0, 0], &[1, 1, 1]]).unwrap(),
+            )
+            .unwrap();
+        engine.sync().unwrap();
+        let mut rs = ReaderSession::new(readers.pop().unwrap(), schema);
+
+        let mut out = Vec::new();
+        rs.handle_query_line("MI 0 1; MARGINAL 2; EPOCH", &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out[0].starts_with("OK MI e=1"), "{out:?}");
+        assert_eq!(out[1], "OK MARGINAL e=1 scope=2 total=2 counts=1,1");
+        assert_eq!(out[2], "OK EPOCH published=1 pinned=1");
+
+        out.clear();
+        rs.handle_query_line("INGEST 0,0,0; SYNC; STATS; QUIT", &mut out);
+        assert_eq!(
+            out,
+            vec![
+                "ERR INGEST is not available on a reader endpoint",
+                "ERR SYNC is not available on a reader endpoint",
+                "ERR STATS is not available on a reader endpoint",
+                "ERR QUIT is not available on a reader endpoint",
+            ]
+        );
+        engine.finish().unwrap();
     }
 
     #[test]

@@ -178,3 +178,130 @@ fn snapshots_are_immutable_while_the_writer_moves_on() {
     assert_eq!(early.to_sorted_vec(), offline.to_sorted_vec());
     engine.finish().unwrap();
 }
+
+/// Satellite 2 — adversarial-partition soak: `SOAK_BATCHES` single-row
+/// batches (default 10^5) whose keys all land on one core's `key % P`
+/// slice, absorbed under a racing reader. Every epoch the reader pins must
+/// be byte-identical to the offline build of that prefix.
+///
+/// Scaling tricks that keep this a test and not a benchmark:
+///
+/// * The row universe is the 8 adversarial rows (vars 0..3 zeroed, so all
+///   keys ≡ 0 mod 8 and partition 0 owns the entire stream for every `P`
+///   dividing 8). Each row's table key is learned once from a single-row
+///   offline build — no reimplementation of the key codec.
+/// * Verification is incremental: one absorption pointer advances over the
+///   deterministic row sequence, so checking all observed epochs costs
+///   O(total rows + observed epochs × 8) instead of O(observed × prefix).
+#[test]
+fn adversarial_partition_soak_pins_only_exact_prefixes() {
+    let total: usize = std::env::var("SOAK_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let schema = Schema::uniform(6, 2).expect("schema");
+
+    // The 8 adversarial rows: low three variables pinned to 0, the rest
+    // enumerate. Learn each row's key from a single-row offline build.
+    let universe: Vec<Vec<u16>> = (0..8u16)
+        .map(|i| vec![0, 0, 0, i & 1, (i >> 1) & 1, (i >> 2) & 1])
+        .collect();
+    let key_of: Vec<u64> = universe
+        .iter()
+        .map(|row| {
+            let single = Dataset::from_flat_unchecked(schema.clone(), row.clone());
+            let sorted = sequential_build(&single).expect("build").table.to_sorted_vec();
+            assert_eq!(sorted.len(), 1);
+            assert_eq!(sorted[0].1, 1);
+            sorted[0].0
+        })
+        .collect();
+    for &k in &key_of {
+        // The adversarial property itself: every key on partition 0.
+        assert_eq!(k % 8, 0, "adversarial keys must be ≡ 0 (mod 8)");
+    }
+
+    // Deterministic row sequence (xorshift64*; no external RNG needed).
+    let row_index = |i: usize| {
+        let mut x = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 61) as usize % 8
+    };
+
+    let cfg = EngineConfig {
+        builder_threads: 2, // all rows forward to partition 0's owner
+        readers: 2,
+        queue_capacity: 256,
+        ..EngineConfig::default()
+    };
+    let (mut engine, mut readers) = Engine::start(&schema, &cfg).expect("engine");
+    let mut prober = readers.pop().expect("reader");
+
+    let prober_thread = std::thread::spawn(move || {
+        let mut seen: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+        loop {
+            let closed = prober.is_closed();
+            if let Some((epoch, snap)) = prober.pin() {
+                if seen.last().map(|(e, _)| *e) != Some(epoch) {
+                    seen.push((epoch, snap.to_sorted_vec()));
+                }
+            }
+            if closed {
+                return seen;
+            }
+            std::thread::yield_now();
+        }
+    });
+
+    for i in 0..total {
+        let batch =
+            Dataset::from_flat_unchecked(schema.clone(), universe[row_index(i)].clone());
+        engine.submit(batch).expect("submit");
+    }
+    engine.sync().expect("sync");
+    let final_table = engine.finish().expect("finish");
+    let seen = prober_thread.join().expect("prober");
+    assert!(!seen.is_empty(), "the prober never observed an epoch");
+    assert_eq!(seen.last().expect("non-empty").0, total as u64);
+
+    // Incremental prefix verification: one pass over the row sequence.
+    let mut counts = [0u64; 8];
+    let mut absorbed = 0usize;
+    let mut last_epoch = 0u64;
+    for (epoch, observed) in &seen {
+        assert!(*epoch > last_epoch, "epochs must be strictly monotone");
+        last_epoch = *epoch;
+        while absorbed < *epoch as usize {
+            counts[row_index(absorbed)] += 1;
+            absorbed += 1;
+        }
+        let mut expect: Vec<(u64, u64)> = key_of
+            .iter()
+            .zip(&counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(
+            observed, &expect,
+            "epoch {epoch} differs from its offline prefix (soak of {total} batches)"
+        );
+    }
+
+    // And the final table equals the full offline prefix.
+    while absorbed < total {
+        counts[row_index(absorbed)] += 1;
+        absorbed += 1;
+    }
+    let mut expect: Vec<(u64, u64)> = key_of
+        .iter()
+        .zip(&counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(&k, &c)| (k, c))
+        .collect();
+    expect.sort_unstable();
+    assert_eq!(final_table.to_sorted_vec(), expect);
+    assert_eq!(counts.iter().sum::<u64>(), total as u64);
+}

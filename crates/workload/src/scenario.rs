@@ -1,0 +1,666 @@
+//! Named, seedable workload scenarios and their deterministic generation.
+//!
+//! A scenario fixes the *shape* of the traffic — key distribution, arrival
+//! pattern, query mix — and a [`WorkloadSpec`] fixes its size and seed.
+//! [`generate`] expands the pair into a concrete [`GeneratedWorkload`]: an
+//! ordered INGEST schedule plus one protocol query stream per reader. The
+//! expansion is a pure function of the spec: same spec, same streams, byte
+//! for byte, on any host — and it never reads the partition count, so the
+//! streams are identical across `P ∈ {1, 2, 4, 8}` *by construction* (the
+//! determinism property suite still checks it).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wfbn_data::generators::uniform::UniformIndependent;
+use wfbn_data::generators::zipf::ZipfIndependent;
+use wfbn_data::generators::Generator;
+use wfbn_data::Schema;
+
+/// Zipf exponent the `zipf` scenario skews its states with.
+pub const ZIPF_EXPONENT: f64 = 1.2;
+
+/// Variables whose state the `adversarial-partition` scenario pins to 0.
+/// With a binary schema the key's low `ADVERSARIAL_PINNED_VARS` bits are
+/// those variables, so every key is ≡ 0 (mod 8) and `key % P` routes the
+/// whole stream to partition 0 for every `P` dividing 8.
+pub const ADVERSARIAL_PINNED_VARS: usize = 3;
+
+/// The reader id the `starve-reader` negative-control scenario starves.
+pub const STARVED_READER: usize = 1;
+
+/// A named workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Today's baseline: i.i.d. uniform states, even arrivals, cheap mix.
+    Uniform,
+    /// Zipf(1.2)-skewed states concentrating keys on a few partitions.
+    Zipf,
+    /// Flash-crowd INGEST: a few huge batches separated by idle gaps.
+    Burst,
+    /// Keys constructed to all land on one core's `key % P` slice.
+    AdversarialPartition,
+    /// Large `n`, so observed keys are sparse in a vast key space.
+    WideSparse,
+    /// Query mix weighted toward expensive high-arity marginals and CPTs.
+    HotQuery,
+    /// Negative control: a seeded mix whose reader split deliberately
+    /// starves reader [`STARVED_READER`] — exists to prove the fairness
+    /// gate fires, and is therefore *not* part of [`Scenario::MATRIX`].
+    StarveReader,
+}
+
+impl Scenario {
+    /// The CI scenario matrix, in reporting order (the negative-control
+    /// `starve-reader` scenario is deliberately excluded).
+    pub const MATRIX: [Scenario; 6] = [
+        Scenario::Uniform,
+        Scenario::Zipf,
+        Scenario::Burst,
+        Scenario::AdversarialPartition,
+        Scenario::WideSparse,
+        Scenario::HotQuery,
+    ];
+
+    /// Stable name used in JSON, gate messages, and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::Zipf => "zipf",
+            Scenario::Burst => "burst",
+            Scenario::AdversarialPartition => "adversarial-partition",
+            Scenario::WideSparse => "wide-sparse",
+            Scenario::HotQuery => "hot-query",
+            Scenario::StarveReader => "starve-reader",
+        }
+    }
+
+    /// Parses a scenario name (as printed by [`Scenario::name`]).
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::MATRIX
+            .into_iter()
+            .chain([Scenario::StarveReader])
+            .find(|s| s.name() == name)
+    }
+
+    /// One-line description for `wfbn workload --list`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::Uniform => "i.i.d. uniform states, even arrivals (baseline)",
+            Scenario::Zipf => "Zipf(1.2) states: keys crowd a few partitions",
+            Scenario::Burst => "flash-crowd INGEST bursts with idle gaps",
+            Scenario::AdversarialPartition => {
+                "every key on one core's key % P slice (P | 8)"
+            }
+            Scenario::WideSparse => "48 variables: sparse tables, wide keys",
+            Scenario::HotQuery => "mix dominated by high-arity marginals/CPTs",
+            Scenario::StarveReader => {
+                "negative control: starves one reader to prove the gate fires"
+            }
+        }
+    }
+
+    /// Whether the skewed-p99 SLO gate compares this scenario against the
+    /// uniform baseline. Only scenarios whose *per-query* cost profile
+    /// matches uniform's are gated; `wide-sparse` and `hot-query` change
+    /// the table/query shape itself and are recorded as context instead.
+    pub fn skew_gated(self) -> bool {
+        matches!(
+            self,
+            Scenario::Zipf | Scenario::Burst | Scenario::AdversarialPartition
+        )
+    }
+
+    /// The variable schema this scenario's rows and scopes draw from.
+    pub fn schema(self) -> Schema {
+        match self {
+            Scenario::WideSparse => Schema::uniform(48, 2),
+            Scenario::HotQuery => Schema::uniform(12, 3),
+            _ => Schema::uniform(16, 2),
+        }
+        .expect("scenario schemas are statically valid")
+    }
+}
+
+/// Size and seed of one concrete workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The traffic shape.
+    pub scenario: Scenario,
+    /// Total rows across all INGEST batches.
+    pub rows: usize,
+    /// Number of INGEST batches the rows are split into.
+    pub batches: usize,
+    /// Total queries across all readers.
+    pub queries: usize,
+    /// Concurrent reader endpoints the queries are split across.
+    pub readers: usize,
+    /// RNG seed; the whole workload is a pure function of this spec.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The size the CI scenario matrix runs at.
+    pub fn matrix_default(scenario: Scenario) -> Self {
+        WorkloadSpec {
+            scenario,
+            rows: 2_000,
+            batches: 20,
+            queries: 400,
+            readers: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// One step of the INGEST schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestEvent {
+    /// Submit these rows as one batch.
+    Batch(Vec<Vec<u16>>),
+    /// An idle gap of this many scheduler yields (burst scenarios).
+    Idle(u32),
+}
+
+/// One protocol query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// `MARGINAL <scope...>`.
+    Marginal(Vec<usize>),
+    /// `MI <i> <j>`.
+    Mi(usize, usize),
+    /// `CPT <x> <parents...>`.
+    Cpt {
+        /// Child variable.
+        x: usize,
+        /// Parent variables.
+        parents: Vec<usize>,
+    },
+}
+
+impl Query {
+    /// The query rendered as one protocol line.
+    pub fn protocol_line(&self) -> String {
+        fn join(vars: &[usize]) -> String {
+            vars.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        match self {
+            Query::Marginal(scope) => format!("MARGINAL {}", join(scope)),
+            Query::Mi(i, j) => format!("MI {i} {j}"),
+            Query::Cpt { x, parents } if parents.is_empty() => format!("CPT {x}"),
+            Query::Cpt { x, parents } => format!("CPT {x} {}", join(parents)),
+        }
+    }
+}
+
+/// A fully expanded workload: schema, INGEST schedule, per-reader query
+/// streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedWorkload {
+    /// The spec this was expanded from.
+    pub spec: WorkloadSpec,
+    /// Schema every row and scope conforms to.
+    pub schema: Schema,
+    /// Ordered INGEST schedule.
+    pub ingest: Vec<IngestEvent>,
+    /// Query stream of each reader, index = reader id.
+    pub reader_queries: Vec<Vec<Query>>,
+}
+
+impl GeneratedWorkload {
+    /// Total queries across all readers.
+    pub fn total_queries(&self) -> usize {
+        self.reader_queries.iter().map(Vec::len).sum()
+    }
+
+    /// FNV-1a digest of the full row + query streams — the determinism
+    /// witness the bench snapshot records and the regression checker pins.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for event in &self.ingest {
+            match event {
+                IngestEvent::Batch(rows) => {
+                    eat(0x01);
+                    for row in rows {
+                        for &s in row {
+                            eat((s & 0xff) as u8);
+                            eat((s >> 8) as u8);
+                        }
+                        eat(0xfe);
+                    }
+                }
+                IngestEvent::Idle(n) => {
+                    eat(0x02);
+                    for b in n.to_le_bytes() {
+                        eat(b);
+                    }
+                }
+            }
+        }
+        for (reader, queries) in self.reader_queries.iter().enumerate() {
+            eat(0x03);
+            eat(reader as u8);
+            for q in queries {
+                for b in q.protocol_line().bytes() {
+                    eat(b);
+                }
+                eat(b'\n');
+            }
+        }
+        h
+    }
+
+    /// The workload as one protocol script suitable for piping into
+    /// `wfbn serve` (a single sequential session): the INGEST schedule,
+    /// a `SYNC`, then every query in global round-robin order.
+    pub fn protocol_script(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# wfbn-workload scenario={} rows={} batches={} queries={} seed={}\n",
+            self.spec.scenario.name(),
+            self.spec.rows,
+            self.spec.batches,
+            self.spec.queries,
+            self.spec.seed,
+        ));
+        for event in &self.ingest {
+            match event {
+                IngestEvent::Batch(rows) => {
+                    let rendered: Vec<String> = rows
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(u16::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .collect();
+                    out.push_str(&format!("INGEST {}\n", rendered.join("|")));
+                }
+                IngestEvent::Idle(n) => out.push_str(&format!("# idle {n}\n")),
+            }
+        }
+        out.push_str("SYNC\n");
+        let readers = self.reader_queries.len();
+        let longest = self.reader_queries.iter().map(Vec::len).max().unwrap_or(0);
+        for slot in 0..longest {
+            for r in 0..readers {
+                if let Some(q) = self.reader_queries[r].get(slot) {
+                    out.push_str(&q.protocol_line());
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str("QUIT\n");
+        out
+    }
+}
+
+/// Errors a spec can fail expansion with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The spec's sizes are inconsistent.
+    BadSpec(&'static str),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BadSpec(msg) => write!(f, "bad workload spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Expands a spec into its concrete workload. Pure in the spec: the same
+/// spec yields byte-identical streams on every host and partition count.
+pub fn generate(spec: &WorkloadSpec) -> Result<GeneratedWorkload, WorkloadError> {
+    if spec.batches == 0 {
+        return Err(WorkloadError::BadSpec("at least one batch required"));
+    }
+    if spec.rows < spec.batches {
+        return Err(WorkloadError::BadSpec("need at least one row per batch"));
+    }
+    if spec.readers == 0 {
+        return Err(WorkloadError::BadSpec("at least one reader required"));
+    }
+    if spec.scenario == Scenario::StarveReader && spec.readers < 2 {
+        return Err(WorkloadError::BadSpec(
+            "starve-reader needs at least two readers",
+        ));
+    }
+    let schema = spec.scenario.schema();
+    let rows = generate_rows(spec, &schema);
+    let ingest = schedule_ingest(spec, rows);
+    let queries = generate_queries(spec, &schema);
+    let reader_queries = split_readers(spec, queries);
+    Ok(GeneratedWorkload {
+        spec: *spec,
+        schema,
+        ingest,
+        reader_queries,
+    })
+}
+
+/// The scenario's row stream, in submission order.
+fn generate_rows(spec: &WorkloadSpec, schema: &Schema) -> Vec<Vec<u16>> {
+    match spec.scenario {
+        Scenario::Zipf => ZipfIndependent::new(schema.clone(), ZIPF_EXPONENT)
+            .expect("static exponent is valid")
+            .generate(spec.rows, spec.seed)
+            .rows()
+            .map(<[u16]>::to_vec)
+            .collect(),
+        Scenario::AdversarialPartition => {
+            // Pin the low-stride variables to 0: with the binary schema the
+            // mixed-radix key's low bits are exactly those variables, so
+            // every key is ≡ 0 (mod 2^ADVERSARIAL_PINNED_VARS) and lands on
+            // partition 0 under key % P for every P dividing 8.
+            let mut rng = SmallRng::seed_from_u64(spec.seed);
+            let n = schema.num_vars();
+            (0..spec.rows)
+                .map(|_| {
+                    (0..n)
+                        .map(|j| {
+                            if j < ADVERSARIAL_PINNED_VARS {
+                                0
+                            } else {
+                                rng.random_range(0..2u16)
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        _ => UniformIndependent::new(schema.clone())
+            .generate(spec.rows, spec.seed)
+            .rows()
+            .map(<[u16]>::to_vec)
+            .collect(),
+    }
+}
+
+/// Splits the row stream into the scenario's arrival schedule.
+fn schedule_ingest(spec: &WorkloadSpec, rows: Vec<Vec<u16>>) -> Vec<IngestEvent> {
+    let weights: Vec<usize> = (0..spec.batches)
+        .map(|i| {
+            if spec.scenario == Scenario::Burst {
+                // Two heavy batches out of every eight — the flash crowd —
+                // then six trickle batches.
+                if i % 8 < 2 {
+                    8
+                } else {
+                    1
+                }
+            } else {
+                1
+            }
+        })
+        .collect();
+    let total_weight: usize = weights.iter().sum();
+    let mut events = Vec::new();
+    let mut taken = 0usize;
+    for i in 0..spec.batches {
+        // Largest-remainder split: batch i ends at the cumulative share.
+        let end = if i + 1 == spec.batches {
+            spec.rows
+        } else {
+            let cum: usize = weights[..=i].iter().sum();
+            ((spec.rows * cum) / total_weight).max(taken + 1).min(spec.rows)
+        };
+        events.push(IngestEvent::Batch(rows[taken..end].to_vec()));
+        taken = end;
+        if spec.scenario == Scenario::Burst && i % 8 == 1 {
+            // The crowd has passed; the arrival process goes quiet.
+            events.push(IngestEvent::Idle(64));
+        }
+    }
+    events
+}
+
+/// Draws `k` distinct variables from `0..n`.
+fn distinct_vars(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    let mut vars: Vec<usize> = Vec::with_capacity(k);
+    while vars.len() < k {
+        let v = rng.random_range(0..n);
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    vars
+}
+
+/// The scenario's global query stream, in issue order.
+fn generate_queries(spec: &WorkloadSpec, schema: &Schema) -> Vec<Query> {
+    // A distinct stream from the rows: the same seed must not couple the
+    // row RNG to the query RNG.
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n = schema.num_vars();
+    (0..spec.queries)
+        .map(|_| {
+            if spec.scenario == Scenario::HotQuery {
+                // 70% wide marginals, 20% deep CPTs, 10% MI.
+                match rng.random_range(0..10u32) {
+                    0..=6 => {
+                        let k = rng.random_range(5..=7usize);
+                        let mut scope = distinct_vars(&mut rng, n, k);
+                        scope.sort_unstable();
+                        Query::Marginal(scope)
+                    }
+                    7 | 8 => {
+                        let k = rng.random_range(3..=4usize);
+                        let vars = distinct_vars(&mut rng, n, k + 1);
+                        Query::Cpt {
+                            x: vars[0],
+                            parents: vars[1..].to_vec(),
+                        }
+                    }
+                    _ => {
+                        let pair = distinct_vars(&mut rng, n, 2);
+                        Query::Mi(pair[0], pair[1])
+                    }
+                }
+            } else {
+                // The baseline mix: 50% MI, 30% small marginals, 20% CPTs.
+                match rng.random_range(0..10u32) {
+                    0..=4 => {
+                        let pair = distinct_vars(&mut rng, n, 2);
+                        Query::Mi(pair[0], pair[1])
+                    }
+                    5..=7 => {
+                        let k = rng.random_range(2..=3usize);
+                        let mut scope = distinct_vars(&mut rng, n, k);
+                        scope.sort_unstable();
+                        Query::Marginal(scope)
+                    }
+                    _ => {
+                        let k = rng.random_range(1..=2usize);
+                        let vars = distinct_vars(&mut rng, n, k + 1);
+                        Query::Cpt {
+                            x: vars[0],
+                            parents: vars[1..].to_vec(),
+                        }
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Deals the global stream across readers: round-robin for every matrix
+/// scenario, and the deliberately starving deal for `starve-reader`.
+fn split_readers(spec: &WorkloadSpec, queries: Vec<Query>) -> Vec<Vec<Query>> {
+    let mut streams: Vec<Vec<Query>> = vec![Vec::new(); spec.readers];
+    for (i, q) in queries.into_iter().enumerate() {
+        let mut r = i % spec.readers;
+        if spec.scenario == Scenario::StarveReader && r == STARVED_READER {
+            // The starved reader's share is redirected to reader 0.
+            r = 0;
+        }
+        streams[r].push(q);
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(scenario: Scenario) -> WorkloadSpec {
+        WorkloadSpec {
+            scenario,
+            rows: 200,
+            batches: 8,
+            queries: 60,
+            readers: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn every_scenario_generates_and_conserves_rows() {
+        for scenario in Scenario::MATRIX.into_iter().chain([Scenario::StarveReader]) {
+            let w = generate(&small(scenario)).unwrap();
+            let rows: usize = w
+                .ingest
+                .iter()
+                .map(|e| match e {
+                    IngestEvent::Batch(rows) => rows.len(),
+                    IngestEvent::Idle(_) => 0,
+                })
+                .sum();
+            assert_eq!(rows, 200, "{}", scenario.name());
+            assert_eq!(w.total_queries(), 60, "{}", scenario.name());
+            let batches = w
+                .ingest
+                .iter()
+                .filter(|e| matches!(e, IngestEvent::Batch(_)))
+                .count();
+            assert_eq!(batches, 8, "{}", scenario.name());
+            for event in &w.ingest {
+                if let IngestEvent::Batch(rows) = event {
+                    assert!(!rows.is_empty(), "{}: empty batch", scenario.name());
+                    for row in rows {
+                        assert!(w.schema.validates_row(row), "{}", scenario.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_rows_pin_the_low_key_bits() {
+        let w = generate(&small(Scenario::AdversarialPartition)).unwrap();
+        for event in &w.ingest {
+            if let IngestEvent::Batch(rows) = event {
+                for row in rows {
+                    // Binary schema: key bit j is variable j, so zeroed low
+                    // variables mean key ≡ 0 (mod 8) — one partition owns
+                    // the entire stream for every P in {1, 2, 4, 8}.
+                    for &v in row.iter().take(ADVERSARIAL_PINNED_VARS) {
+                        assert_eq!(v, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_schedule_has_heavy_batches_and_idle_gaps() {
+        let w = generate(&small(Scenario::Burst)).unwrap();
+        let sizes: Vec<usize> = w
+            .ingest
+            .iter()
+            .filter_map(|e| match e {
+                IngestEvent::Batch(rows) => Some(rows.len()),
+                IngestEvent::Idle(_) => None,
+            })
+            .collect();
+        let idles = w
+            .ingest
+            .iter()
+            .filter(|e| matches!(e, IngestEvent::Idle(_)))
+            .count();
+        assert!(idles > 0, "burst needs idle gaps");
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max >= 4 * min, "burst sizes too even: {sizes:?}");
+    }
+
+    #[test]
+    fn hot_query_mix_is_dominated_by_wide_scopes() {
+        let w = generate(&small(Scenario::HotQuery)).unwrap();
+        let wide = w
+            .reader_queries
+            .iter()
+            .flatten()
+            .filter(|q| matches!(q, Query::Marginal(scope) if scope.len() >= 5))
+            .count();
+        assert!(
+            wide * 2 > w.total_queries(),
+            "expected mostly wide marginals, got {wide}/{}",
+            w.total_queries()
+        );
+    }
+
+    #[test]
+    fn starve_reader_leaves_the_victim_empty() {
+        let w = generate(&small(Scenario::StarveReader)).unwrap();
+        assert!(w.reader_queries[STARVED_READER].is_empty());
+        assert_eq!(w.total_queries(), 60);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = generate(&small(Scenario::Zipf)).unwrap();
+        let b = generate(&small(Scenario::Zipf)).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut other = small(Scenario::Zipf);
+        other.seed = 8;
+        let c = generate(&other).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn protocol_script_round_trips_through_the_parser() {
+        let w = generate(&small(Scenario::Uniform)).unwrap();
+        let script = w.protocol_script();
+        for line in script.lines() {
+            wfbn_serve::query::parse_line(line).unwrap_or_else(|e| {
+                panic!("unparseable script line {line:?}: {e}");
+            });
+        }
+        assert!(script.ends_with("QUIT\n"));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut s = small(Scenario::Uniform);
+        s.batches = 0;
+        assert!(generate(&s).is_err());
+        let mut s = small(Scenario::Uniform);
+        s.rows = 3; // fewer rows than batches
+        assert!(generate(&s).is_err());
+        let mut s = small(Scenario::StarveReader);
+        s.readers = 1;
+        assert!(generate(&s).is_err());
+        let mut s = small(Scenario::Uniform);
+        s.readers = 0;
+        assert!(generate(&s).is_err());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in Scenario::MATRIX.into_iter().chain([Scenario::StarveReader]) {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Satellite 4 — `tools/check_bench_regression.sh` input validation.
+//!
+//! The pr7 (scenario-matrix) baseline layout is parsed with grep/sed/awk,
+//! so CI runs it without a JSON parser; the price is that the script must
+//! reject malformed inputs *itself*, loudly and before it spends a cargo
+//! build. These tests feed it broken baselines and check the contract:
+//! parse errors exit non-zero with a "malformed" diagnostic, a missing
+//! baseline is a clean skip (exit zero), and both happen fast because no
+//! regeneration is attempted.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/integration sits two levels below the repo root")
+}
+
+fn run_checker(baseline: &Path) -> Output {
+    Command::new("bash")
+        .arg(repo_root().join("tools/check_bench_regression.sh"))
+        .arg(baseline)
+        .current_dir(repo_root())
+        .output()
+        .expect("bash is available")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, contents).expect("writing temp baseline");
+    path
+}
+
+#[test]
+fn pr7_baseline_missing_scenarios_is_rejected_as_malformed() {
+    let path = write_temp(
+        "wfbn_pr7_no_scenarios.json",
+        "{\n  \"schema\": \"wfbn-bench-pr7\",\n  \"workload\": {\"rows\": 2000, \"batches\": 20, \"queries\": 400, \"readers\": 4, \"seed\": 42},\n  \"scenarios\": []\n}\n",
+    );
+    let out = run_checker(&path);
+    assert!(!out.status.success(), "empty scenario list must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+}
+
+#[test]
+fn pr7_baseline_with_mismatched_series_is_rejected_as_malformed() {
+    // Five names but four fingerprints: the per-scenario triple is torn.
+    let mut doc = String::from(
+        "{\n  \"schema\": \"wfbn-bench-pr7\",\n  \"workload\": {\"rows\": 100, \"batches\": 4, \"queries\": 40, \"readers\": 2, \"seed\": 1},\n  \"scenarios\": [\n",
+    );
+    for (i, name) in ["uniform", "zipf", "burst", "wide-sparse", "hot-query"]
+        .iter()
+        .enumerate()
+    {
+        doc.push_str(&format!("    {{\"name\": \"{name}\""));
+        if i != 2 {
+            doc.push_str(&format!(", \"fingerprint\": \"{i:016x}\""));
+        }
+        doc.push_str(&format!(", \"sim_cycles_per_query\": {}.0}},\n", 100 + i));
+    }
+    doc.push_str("  ]\n}\n");
+    let path = write_temp("wfbn_pr7_torn_series.json", &doc);
+    let out = run_checker(&path);
+    assert!(!out.status.success(), "torn series must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("names=5 fingerprints=4"),
+        "diagnostic should count the torn series: {stderr}"
+    );
+}
+
+#[test]
+fn pr7_baseline_without_workload_params_is_rejected_before_regenerating() {
+    let path = write_temp(
+        "wfbn_pr7_no_workload.json",
+        "{\n  \"schema\": \"wfbn-bench-pr7\",\n  \"scenarios\": [\n    {\"name\": \"uniform\", \"fingerprint\": \"00000000deadbeef\", \"sim_cycles_per_query\": 123.0}\n  ]\n}\n",
+    );
+    let start = std::time::Instant::now();
+    let out = run_checker(&path);
+    assert!(!out.status.success(), "missing workload params must fail");
+    // The contract that keeps this suite cheap: malformed baselines are
+    // rejected by the parse stage, never by a cargo run. A full
+    // regeneration takes tens of seconds; the parse stage, milliseconds.
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "malformed baseline should fail fast, took {:?}",
+        start.elapsed()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_baseline_is_a_clean_skip() {
+    let path = std::env::temp_dir().join("wfbn_pr7_does_not_exist.json");
+    let _ = std::fs::remove_file(&path);
+    let out = run_checker(&path);
+    assert!(out.status.success(), "missing baseline must skip, not fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("skipping"), "stdout: {stdout}");
+}

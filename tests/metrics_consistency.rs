@@ -351,3 +351,114 @@ fn merged_reports_add_up() {
     assert_eq!(merged.total(Counter::RowsEncoded), 6_000);
     assert_build_conservation(&merged, 6_000, "merged");
 }
+
+// ---------------------------------------------------------------------------
+// Satellite 5 — wfbn-metrics-v4 serve laws, driven through a real engine.
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+use wfbn_obs::{LAT_BUCKETS, LAT_BUCKET_UPPER_NS};
+use wfbn_serve::{Engine, EngineConfig};
+
+/// Runs a recorded engine with two readers issuing *different* query
+/// counts, so the per-reader laws are tested on asymmetric traffic.
+fn serve_replay(queries: [usize; 2]) -> (EngineConfig, MetricsReport) {
+    let schema = Schema::uniform(8, 2).unwrap();
+    let data = UniformIndependent::new(schema.clone()).generate(2_000, 77);
+    let cfg = EngineConfig {
+        builder_threads: 2,
+        readers: 2,
+        ..EngineConfig::default()
+    };
+    let rec = Arc::new(CoreMetrics::new(cfg.cores()));
+    let (mut engine, readers) = Engine::start_recorded(&schema, &cfg, Arc::clone(&rec)).unwrap();
+    engine.submit(data).unwrap();
+    engine.sync().unwrap();
+    std::thread::scope(|scope| {
+        for (t, mut reader) in readers.into_iter().enumerate() {
+            let budget = queries[t];
+            scope.spawn(move || {
+                for q in 0..budget {
+                    let i = q % 7;
+                    let (_, mi) = reader.mi(i, i + 1).unwrap();
+                    std::hint::black_box(mi);
+                }
+            });
+        }
+    });
+    engine.finish().unwrap();
+    (cfg, rec.snapshot())
+}
+
+#[test]
+fn v4_latency_histogram_mass_equals_queries_served_per_core() {
+    let (cfg, report) = serve_replay([30, 18]);
+    // Law 1 (per-core): each reader's latency-histogram mass is exactly its
+    // queries_served — one histogram sample per answered query, recorded on
+    // the answering core, never smeared across cores.
+    for (i, &expect) in [30u64, 18].iter().enumerate() {
+        let core = &report.cores[cfg.reader_core(i)];
+        let mass: u64 = core.lat_hist.iter().sum();
+        assert_eq!(core.counter(Counter::QueriesServed), expect, "reader {i}");
+        assert_eq!(mass, expect, "reader {i}: histogram mass != served");
+    }
+    // Builder cores serve nothing and record no latency samples.
+    for core_id in 0..cfg.builder_threads {
+        let core = &report.cores[core_id];
+        assert_eq!(core.counter(Counter::QueriesServed), 0);
+        assert_eq!(core.lat_hist.iter().sum::<u64>(), 0);
+    }
+    // Law 2 (global): per-reader counters sum to the global totals.
+    assert_eq!(report.total(Counter::QueriesServed), 48);
+    assert_eq!(report.lat_hist_total().iter().sum::<u64>(), 48);
+    report.validate().expect("v4 laws hold on a real replay");
+}
+
+#[test]
+fn v4_fairness_helpers_read_the_reader_cores() {
+    let (cfg, report) = serve_replay([30, 18]);
+    let serving = report.serving_cores();
+    assert_eq!(
+        serving,
+        vec![cfg.reader_core(0), cfg.reader_core(1)],
+        "exactly the reader cores served queries"
+    );
+    assert_eq!(report.served_by(&serving), vec![30, 18]);
+    let ratio = report.fairness_ratio(&serving).expect("two serving cores");
+    assert!((ratio - 30.0 / 18.0).abs() < 1e-12, "ratio {ratio}");
+}
+
+#[test]
+fn v4_percentile_estimates_are_bucket_upper_edges_and_ordered() {
+    let (_, report) = serve_replay([40, 20]);
+    let p50 = report.lat_percentile_le(0.50).expect("mass > 0");
+    let p99 = report.lat_percentile_le(0.99).expect("mass > 0");
+    let p999 = report.lat_percentile_le(0.999).expect("mass > 0");
+    assert!(p50 <= p99 && p99 <= p999, "percentiles must be monotone");
+    for p in [p50, p99, p999] {
+        assert!(
+            LAT_BUCKET_UPPER_NS.contains(&p),
+            "estimate {p} must be one of the {LAT_BUCKETS} bucket edges"
+        );
+    }
+}
+
+#[test]
+fn v4_json_report_carries_the_new_sections() {
+    let (_, report) = serve_replay([12, 8]);
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"wfbn-metrics-v4\""), "{json}");
+    for key in [
+        "\"latency_percentiles\":",
+        "\"fairness\":",
+        "\"p50_le_ns\":",
+        "\"p99_le_ns\":",
+        "\"p999_le_ns\":",
+        "\"serving_cores\":",
+        "\"served_min\":",
+        "\"served_max\":",
+        "\"max_min_ratio\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in: {json}");
+    }
+}

@@ -6,13 +6,27 @@
 # numbers on any host — which is what lets tools/check_bench_regression.sh
 # gate on them. Wall numbers are host-dependent context, never gated on.
 #
+# Also regenerates the workload scenario matrix (BENCH_pr7.json): every
+# wfbn-workload scenario replayed with the fairness/latency SLO gates
+# enforced, plus the deterministic stream fingerprints and sim cycles the
+# regression checker pins. Skip it with BENCH_PR7_OUT=skip.
+#
 # Usage: tools/bench_snapshot.sh [extra bench_snapshot flags...]
 #   e.g. tools/bench_snapshot.sh --samples 200000 --reps 9
 #   BENCH_OUT=BENCH_custom.json tools/bench_snapshot.sh   # override target
+#   BENCH_PR7_OUT=BENCH_custom7.json / BENCH_PR7_OUT=skip # matrix target
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${BENCH_OUT:-BENCH_pr4.json}
-cargo build --release -p wfbn-bench --bin bench_snapshot
+pr7_out=${BENCH_PR7_OUT:-BENCH_pr7.json}
+cargo build --release -p wfbn-bench --bin bench_snapshot --bin scenario_matrix
 ./target/release/bench_snapshot --out "$out" "$@"
 echo "bench_snapshot: wrote $out"
+if [[ $pr7_out != skip ]]; then
+    # Full replay (not --sim-only): the committed snapshot carries the
+    # wall percentiles for EXPERIMENTS.md, and a gate failure fails the
+    # re-baseline — a snapshot that violates its own SLOs must not land.
+    ./target/release/scenario_matrix --out "$pr7_out"
+    echo "bench_snapshot: wrote $pr7_out"
+fi

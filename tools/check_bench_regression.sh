@@ -11,6 +11,13 @@
 #
 # Dependency-free (grep/awk) so CI can run it without a JSON parser.
 #
+# Two baseline layouts are understood, keyed by the "schema" tag:
+#   wfbn-bench-pr4 — the fig. 3/4/5 + serve sweep (single scenario)
+#   wfbn-bench-pr7 — the workload scenario matrix: per-scenario stream
+#                    fingerprints (compared exactly — the streams are byte
+#                    deterministic) and per-scenario sim cycles/query
+#                    (compared within 10%)
+#
 # Usage: tools/check_bench_regression.sh [BASELINE]  (default BENCH_pr4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +32,83 @@ if [[ ! -f $baseline ]]; then
     echo "check_bench_regression: generate one with tools/bench_snapshot.sh"
     exit 0
 fi
+
+# ---------------------------------------------------------------- pr7 mode
+if grep -q '"schema": "wfbn-bench-pr7"' "$baseline"; then
+    # Every parse happens before any cargo invocation, so a malformed
+    # baseline fails fast and cheap (the malformed-input test relies on it).
+    extract_pr7() {
+        grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}' || true
+    }
+    rows=$(extract_pr7 rows)
+    batches=$(extract_pr7 batches)
+    queries=$(extract_pr7 queries)
+    readers=$(extract_pr7 readers)
+    seed=$(extract_pr7 seed)
+    names=$(grep -o '"name": "[a-z-]*"' "$baseline" \
+            | sed 's/.*: "//; s/"//' || true)
+    fps=$(grep -o '"fingerprint": "[0-9a-f]*"' "$baseline" \
+            | sed 's/.*: "//; s/"//' || true)
+    cycles=$(grep -o '"sim_cycles_per_query": [0-9.eE+-]*' "$baseline" \
+            | awk '{print $2}' || true)
+    n_names=$(echo "$names" | grep -c . || true)
+    n_fps=$(echo "$fps" | grep -c . || true)
+    n_cycles=$(echo "$cycles" | grep -c . || true)
+    if [[ -z $rows || -z $batches || -z $queries || -z $readers || -z $seed \
+          || $n_names -eq 0 || $n_names -ne $n_fps || $n_names -ne $n_cycles ]]; then
+        echo "check_bench_regression: $baseline is malformed — could not parse" >&2
+        echo "  the pr7 workload (rows/batches/queries/readers/seed) and a" >&2
+        echo "  consistent per-scenario name/fingerprint/cycles triple from it" >&2
+        echo "  (names=$n_names fingerprints=$n_fps cycles=$n_cycles)" >&2
+        echo "  re-generate with: BENCH_OUT=$baseline tools/bench_snapshot.sh" >&2
+        exit 1
+    fi
+
+    # Regenerate deterministically: --sim-only replays nothing, so the
+    # comparison never depends on host scheduling.
+    current_json=$(cargo run --release -q -p wfbn-bench --bin scenario_matrix -- \
+        --sim-only --rows "$rows" --batches "$batches" --queries "$queries" \
+        --readers "$readers" --seed "$seed" 2>/dev/null)
+    cur_fps=$(echo "$current_json" | grep -o '"fingerprint": "[0-9a-f]*"' \
+            | sed 's/.*: "//; s/"//')
+    cur_cycles=$(echo "$current_json" | grep -o '"sim_cycles_per_query": [0-9.eE+-]*' \
+            | awk '{print $2}')
+
+    echo "workload: rows=$rows batches=$batches queries=$queries readers=$readers seed=$seed"
+    paste -d ' ' <(echo "$names") <(echo "$fps") <(echo "$cur_fps") \
+                 <(echo "$cycles") <(echo "$cur_cycles") | awk '
+        {
+            name = $1; bfp = $2; cfp = $3; bcyc = $4 + 0; ccyc = $5 + 0
+            if (cfp == "") {
+                printf "check_bench_regression: scenario %s missing from regenerated matrix\n", name
+                fail = 1; next
+            }
+            if (bfp != cfp) {
+                printf "  %-22s fingerprint %s -> %s  STREAM CHANGED\n", name, bfp, cfp
+                printf "check_bench_regression: %s workload stream drifted — generation is\n", name
+                printf "  no longer byte-deterministic, or the generator changed without a\n"
+                printf "  conscious re-baseline (tools/bench_snapshot.sh)\n"
+                fail = 1; next
+            }
+            if (bcyc <= 0) {
+                printf "check_bench_regression: malformed cycles for %s (baseline=%s)\n", name, $4
+                fail = 1; next
+            }
+            ratio = ccyc / bcyc
+            printf "  %-22s fingerprint ok, %12.0f -> %12.0f cycles/query (%.3fx)\n", \
+                   name, bcyc, ccyc, ratio
+            if (ratio > 1.10) {
+                printf "check_bench_regression: %s sim cycles regressed %.1f%% (>10%%)\n", \
+                       name, (ratio - 1) * 100
+                fail = 1
+            }
+        }
+        END { exit fail }
+    '
+    echo "check_bench_regression: OK ($baseline)"
+    exit 0
+fi
+# ---------------------------------------------------------------- pr4 mode
 
 # Pull the workload and the committed batched series out of the baseline.
 extract_scalar() {

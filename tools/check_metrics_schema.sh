@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Validates a `wfbn-metrics-v3` JSON report — the file `repro --metrics`
+# Validates a `wfbn-metrics-v4` JSON report — the file `repro --metrics`
 # writes to results/metrics.json (the same document the figure binaries and
 # `wfbn build/mi --metrics` print). Checks the schema tag, every top-level
 # section, every stage key, every counter key, and one conservation law the
@@ -27,10 +27,16 @@ need() {
     fi
 }
 
-need '"schema": "wfbn-metrics-v3"' "schema tag"
+need '"schema": "wfbn-metrics-v4"' "schema tag"
 for section in '"cores":' '"totals":' '"stage_ns_total":' '"stage_ns_max":' \
-               '"queue_hwm_max":' '"probe_hist":' '"latency_hist":' '"per_core":'; do
+               '"queue_hwm_max":' '"probe_hist":' '"latency_hist":' \
+               '"latency_percentiles":' '"fairness":' '"per_core":'; do
     need "$section" "section"
+done
+# v4 summary keys inside the percentile and fairness blocks.
+for key in p50_le_ns p99_le_ns p999_le_ns serving_cores served_min served_max \
+           max_min_ratio; do
+    need "\"$key\":" "v4 summary key"
 done
 for stage in stage1_encode_route barrier_wait stage2_drain marginalize query_serve; do
     need "\"$stage\":" "stage key"
