@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod build;
+pub mod cluster;
 pub mod gen;
 pub mod infer;
 pub mod learn;

@@ -491,6 +491,25 @@ impl StreamingBuilder {
         ))
     }
 
+    /// [`snapshot`](Self::snapshot) without the non-empty guard: a stream
+    /// that has absorbed nothing yields the schema's *empty* table (zero
+    /// keys, zero total) instead of [`CoreError::EmptyDataset`].
+    ///
+    /// The serving layer publishes one epoch per admitted batch through
+    /// this: under the sharded tier a shard's slice of an ingest prefix may
+    /// legitimately be empty (every key of the batch belongs to other
+    /// shards), yet its local epoch must still advance for cluster epochs
+    /// to stay batch-aligned. Offline builds keep the strict
+    /// [`finish`](Self::finish) contract — an empty *stream* is still an
+    /// error there.
+    pub fn snapshot_or_empty(&self) -> PotentialTable {
+        PotentialTable::from_shared_parts(
+            self.codec.clone(),
+            self.partitioner,
+            self.tables.clone(),
+        )
+    }
+
     /// Finalizes the stream into a table + accumulated statistics.
     pub fn finish(self) -> Result<BuiltTable, CoreError> {
         if self.rows_absorbed == 0 {
@@ -500,6 +519,17 @@ impl StreamingBuilder {
             table: PotentialTable::from_shared_parts(self.codec, self.partitioner, self.tables),
             stats: self.stats,
         })
+    }
+
+    /// [`finish`](Self::finish) without the non-empty guard — the terminal
+    /// counterpart of [`snapshot_or_empty`](Self::snapshot_or_empty). A
+    /// shard engine that owned no key of the ingested stream finalizes into
+    /// the empty table; offline builds keep using the strict `finish`.
+    pub fn finish_or_empty(self) -> BuiltTable {
+        BuiltTable {
+            table: PotentialTable::from_shared_parts(self.codec, self.partitioner, self.tables),
+            stats: self.stats,
+        }
     }
 }
 
@@ -569,7 +599,16 @@ mod tests {
         let mut b = StreamingBuilder::new(&schema, 2).unwrap();
         b.absorb(&empty).unwrap();
         assert!(matches!(b.snapshot(), Err(CoreError::EmptyDataset)));
-        assert!(matches!(b.finish(), Err(CoreError::EmptyDataset)));
+        // The serving tier's non-strict variants yield the empty table
+        // instead — a shard that owns no key of a stream is not an error.
+        let snap = b.snapshot_or_empty();
+        assert_eq!(snap.total_count(), 0);
+        assert!(snap.to_sorted_vec().is_empty());
+        let built = b.finish_or_empty();
+        assert_eq!(built.table.total_count(), 0);
+        let mut strict = StreamingBuilder::new(&schema, 2).unwrap();
+        strict.absorb(&empty).unwrap();
+        assert!(matches!(strict.finish(), Err(CoreError::EmptyDataset)));
     }
 
     #[test]

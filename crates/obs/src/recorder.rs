@@ -99,10 +99,28 @@ pub enum Counter {
     /// Epoch advances this core (a serving reader) pinned — distinct epochs
     /// observed, not query count.
     EpochsPinned = 16,
+    /// Cluster ingest batches this core (the cluster router) admitted and
+    /// split across shards.
+    BatchesRouted = 17,
+    /// Per-shard sub-batches this core (the cluster router) forwarded to
+    /// shard engines. One admitted batch fans out to exactly one sub-batch
+    /// per shard (empty sub-batches included — they keep shard epochs
+    /// aligned), so `shard_batches_routed = batches_routed × S`.
+    ShardBatchesRouted = 18,
+    /// Cross-shard query fan-outs this core (a cluster client) issued: one
+    /// per answered batch that missed the merged-marginal cache and had to
+    /// scan every shard of the pinned cluster cut.
+    QueryFanOuts = 19,
+    /// Per-shard partial marginals this core (a cluster client) merged into
+    /// cross-shard answers — `S` partials per scope per fan-out.
+    PartialMerges = 20,
+    /// Cluster cuts this core (the cluster coordinator) assembled and
+    /// published as cluster epochs.
+    ClusterEpochsPublished = 21,
 }
 
 /// Number of [`Counter`] variants (array dimension).
-pub const NUM_COUNTERS: usize = 17;
+pub const NUM_COUNTERS: usize = 22;
 
 impl Counter {
     /// All counters, in index order.
@@ -124,6 +142,11 @@ impl Counter {
         Counter::CacheMisses,
         Counter::EpochsPublished,
         Counter::EpochsPinned,
+        Counter::BatchesRouted,
+        Counter::ShardBatchesRouted,
+        Counter::QueryFanOuts,
+        Counter::PartialMerges,
+        Counter::ClusterEpochsPublished,
     ];
 
     /// Stable JSON/report key for the counter.
@@ -146,6 +169,11 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::EpochsPublished => "epochs_published",
             Counter::EpochsPinned => "epochs_pinned",
+            Counter::BatchesRouted => "batches_routed",
+            Counter::ShardBatchesRouted => "shard_batches_routed",
+            Counter::QueryFanOuts => "query_fan_outs",
+            Counter::PartialMerges => "partial_merges",
+            Counter::ClusterEpochsPublished => "cluster_epochs_published",
         }
     }
 }

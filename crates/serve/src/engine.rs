@@ -118,6 +118,34 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
         cfg: &EngineConfig,
         rec: Arc<R>,
     ) -> Result<(Self, Vec<QueryReader<R>>), ServeError> {
+        let (engine, readers, observers) = Self::start_with_observers(schema, cfg, rec, 0)?;
+        debug_assert!(observers.is_empty());
+        Ok((engine, readers))
+    }
+
+    /// [`start_recorded`](Self::start_recorded) plus `observers` raw epoch
+    /// lanes fed by the same publisher.
+    ///
+    /// An observer lane delivers every published `(epoch, snapshot)` pair
+    /// without the query/cache machinery of a [`QueryReader`] — the cluster
+    /// coordinator holds one per shard engine and consumes it *sequentially*
+    /// ([`EpochReader::next_epoch`]) to assemble epoch-aligned cross-shard
+    /// cuts. Observers do not count toward [`EngineConfig::readers`] or the
+    /// telemetry core layout.
+    #[allow(clippy::type_complexity)]
+    pub fn start_with_observers(
+        schema: &Schema,
+        cfg: &EngineConfig,
+        rec: Arc<R>,
+        observers: usize,
+    ) -> Result<
+        (
+            Self,
+            Vec<QueryReader<R>>,
+            Vec<EpochReader<PotentialTable>>,
+        ),
+        ServeError,
+    > {
         if cfg.readers == 0 {
             return Err(ServeError::Config("at least one reader required"));
         }
@@ -126,9 +154,13 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
         }
         let builder = StreamingBuilder::new(schema, cfg.builder_threads)?;
         let (lane, mut admission) = channel::<Dataset>();
-        // Lane 0 is the engine's own accounting endpoint.
-        let (mut publisher, mut ends) = epoch_channel::<PotentialTable>(cfg.readers + 1);
+        // Lane 0 is the engine's own accounting endpoint; observer lanes
+        // come after the reader lanes.
+        let (mut publisher, mut ends) =
+            epoch_channel::<PotentialTable>(cfg.readers + 1 + observers);
         let watch = ends.remove(0);
+        let observer_lanes: Vec<EpochReader<PotentialTable>> =
+            ends.split_off(cfg.readers);
         let readers: Vec<QueryReader<R>> = ends
             .into_iter()
             .enumerate()
@@ -153,7 +185,10 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
                                 builder.absorb_recorded(&batch, &*wrec)?;
                             }
                             // Copy-on-publish: O(P) Arc bumps, no table copy.
-                            publisher.publish(builder.snapshot()?);
+                            // `_or_empty`: a shard engine's slice of a batch
+                            // may hold zero rows, but its epoch must still
+                            // advance (cluster-epoch batch alignment).
+                            publisher.publish(builder.snapshot_or_empty());
                             let mut c0 = wrec.core(0);
                             c0.add(Counter::EpochsPublished, 1);
                             c0.queue_depth(admission.visible_backlog());
@@ -162,7 +197,9 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
                         None => std::thread::yield_now(),
                     }
                 }
-                Ok(builder.finish()?.table)
+                // `_or_empty` for the same reason as the snapshot above: a
+                // shard engine may legitimately finish having owned no keys.
+                Ok(builder.finish_or_empty().table)
             })
             .expect("spawning the serve writer thread");
 
@@ -177,6 +214,7 @@ impl<R: Recorder + Send + Sync + 'static> Engine<R> {
                 rec,
             },
             readers,
+            observer_lanes,
         ))
     }
 
@@ -356,6 +394,31 @@ mod tests {
         assert_eq!(epoch, 2);
         assert_eq!(snap.total_count(), 3);
         drop(engine);
+    }
+
+    #[test]
+    fn observer_lanes_deliver_every_epoch_in_sequence() {
+        let schema = Schema::uniform(2, 2).unwrap();
+        let (mut engine, _readers, mut observers) = Engine::start_with_observers(
+            &schema,
+            &EngineConfig::default(),
+            Arc::new(NoopRecorder),
+            1,
+        )
+        .unwrap();
+        let lane = &mut observers[0];
+        assert!(lane.next_epoch().is_none());
+        engine.submit(batch(&schema, &[&[0, 1]])).unwrap();
+        engine.submit(batch(&schema, &[&[1, 0], &[1, 1]])).unwrap();
+        engine.sync().unwrap();
+        // Sequential consumption sees epoch 1 then epoch 2 — no skipping,
+        // unlike a pin-to-newest reader.
+        let (e1, snap1) = lane.next_epoch().unwrap();
+        assert_eq!((e1, snap1.total_count()), (1, 1));
+        let (e2, snap2) = lane.next_epoch().unwrap();
+        assert_eq!((e2, snap2.total_count()), (2, 3));
+        assert!(lane.next_epoch().is_none());
+        engine.finish().unwrap();
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!   [`wfbn_core::marginal::marginalize_many`] keep repeated and fused
 //!   queries from rescanning the table.
 //!
-//! Telemetry flows into [`wfbn_obs`] (schema `wfbn-metrics-v4`): the writer
+//! Telemetry flows into [`wfbn_obs`] (schema `wfbn-metrics-v5`): the writer
 //! records `epochs_published` and admission-queue depth on core 0, reader
 //! `i` records `queries_served` / `cache_hits` / `cache_misses` /
 //! `epochs_pinned` and a query-latency histogram on core
@@ -49,8 +49,10 @@ pub mod server;
 pub use cache::MarginalCache;
 pub use engine::{Engine, EngineConfig};
 pub use query::Request;
-pub use reader::{CptRow, QueryReader};
-pub use server::{serve_lines, serve_tcp, LoopControl, ReaderSession, Session};
+pub use reader::{cpt_rows, CptRow, QueryReader};
+pub use server::{
+    serve_lines, serve_tcp, EndpointSession, LoopControl, QueryEndpoint, ReaderSession, Session,
+};
 
 use wfbn_core::CoreError;
 

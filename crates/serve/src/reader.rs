@@ -209,7 +209,9 @@ impl<R: Recorder> QueryReader<R> {
 /// `joint.vars()` must contain `x`; every other variable is treated as a
 /// parent. Rows come out in mixed-radix parent-configuration order (first
 /// sorted parent varies fastest), matching [`CptRow`]'s documentation.
-pub(crate) fn cpt_rows(joint: &MarginalTable, x: usize) -> Vec<CptRow> {
+/// Public so the cluster tier can derive CPTs from *merged* cross-shard
+/// joints with the identical row layout.
+pub fn cpt_rows(joint: &MarginalTable, x: usize) -> Vec<CptRow> {
     let scope = joint.vars();
     let pos_x = scope.iter().position(|&v| v == x).expect("x is in scope");
     let arities = joint.arities();

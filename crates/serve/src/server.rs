@@ -21,6 +21,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
 use wfbn_core::entropy::{mutual_information, nats_to_bits};
+use wfbn_core::MarginalTable;
 use wfbn_data::{Dataset, Schema};
 use wfbn_obs::{CoreMetrics, Recorder};
 
@@ -35,27 +36,69 @@ pub enum LoopControl {
     Shutdown,
 }
 
-/// The query half of a session: one [`QueryReader`] endpoint plus the
-/// schema its scopes are validated against.
+/// Anything that can answer a fused batch of marginal queries against one
+/// pinned epoch. [`QueryReader`] is the single-node endpoint; the cluster
+/// tier's fan-out client implements the same contract over merged
+/// cross-shard marginals, so both speak the identical wire protocol
+/// through [`EndpointSession`].
+pub trait QueryEndpoint {
+    /// Answers a fused group of marginal queries against one pinned epoch;
+    /// see [`QueryReader::answer_batch`] for the contract.
+    fn answer_batch(
+        &mut self,
+        scopes: &[&[usize]],
+    ) -> Result<(u64, Vec<Arc<MarginalTable>>), ServeError>;
+    /// The newest epoch the publisher has made visible.
+    fn published(&self) -> u64;
+    /// The epoch currently pinned (0 before the first publication).
+    fn pinned_epoch(&self) -> u64;
+}
+
+impl<R: Recorder> QueryEndpoint for QueryReader<R> {
+    fn answer_batch(
+        &mut self,
+        scopes: &[&[usize]],
+    ) -> Result<(u64, Vec<Arc<MarginalTable>>), ServeError> {
+        QueryReader::answer_batch(self, scopes)
+    }
+
+    fn published(&self) -> u64 {
+        QueryReader::published(self)
+    }
+
+    fn pinned_epoch(&self) -> u64 {
+        QueryReader::pinned_epoch(self)
+    }
+}
+
+/// The query half of a session: one [`QueryEndpoint`] plus the schema its
+/// scopes are validated against.
 ///
 /// A [`Session`] owns one of these next to the engine front-end; workload
 /// drivers that fan protocol query streams across *several* concurrent
-/// readers own one `ReaderSession` per reader thread instead — each parses
-/// and answers its own lines against its own pinned epochs, so the replay
-/// path is byte-for-byte the serving path.
-pub struct ReaderSession<R: Recorder> {
-    reader: QueryReader<R>,
+/// readers own one session per reader thread instead — each parses and
+/// answers its own lines against its own pinned epochs, so the replay path
+/// is byte-for-byte the serving path. The cluster tier binds its fan-out
+/// client here too, which is what makes cluster responses byte-identical
+/// to single-node responses over the same counts.
+pub struct EndpointSession<E: QueryEndpoint> {
+    reader: E,
     schema: Schema,
 }
 
-impl<R: Recorder + Send + Sync + 'static> ReaderSession<R> {
+/// The single-node endpoint session: one [`QueryReader`] behind the
+/// protocol. (Historic name; new code answering through other endpoints
+/// should name [`EndpointSession`] directly.)
+pub type ReaderSession<R> = EndpointSession<QueryReader<R>>;
+
+impl<E: QueryEndpoint> EndpointSession<E> {
     /// Binds a query endpoint to the schema it serves.
-    pub fn new(reader: QueryReader<R>, schema: Schema) -> Self {
-        ReaderSession { reader, schema }
+    pub fn new(reader: E, schema: Schema) -> Self {
+        EndpointSession { reader, schema }
     }
 
     /// The underlying query endpoint.
-    pub fn reader_mut(&mut self) -> &mut QueryReader<R> {
+    pub fn reader_mut(&mut self) -> &mut E {
         &mut self.reader
     }
 

@@ -70,7 +70,7 @@ pub struct ScenarioReport {
     pub refused: u64,
     /// Epochs the writer published.
     pub epochs_published: u64,
-    /// Full telemetry snapshot (schema `wfbn-metrics-v4`).
+    /// Full telemetry snapshot (schema `wfbn-metrics-v5`).
     pub metrics: MetricsReport,
 }
 
@@ -91,7 +91,7 @@ impl ScenarioReport {
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set.
-fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+pub(crate) fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }

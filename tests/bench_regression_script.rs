@@ -1,9 +1,10 @@
 //! Satellite 4 — `tools/check_bench_regression.sh` input validation.
 //!
-//! The pr7 (scenario-matrix) baseline layout is parsed with grep/sed/awk,
-//! so CI runs it without a JSON parser; the price is that the script must
-//! reject malformed inputs *itself*, loudly and before it spends a cargo
-//! build. These tests feed it broken baselines and check the contract:
+//! The pr7 (scenario-matrix) and pr9 (cluster shard-scaling) baseline
+//! layouts are parsed with grep/sed/awk, so CI runs them without a JSON
+//! parser; the price is that the script must reject malformed inputs
+//! *itself*, loudly and before it spends a cargo build. These tests feed
+//! broken baselines to each dispatch-table branch and check the contract:
 //! parse errors exit non-zero with a "malformed" diagnostic, a missing
 //! baseline is a clean skip (exit zero), and both happen fast because no
 //! regeneration is attempted.
@@ -90,6 +91,59 @@ fn pr7_baseline_without_workload_params_is_rejected_before_regenerating() {
         "malformed baseline should fail fast, took {:?}",
         start.elapsed()
     );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+}
+
+#[test]
+fn pr9_baseline_with_torn_shard_series_is_rejected_as_malformed() {
+    // Four shard counts but three cycle entries: the series is torn.
+    let path = write_temp(
+        "wfbn_pr9_torn_series.json",
+        "{\n  \"schema\": \"wfbn-bench-pr9\",\n  \"workload\": {\"n\": 20, \"m\": 30000, \"seed\": 42, \"cores_per_shard\": 2},\n  \"shards\": [1,2,4,8],\n  \"sim_cycles_per_query\": [900000.0,460000.0,230000.0],\n  \"acceptance\": {\"cluster_s8_scaling\": 7.5}\n}\n",
+    );
+    let out = run_checker(&path);
+    assert!(!out.status.success(), "torn shard series must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("shards=4 cycles=3"),
+        "diagnostic should count the torn series: {stderr}"
+    );
+}
+
+#[test]
+fn pr9_baseline_without_workload_params_is_rejected_before_regenerating() {
+    // No cores_per_shard: the workload cannot be regenerated faithfully, so
+    // the parse stage must refuse before any cargo build is spent.
+    let path = write_temp(
+        "wfbn_pr9_no_workload.json",
+        "{\n  \"schema\": \"wfbn-bench-pr9\",\n  \"workload\": {\"n\": 20, \"m\": 30000, \"seed\": 42},\n  \"shards\": [1,2,4,8],\n  \"sim_cycles_per_query\": [900000.0,460000.0,230000.0,120000.0],\n  \"acceptance\": {\"cluster_s8_scaling\": 7.5}\n}\n",
+    );
+    let start = std::time::Instant::now();
+    let out = run_checker(&path);
+    assert!(!out.status.success(), "missing cores_per_shard must fail");
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "malformed pr9 baseline should fail fast, took {:?}",
+        start.elapsed()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("BENCH_PR9_OUT"),
+        "diagnostic should name the re-baseline recipe: {stderr}"
+    );
+}
+
+#[test]
+fn pr9_baseline_without_acceptance_value_is_rejected_as_malformed() {
+    let path = write_temp(
+        "wfbn_pr9_no_acceptance.json",
+        "{\n  \"schema\": \"wfbn-bench-pr9\",\n  \"workload\": {\"n\": 20, \"m\": 30000, \"seed\": 42, \"cores_per_shard\": 2},\n  \"shards\": [1,2],\n  \"sim_cycles_per_query\": [900000.0,460000.0]\n}\n",
+    );
+    let out = run_checker(&path);
+    assert!(!out.status.success(), "missing cluster_s8_scaling must fail");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("malformed"), "stderr: {stderr}");
 }

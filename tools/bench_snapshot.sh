@@ -20,7 +20,9 @@ cd "$(dirname "$0")/.."
 
 out=${BENCH_OUT:-BENCH_pr4.json}
 pr7_out=${BENCH_PR7_OUT:-BENCH_pr7.json}
-cargo build --release -p wfbn-bench --bin bench_snapshot --bin scenario_matrix
+pr9_out=${BENCH_PR9_OUT:-BENCH_pr9.json}
+cargo build --release -p wfbn-bench --bin bench_snapshot --bin scenario_matrix \
+    --bin cluster_bench
 ./target/release/bench_snapshot --out "$out" "$@"
 echo "bench_snapshot: wrote $out"
 if [[ $pr7_out != skip ]]; then
@@ -29,4 +31,11 @@ if [[ $pr7_out != skip ]]; then
     # re-baseline — a snapshot that violates its own SLOs must not land.
     ./target/release/scenario_matrix --out "$pr7_out"
     echo "bench_snapshot: wrote $pr7_out"
+fi
+if [[ $pr9_out != skip ]]; then
+    # Full run (not --sim-only): the committed snapshot carries the wall
+    # qps series for EXPERIMENTS.md, and the binary itself fails the
+    # re-baseline if cluster_s8_scaling drops below the 3x acceptance floor.
+    ./target/release/cluster_bench --out "$pr9_out"
+    echo "bench_snapshot: wrote $pr9_out"
 fi

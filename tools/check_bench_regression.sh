@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
-# Guards the batched hot paths against cost regressions: re-runs the
-# *simulated* fig. 3 sweep at the committed snapshot's workload and fails if
-# any batched per-core cycle count exceeds the committed baseline by more
-# than 10%. Simulated cycles are deterministic (dataset seed + cost model ⇒
-# exact number), so on an unchanged tree this check reproduces the baseline
-# bit-for-bit; any drift is a real algorithm/cost-model change, and >10%
-# slower is a regression someone must either fix or re-baseline consciously
-# (by re-running tools/bench_snapshot.sh and committing the new snapshot).
-# Wall-clock numbers in the snapshot are ignored — they depend on the host.
+# Guards the simulated benchmark series against cost regressions: re-runs
+# the committed snapshot's workload and fails if any gated cycle count
+# exceeds the committed baseline by more than 10%. Simulated cycles are
+# deterministic (dataset seed + cost model ⇒ exact number), so on an
+# unchanged tree this check reproduces the baseline bit-for-bit; any drift
+# is a real algorithm/cost-model change, and >10% slower is a regression
+# someone must either fix or re-baseline consciously (by re-running
+# tools/bench_snapshot.sh and committing the new snapshot). Wall-clock
+# numbers in a snapshot are ignored — they depend on the host.
 #
 # Dependency-free (grep/awk) so CI can run it without a JSON parser.
 #
-# Two baseline layouts are understood, keyed by the "schema" tag:
-#   wfbn-bench-pr4 — the fig. 3/4/5 + serve sweep (single scenario)
+# Baseline layouts are dispatched from the SCHEMA_HANDLERS table below,
+# keyed by the snapshot's "schema" tag:
 #   wfbn-bench-pr7 — the workload scenario matrix: per-scenario stream
 #                    fingerprints (compared exactly — the streams are byte
 #                    deterministic) and per-scenario sim cycles/query
 #                    (compared within 10%)
+#   wfbn-bench-pr9 — the cluster shard-scaling series: per-shard-count sim
+#                    cycles/query (within 10%) plus the cluster_s8_scaling
+#                    acceptance floor (>= 3x, baseline and current)
+#   wfbn-bench-pr4 — the fig. 3/4/5 + serve sweep (single scenario)
+#   wfbn-bench-pr3 — same layout minus the serve section (skipped there)
 #
 # Usage: tools/check_bench_regression.sh [BASELINE]  (default BENCH_pr4.json)
 set -euo pipefail
@@ -33,18 +38,23 @@ if [[ ! -f $baseline ]]; then
     exit 0
 fi
 
+# Extract `"key": 123` integers from the baseline (first match, empty if
+# absent) — shared by every handler's parse stage. `|| true`: a missing key
+# must fall through to the handler's explicit malformed-baseline message,
+# not die silently under `set -euo pipefail`.
+extract_int() {
+    grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}' || true
+}
+
 # ---------------------------------------------------------------- pr7 mode
-if grep -q '"schema": "wfbn-bench-pr7"' "$baseline"; then
+check_pr7() {
     # Every parse happens before any cargo invocation, so a malformed
     # baseline fails fast and cheap (the malformed-input test relies on it).
-    extract_pr7() {
-        grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}' || true
-    }
-    rows=$(extract_pr7 rows)
-    batches=$(extract_pr7 batches)
-    queries=$(extract_pr7 queries)
-    readers=$(extract_pr7 readers)
-    seed=$(extract_pr7 seed)
+    rows=$(extract_int rows)
+    batches=$(extract_int batches)
+    queries=$(extract_int queries)
+    readers=$(extract_int readers)
+    seed=$(extract_int seed)
     names=$(grep -o '"name": "[a-z-]*"' "$baseline" \
             | sed 's/.*: "//; s/"//' || true)
     fps=$(grep -o '"fingerprint": "[0-9a-f]*"' "$baseline" \
@@ -105,103 +115,203 @@ if grep -q '"schema": "wfbn-bench-pr7"' "$baseline"; then
         }
         END { exit fail }
     '
-    echo "check_bench_regression: OK ($baseline)"
-    exit 0
-fi
-# ---------------------------------------------------------------- pr4 mode
-
-# Pull the workload and the committed batched series out of the baseline.
-extract_scalar() {
-    # `|| true`: a missing key must fall through to the explicit malformed-
-    # baseline message below, not die silently under `set -euo pipefail`.
-    grep -o "\"$1\": [0-9]*" "$baseline" | head -1 | awk '{print $2}' || true
 }
-n=$(extract_scalar n)
-m=$(extract_scalar m)
-seed=$(extract_scalar seed)
-cores=$(grep -o '"cores": \[[0-9, ]*\]' "$baseline" | head -1 \
-        | sed 's/.*\[//; s/\]//; s/ //g' || true)
-committed=$(grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' "$baseline" | head -1 \
-        | sed 's/.*\[//; s/\]//; s/ //g' || true)
-if [[ -z $n || -z $m || -z $seed || -z $cores || -z $committed ]]; then
-    echo "check_bench_regression: $baseline is malformed — could not parse" >&2
-    echo "  workload (n/m/seed/cores) and sim_batched_cycles series from it" >&2
-    echo "  re-generate with: tools/bench_snapshot.sh" >&2
-    exit 1
-fi
 
-# Re-run the simulated sweep only (reps=1: wall numbers are discarded).
-current_json=$(cargo run --release -q -p wfbn-bench --bin bench_snapshot -- \
-    --samples "$m" --vars "$n" --seed "$seed" --cores "$cores" --reps 1)
-current=$(echo "$current_json" \
-        | grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' | head -1 \
-        | sed 's/.*\[//; s/\]//; s/ //g')
-if [[ -z $current ]]; then
-    echo "check_bench_regression: bench_snapshot produced no batched series" >&2
-    exit 1
-fi
-
-echo "workload: n=$n m=$m seed=$seed cores=[$cores]"
-echo "baseline: $committed"
-echo "current:  $current"
-
-awk -v base="$committed" -v cur="$current" -v cores="$cores" '
-    BEGIN {
-        nb = split(base, b, ",")
-        nc = split(cur, c, ",")
-        split(cores, p, ",")
-        if (nb != nc) {
-            printf "check_bench_regression: series length mismatch (%d vs %d)\n", nb, nc
-            exit 1
-        }
-        fail = 0
-        for (i = 1; i <= nb; i++) {
-            # Guard against a malformed series: a non-numeric entry coerces
-            # to 0 in awk, and a zero baseline would divide by zero below —
-            # both mean the snapshot is corrupt, not that the code regressed.
-            if (b[i] !~ /^[0-9.eE+-]+$/ || c[i] !~ /^[0-9.eE+-]+$/ || b[i] + 0 <= 0) {
-                printf "check_bench_regression: malformed series entry %d (baseline=%s, current=%s)\n", \
-                       i, b[i], c[i]
-                exit 1
-            }
-            ratio = c[i] / b[i]
-            printf "  P=%-3s %14.0f -> %14.0f cycles (%.3fx)\n", p[i], b[i], c[i], ratio
-            if (ratio > 1.10) {
-                printf "check_bench_regression: P=%s batched cycles regressed %.1f%% (>10%%)\n", \
-                       p[i], (ratio - 1) * 100
-                fail = 1
-            }
-        }
-        exit fail
-    }
-'
-
-# pr4 snapshots also carry the serve-throughput series: check that the
-# deterministic scaling series is present and that the gated acceptance
-# value (P=8 throughput relative to P=1) meets the >= 3x floor. Older pr3
-# baselines lack the section — skip the check rather than fail, so the
-# script still validates historical snapshots.
-if grep -q '"serve"' "$baseline"; then
-    serve_scaling=$(grep -o '"serve_p8_scaling": [0-9.eE+-]*' "$baseline" | head -1 \
-            | awk '{print $2}')
-    if [[ -z $serve_scaling ]]; then
-        echo "check_bench_regression: serve section present but no serve_p8_scaling" >&2
+# ---------------------------------------------------------------- pr9 mode
+check_pr9() {
+    # Parse everything before spending a cargo build: a malformed cluster
+    # baseline must fail in milliseconds, exactly like the pr7 layout.
+    n=$(extract_int n)
+    m=$(extract_int m)
+    seed=$(extract_int seed)
+    cps=$(extract_int cores_per_shard)
+    shards=$(grep -o '"shards": \[[0-9, ]*\]' "$baseline" | head -1 \
+            | sed 's/.*\[//; s/\]//; s/ //g' || true)
+    committed=$(grep -o '"sim_cycles_per_query": \[[0-9.,eE+-]*\]' "$baseline" | head -1 \
+            | sed 's/.*\[//; s/\]//; s/ //g' || true)
+    s8=$(grep -o '"cluster_s8_scaling": [0-9.eE+-]*' "$baseline" | head -1 \
+            | awk '{print $2}' || true)
+    n_shards=$(echo "$shards" | awk -F, '{print NF}')
+    n_cycles=$(echo "$committed" | awk -F, '{print NF}')
+    if [[ -z $n || -z $m || -z $seed || -z $cps || -z $shards \
+          || -z $committed || -z $s8 || $n_shards -ne $n_cycles ]]; then
+        echo "check_bench_regression: $baseline is malformed — could not parse" >&2
+        echo "  the pr9 workload (n/m/seed/cores_per_shard), a shards list with" >&2
+        echo "  a matching sim_cycles_per_query series, and cluster_s8_scaling" >&2
+        echo "  (shards=${n_shards:-0} cycles=${n_cycles:-0})" >&2
+        echo "  re-generate with: BENCH_PR9_OUT=$baseline tools/bench_snapshot.sh" >&2
         exit 1
     fi
-    current_serve=$(echo "$current_json" \
-            | grep -o '"serve_p8_scaling": [0-9.eE+-]*' | head -1 | awk '{print $2}')
-    echo "serve:    P=8 scaling baseline=$serve_scaling current=${current_serve:-<missing>}"
-    awk -v base="$serve_scaling" -v cur="${current_serve:-0}" '
+
+    current_json=$(cargo run --release -q -p wfbn-bench --bin cluster_bench -- \
+        --sim-only --samples "$m" --vars "$n" --seed "$seed" \
+        --shards "$shards" --cores-per-shard "$cps" 2>/dev/null)
+    current=$(echo "$current_json" \
+            | grep -o '"sim_cycles_per_query": \[[0-9.,eE+-]*\]' | head -1 \
+            | sed 's/.*\[//; s/\]//; s/ //g')
+    cur_s8=$(echo "$current_json" | grep -o '"cluster_s8_scaling": [0-9.eE+-]*' \
+            | head -1 | awk '{print $2}')
+    if [[ -z $current || -z $cur_s8 ]]; then
+        echo "check_bench_regression: cluster_bench produced no sim series" >&2
+        exit 1
+    fi
+
+    echo "workload: n=$n m=$m seed=$seed shards=[$shards] cores_per_shard=$cps"
+    echo "baseline: $committed"
+    echo "current:  $current"
+    awk -v base="$committed" -v cur="$current" -v shards="$shards" \
+        -v bs8="$s8" -v cs8="$cur_s8" '
         BEGIN {
-            if (base + 0 < 3.0) {
-                printf "check_bench_regression: baseline serve_p8_scaling %.3f < 3.0\n", base
+            nb = split(base, b, ",")
+            nc = split(cur, c, ",")
+            split(shards, s, ",")
+            if (nb != nc) {
+                printf "check_bench_regression: series length mismatch (%d vs %d)\n", nb, nc
                 exit 1
             }
-            if (cur + 0 < 3.0) {
-                printf "check_bench_regression: current serve_p8_scaling %.3f < 3.0\n", cur
-                exit 1
+            fail = 0
+            for (i = 1; i <= nb; i++) {
+                if (b[i] !~ /^[0-9.eE+-]+$/ || c[i] !~ /^[0-9.eE+-]+$/ || b[i] + 0 <= 0) {
+                    printf "check_bench_regression: malformed series entry %d (baseline=%s, current=%s)\n", \
+                           i, b[i], c[i]
+                    exit 1
+                }
+                ratio = c[i] / b[i]
+                printf "  S=%-3s %14.0f -> %14.0f cycles/query (%.3fx)\n", s[i], b[i], c[i], ratio
+                if (ratio > 1.10) {
+                    printf "check_bench_regression: S=%s cluster cycles regressed %.1f%% (>10%%)\n", \
+                           s[i], (ratio - 1) * 100
+                    fail = 1
+                }
             }
+            printf "cluster:  S=8 scaling baseline=%.3f current=%.3f (gate >= 3.0)\n", bs8, cs8
+            if (bs8 + 0 < 3.0) {
+                printf "check_bench_regression: baseline cluster_s8_scaling %.3f < 3.0\n", bs8
+                fail = 1
+            }
+            if (cs8 + 0 < 3.0) {
+                printf "check_bench_regression: current cluster_s8_scaling %.3f < 3.0\n", cs8
+                fail = 1
+            }
+            exit fail
         }
     '
+}
+
+# --------------------------------------------------------- pr3/pr4 mode
+check_pr4() {
+    # Pull the workload and the committed batched series out of the baseline.
+    n=$(extract_int n)
+    m=$(extract_int m)
+    seed=$(extract_int seed)
+    cores=$(grep -o '"cores": \[[0-9, ]*\]' "$baseline" | head -1 \
+            | sed 's/.*\[//; s/\]//; s/ //g' || true)
+    committed=$(grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' "$baseline" | head -1 \
+            | sed 's/.*\[//; s/\]//; s/ //g' || true)
+    if [[ -z $n || -z $m || -z $seed || -z $cores || -z $committed ]]; then
+        echo "check_bench_regression: $baseline is malformed — could not parse" >&2
+        echo "  workload (n/m/seed/cores) and sim_batched_cycles series from it" >&2
+        echo "  re-generate with: tools/bench_snapshot.sh" >&2
+        exit 1
+    fi
+
+    # Re-run the simulated sweep only (reps=1: wall numbers are discarded).
+    current_json=$(cargo run --release -q -p wfbn-bench --bin bench_snapshot -- \
+        --samples "$m" --vars "$n" --seed "$seed" --cores "$cores" --reps 1)
+    current=$(echo "$current_json" \
+            | grep -o '"sim_batched_cycles": \[[0-9.,eE+-]*\]' | head -1 \
+            | sed 's/.*\[//; s/\]//; s/ //g')
+    if [[ -z $current ]]; then
+        echo "check_bench_regression: bench_snapshot produced no batched series" >&2
+        exit 1
+    fi
+
+    echo "workload: n=$n m=$m seed=$seed cores=[$cores]"
+    echo "baseline: $committed"
+    echo "current:  $current"
+
+    awk -v base="$committed" -v cur="$current" -v cores="$cores" '
+        BEGIN {
+            nb = split(base, b, ",")
+            nc = split(cur, c, ",")
+            split(cores, p, ",")
+            if (nb != nc) {
+                printf "check_bench_regression: series length mismatch (%d vs %d)\n", nb, nc
+                exit 1
+            }
+            fail = 0
+            for (i = 1; i <= nb; i++) {
+                # Guard against a malformed series: a non-numeric entry coerces
+                # to 0 in awk, and a zero baseline would divide by zero below —
+                # both mean the snapshot is corrupt, not that the code regressed.
+                if (b[i] !~ /^[0-9.eE+-]+$/ || c[i] !~ /^[0-9.eE+-]+$/ || b[i] + 0 <= 0) {
+                    printf "check_bench_regression: malformed series entry %d (baseline=%s, current=%s)\n", \
+                           i, b[i], c[i]
+                    exit 1
+                }
+                ratio = c[i] / b[i]
+                printf "  P=%-3s %14.0f -> %14.0f cycles (%.3fx)\n", p[i], b[i], c[i], ratio
+                if (ratio > 1.10) {
+                    printf "check_bench_regression: P=%s batched cycles regressed %.1f%% (>10%%)\n", \
+                           p[i], (ratio - 1) * 100
+                    fail = 1
+                }
+            }
+            exit fail
+        }
+    '
+
+    # pr4 snapshots also carry the serve-throughput series: check that the
+    # deterministic scaling series is present and that the gated acceptance
+    # value (P=8 throughput relative to P=1) meets the >= 3x floor. Older pr3
+    # baselines lack the section — skip the check rather than fail, so the
+    # script still validates historical snapshots.
+    if grep -q '"serve"' "$baseline"; then
+        serve_scaling=$(grep -o '"serve_p8_scaling": [0-9.eE+-]*' "$baseline" | head -1 \
+                | awk '{print $2}')
+        if [[ -z $serve_scaling ]]; then
+            echo "check_bench_regression: serve section present but no serve_p8_scaling" >&2
+            exit 1
+        fi
+        current_serve=$(echo "$current_json" \
+                | grep -o '"serve_p8_scaling": [0-9.eE+-]*' | head -1 | awk '{print $2}')
+        echo "serve:    P=8 scaling baseline=$serve_scaling current=${current_serve:-<missing>}"
+        awk -v base="$serve_scaling" -v cur="${current_serve:-0}" '
+            BEGIN {
+                if (base + 0 < 3.0) {
+                    printf "check_bench_regression: baseline serve_p8_scaling %.3f < 3.0\n", base
+                    exit 1
+                }
+                if (cur + 0 < 3.0) {
+                    printf "check_bench_regression: current serve_p8_scaling %.3f < 3.0\n", cur
+                    exit 1
+                }
+            }
+        '
+    fi
+}
+
+# ------------------------------------------------------------ dispatch
+# One row per baseline layout: "<schema tag> <handler>". A new snapshot
+# schema adds a row here and a handler function above — nothing else.
+SCHEMA_HANDLERS="\
+wfbn-bench-pr7 check_pr7
+wfbn-bench-pr9 check_pr9
+wfbn-bench-pr4 check_pr4
+wfbn-bench-pr3 check_pr4"
+
+handler=""
+while read -r schema fn; do
+    if grep -q "\"schema\": \"$schema\"" "$baseline"; then
+        handler=$fn
+        break
+    fi
+done <<<"$SCHEMA_HANDLERS"
+if [[ -z $handler ]]; then
+    # Pre-schema-tag snapshots used the pr3/pr4 layout; keep validating
+    # them rather than failing on the missing tag.
+    handler=check_pr4
 fi
+
+"$handler"
 echo "check_bench_regression: OK ($baseline)"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Validates a `wfbn-metrics-v4` JSON report — the file `repro --metrics`
+# Validates a `wfbn-metrics-v5` JSON report — the file `repro --metrics`
 # writes to results/metrics.json (the same document the figure binaries and
 # `wfbn build/mi --metrics` print). Checks the schema tag, every top-level
 # section, every stage key, every counter key, and one conservation law the
@@ -27,7 +27,7 @@ need() {
     fi
 }
 
-need '"schema": "wfbn-metrics-v4"' "schema tag"
+need '"schema": "wfbn-metrics-v5"' "schema tag"
 for section in '"cores":' '"totals":' '"stage_ns_total":' '"stage_ns_max":' \
                '"queue_hwm_max":' '"probe_hist":' '"latency_hist":' \
                '"latency_percentiles":' '"fairness":' '"per_core":'; do
@@ -44,7 +44,9 @@ done
 for counter in rows_encoded local_updates forwarded drained probes table_grows \
                segments_linked pairs_scanned entries_scanned rebalance_moves \
                blocks_flushed keys_coalesced queries_served cache_hits \
-               cache_misses epochs_published epochs_pinned; do
+               cache_misses epochs_published epochs_pinned batches_routed \
+               shard_batches_routed query_fan_outs partial_merges \
+               cluster_epochs_published; do
     need "\"$counter\":" "counter key"
 done
 
