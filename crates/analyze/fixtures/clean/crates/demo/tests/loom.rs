@@ -1,0 +1,6 @@
+//! Fixture loom suite: the model every `loom-model:` annotation names.
+
+#[test]
+fn word_publish_is_seen() {
+    // Fixture stand-in for an exhaustive loom exploration.
+}

@@ -1,0 +1,56 @@
+//! Analyzer fixture: one covered atomic site is missing its loom model.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A published word with exactly one writer role (`repr(C)` so the
+/// ownership table in analysis/layout.toml reasons over declared order).
+#[repr(C)]
+pub struct Flag {
+    word: AtomicUsize,
+    count: AtomicUsize,
+}
+
+impl Flag {
+    /// Publishes `v` (the `owner` role's only store).
+    pub fn publish(&self, v: usize) {
+        // hb-writer: owner
+        // loom-model: word_publish_is_seen
+        self.word.store(v, Ordering::Release);
+    }
+
+    /// Reads the published word.
+    pub fn read(&self) -> usize {
+        // loom-model: word_publish_is_seen
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Single-writer bookkeeping, no synchronization carried.
+    pub fn tick(&self) {
+        // loom-model: word_publish_is_seen
+        let v = self.count.load(Ordering::Relaxed);
+        // SAFETY: fixture demo of a documented unsafe block; no-op cast.
+        let _p = unsafe { *(&raw const v) };
+        self.count.store(v + 1, Ordering::Relaxed);
+    }
+}
+
+/// A tiny committed-backlog queue (fixture stand-in for the SPSC lane).
+pub struct Queue {
+    items: Vec<usize>,
+}
+
+impl Queue {
+    /// Pops the oldest committed element.
+    pub fn try_pop(&mut self) -> Option<usize> {
+        self.items.pop()
+    }
+}
+
+/// Drains the committed backlog (the fixture's bounded poll loop).
+pub fn drain(q: &mut Queue) -> usize {
+    let mut n = 0;
+    // wf-bound: backlog(visible) — each pop removes one committed element.
+    while q.try_pop().is_some() {
+        n += 1;
+    }
+    n
+}

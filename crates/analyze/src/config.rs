@@ -241,6 +241,180 @@ impl Progress {
     }
 }
 
+/// `analysis/layout.toml`: the false-sharing gate's per-struct ownership
+/// table. A missing file disables the gate.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// Crates whose non-test structs are subject to the layout rules.
+    pub crates: Vec<String>,
+    /// Assumed cache-line size in bytes (default 64). Must divide
+    /// `CachePadded`'s 128-byte alignment for the padding shortcut.
+    pub line_bytes: u64,
+    /// Constant pins from `[consts]`, for array lengths the scanner
+    /// resolves ambiguously (cross-checked against the scanned values).
+    pub consts: std::collections::BTreeMap<String, u64>,
+    /// 1-based line of the `[consts]` header (0 when absent).
+    pub consts_line: u32,
+    /// Declared structs with per-field writer roles.
+    pub structs: Vec<StructDecl>,
+}
+
+/// One `[[struct]]` ownership declaration in `analysis/layout.toml`.
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// Workspace-relative file the struct is defined in.
+    pub file: String,
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDecl>,
+    /// One-line layout rationale (required).
+    pub why: String,
+    /// 1-based line of the `[[struct]]` header.
+    pub line: u32,
+}
+
+/// One field spec: `"name: role"` or `"name: role: padded"`.
+///
+/// The role names the unique writer (matching `hb-writer:` annotations
+/// where the field has Release stores); the special role `ro` marks a
+/// field read-only after construction, which conflicts with nothing.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Writer role (`producer`, `consumer`, `ro`, ...).
+    pub role: String,
+    /// Whether the table declares the field `CachePadded`.
+    pub padded: bool,
+}
+
+impl Layout {
+    /// Loads `analysis/layout.toml`; a missing file yields the empty
+    /// (disabled) configuration.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        if !path.is_file() {
+            return Ok(Layout::default());
+        }
+        let doc = load_doc(path)?;
+        let head = doc.first("layout").cloned().unwrap_or_default();
+        let consts_sec = doc.first("consts");
+        let mut consts = std::collections::BTreeMap::new();
+        if let Some(sec) = consts_sec {
+            for (name, v) in &sec.entries {
+                let val = v.as_int().filter(|i| *i >= 0).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: sec.line,
+                    msg: format!("[consts] `{name}` must be a non-negative integer"),
+                })?;
+                consts.insert(name.clone(), val as u64);
+            }
+        }
+        let mut structs = Vec::new();
+        for s in doc.all("struct") {
+            let field = |key: &str| -> Result<String, ConfigError> {
+                s.str(key).map(str::to_owned).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: s.line,
+                    msg: format!("[[struct]] missing required `{key}`"),
+                })
+            };
+            let mut fields = Vec::new();
+            for spec in s.list("fields") {
+                let parts: Vec<&str> = spec.split(':').map(str::trim).collect();
+                let ok = matches!(parts.len(), 2 | 3)
+                    && !parts[0].is_empty()
+                    && !parts[1].is_empty()
+                    && (parts.len() == 2 || parts[2] == "padded");
+                if !ok {
+                    return Err(ConfigError {
+                        file: path.display().to_string(),
+                        line: s.line,
+                        msg: format!(
+                            "[[struct]] field spec `{spec}` must be `name: role[: padded]`"
+                        ),
+                    });
+                }
+                fields.push(FieldDecl {
+                    name: parts[0].to_owned(),
+                    role: parts[1].to_owned(),
+                    padded: parts.len() == 3,
+                });
+            }
+            structs.push(StructDecl {
+                file: field("file")?,
+                name: field("name")?,
+                fields,
+                why: field("why")?,
+                line: s.line,
+            });
+        }
+        Ok(Layout {
+            crates: head.list("crates"),
+            line_bytes: head.int_or("line_bytes", 64).max(1) as u64,
+            consts,
+            consts_line: consts_sec.map_or(0, |s| s.line),
+            structs,
+        })
+    }
+}
+
+/// `analysis/coverage.toml`: the loom model-coverage table for gate
+/// `modelcov`. A missing file disables the gate.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// Crates whose every non-test atomic site must carry a
+    /// `loom-model:` annotation.
+    pub crates: Vec<String>,
+    /// Declared models, cross-checked against `#[test]` functions.
+    pub models: Vec<ModelDecl>,
+}
+
+/// One `[[model]]` declaration in `analysis/coverage.toml`.
+#[derive(Debug, Clone)]
+pub struct ModelDecl {
+    /// The `#[test]` function name.
+    pub test: String,
+    /// Workspace-relative file holding the test.
+    pub file: String,
+    /// One-line statement of what the model proves (required).
+    pub why: String,
+    /// 1-based line of the `[[model]]` header.
+    pub line: u32,
+}
+
+impl Coverage {
+    /// Loads `analysis/coverage.toml`; a missing file yields the empty
+    /// (disabled) configuration.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        if !path.is_file() {
+            return Ok(Coverage::default());
+        }
+        let doc = load_doc(path)?;
+        let head = doc.first("modelcov").cloned().unwrap_or_default();
+        let mut models = Vec::new();
+        for m in doc.all("model") {
+            let field = |key: &str| -> Result<String, ConfigError> {
+                m.str(key).map(str::to_owned).ok_or_else(|| ConfigError {
+                    file: path.display().to_string(),
+                    line: m.line,
+                    msg: format!("[[model]] missing required `{key}`"),
+                })
+            };
+            models.push(ModelDecl {
+                test: field("test")?,
+                file: field("file")?,
+                why: field("why")?,
+                line: m.line,
+            });
+        }
+        Ok(Coverage {
+            crates: head.list("crates"),
+            models,
+        })
+    }
+}
+
 impl HbMap {
     /// Loads `analysis/hb_map.toml`.
     pub fn load(path: &Path) -> Result<Self, ConfigError> {

@@ -1,4 +1,4 @@
-//! The five static gates (plus the unsafe-coverage pass) over the
+//! The seven static gates (plus the unsafe-coverage pass) over the
 //! inventory.
 //!
 //! | gate | checks | config |
@@ -9,21 +9,23 @@
 //! | `ratchet` | atomic-site signatures ⇔ `analysis/atomics.lock` | `analysis/atomics.lock` |
 //! | `waitloop` | every hot-path poll loop carries a declared `wf-bound` | `analysis/progress.toml` |
 //! | `noblock` | no blocking construct on hot-path crates' shipped code | `analysis/policy.toml` |
+//! | `layout` | no two writer roles share a cache line in declared structs | `analysis/layout.toml` |
+//! | `modelcov` | every covered atomic site names a declared loom model | `analysis/coverage.toml` |
 //!
 //! Each violation is a [`Diag`] with a `file:line` culprit; the clean tree
 //! produces none, and every seeded fixture under `fixtures/` produces at
 //! least one (the negative controls in `tests/gates.rs`).
 
-use crate::config::{HbMap, Policy, Progress};
+use crate::config::{Coverage, HbMap, Layout, Policy, Progress};
 use crate::ratchet::{self, Lock};
 use crate::scan::{AtomicSite, Ctx, Inventory};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One violation: which gate fired, where, and why.
 #[derive(Debug, Clone)]
 pub struct Diag {
-    /// Gate name: `safety`, `waitfree`, `hb`, `ratchet`, `waitloop`, or
-    /// `noblock`.
+    /// Gate name: `safety`, `waitfree`, `hb`, `ratchet`, `waitloop`,
+    /// `noblock`, `layout`, or `modelcov`.
     pub gate: &'static str,
     /// File the culprit lives in (source file or config file).
     pub file: String,
@@ -420,6 +422,328 @@ pub fn gate_noblock(inv: &Inventory, policy: &Policy) -> Vec<Diag> {
             ),
         });
     }
+    out
+}
+
+/// Gate 6: the false-sharing (memory layout) check.
+///
+/// For every struct declared in `analysis/layout.toml` the gate estimates
+/// `#[repr(C)]` offsets (see [`crate::layout`]) and fails when two fields
+/// with *different* declared writer roles can occupy the same cache line
+/// without a `CachePadded` wrapper. The ownership table itself is
+/// drift-checked: missing structs, reordered fields, padded declarations
+/// with unpadded code (and vice versa), and roles contradicting the
+/// sites' `hb-writer:` annotations all fail — plus a discovery rule: any
+/// undeclared struct in the layout crates with two or more inline atomic
+/// fields must be added to the table.
+pub fn gate_layout(inv: &Inventory, layout: &Layout, layout_path: &str) -> Vec<Diag> {
+    let mut out = Vec::new();
+    if layout.crates.is_empty() {
+        return out; // gate disabled (no layout.toml)
+    }
+
+    // Workspace constants, preferring default-build (`cfg(not(..))`-gated
+    // or ungated) definitions; `[consts]` pins win but must agree.
+    let mut scanned: BTreeMap<&str, (u64, u8)> = BTreeMap::new();
+    for c in &inv.consts {
+        match scanned.get(c.name.as_str()) {
+            Some((_, s)) if *s >= c.score => {}
+            _ => {
+                scanned.insert(&c.name, (c.value, c.score));
+            }
+        }
+    }
+    let mut consts: BTreeMap<String, u64> = scanned
+        .iter()
+        .map(|(k, (v, _))| ((*k).to_owned(), *v))
+        .collect();
+    for (name, v) in &layout.consts {
+        if let Some(code_v) = consts.get(name) {
+            if code_v != v {
+                out.push(Diag {
+                    gate: "layout",
+                    file: layout_path.to_owned(),
+                    line: layout.consts_line,
+                    msg: format!(
+                        "[consts] pins `{name} = {v}` but the code's \
+                         default-build definition is {code_v} — update the pin"
+                    ),
+                });
+            }
+        }
+        consts.insert(name.clone(), *v);
+    }
+
+    let mut declared: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for d in &layout.structs {
+        declared.insert((&d.file, &d.name));
+        let Some(site) = inv
+            .structs
+            .iter()
+            .find(|s| s.file == d.file && s.name == d.name)
+        else {
+            out.push(Diag {
+                gate: "layout",
+                file: layout_path.to_owned(),
+                line: d.line,
+                msg: format!(
+                    "stale [[struct]] declaration: no struct `{}` with named \
+                     fields in `{}` — update the ownership table",
+                    d.name, d.file
+                ),
+            });
+            continue;
+        };
+        if !site.repr_c {
+            out.push(Diag {
+                gate: "layout",
+                file: site.file.clone(),
+                line: site.line,
+                msg: format!(
+                    "layout-declared struct `{}` must be `#[repr(C)]` so \
+                     field order and offsets are language-defined, not \
+                     rustc-version-dependent (DESIGN §16)",
+                    site.name
+                ),
+            });
+            continue;
+        }
+        let est = crate::layout::estimate(site, &consts);
+        let code_names: Vec<&str> = est.fields.iter().map(|f| f.name.as_str()).collect();
+        let decl_names: Vec<&str> = d.fields.iter().map(|f| f.name.as_str()).collect();
+        if code_names != decl_names {
+            out.push(Diag {
+                gate: "layout",
+                file: layout_path.to_owned(),
+                line: d.line,
+                msg: format!(
+                    "[[struct]] `{}` field drift: table declares [{}] but the \
+                     code has [{}] — the table must mirror declaration order",
+                    d.name,
+                    decl_names.join(", "),
+                    code_names.join(", ")
+                ),
+            });
+            continue;
+        }
+        // Padding drift fails at the table line; pair verdicts from an
+        // out-of-sync table would be noise, so the struct stops here.
+        let mut padding_drift = false;
+        for (fd, fe) in d.fields.iter().zip(&est.fields) {
+            if fd.padded != fe.est.padded {
+                padding_drift = true;
+                out.push(Diag {
+                    gate: "layout",
+                    file: layout_path.to_owned(),
+                    line: d.line,
+                    msg: format!(
+                        "[[struct]] `{}` declares field `{}` {} but the code \
+                         {} — `padded` in the table must mean `CachePadded` \
+                         in the struct",
+                        d.name,
+                        fd.name,
+                        if fd.padded { "`padded`" } else { "unpadded" },
+                        if fe.est.padded {
+                            "wraps it in `CachePadded`"
+                        } else {
+                            "does not wrap it"
+                        },
+                    ),
+                });
+            }
+        }
+        if padding_drift {
+            continue;
+        }
+        // Declared roles must agree with the sites' hb-writer annotations.
+        for fd in &d.fields {
+            for s in inv.atomics.iter().filter(|s| {
+                s.ctx == Ctx::Src && s.file == d.file && s.receiver == fd.name
+            }) {
+                if let Some(role) = &s.writer_role {
+                    if *role != fd.role {
+                        out.push(Diag {
+                            gate: "layout",
+                            file: s.file.clone(),
+                            line: s.line,
+                            msg: format!(
+                                "role drift on `{}.{}`: the site annotates \
+                                 `hb-writer: {role}` but {layout_path} \
+                                 declares writer role `{}`",
+                                d.name, fd.name, fd.role
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // The false-sharing pair rule.
+        for i in 0..d.fields.len() {
+            for j in i + 1..d.fields.len() {
+                let (ri, rj) = (&d.fields[i].role, &d.fields[j].role);
+                if ri == rj || ri == "ro" || rj == "ro" {
+                    continue;
+                }
+                if crate::layout::lines_disjoint(&est, i, j, layout.line_bytes) {
+                    continue;
+                }
+                let (fi, fj) = (&est.fields[i], &est.fields[j]);
+                let extent = match (fi.offset, fj.offset) {
+                    (Some(a), Some(b)) => format!(" (offsets {a} and {b})"),
+                    _ => " (conservatively — an extent is unknown)".to_owned(),
+                };
+                out.push(Diag {
+                    gate: "layout",
+                    file: site.file.clone(),
+                    line: fj.line,
+                    msg: format!(
+                        "possible false sharing in `{}`: fields `{}` (role \
+                         `{ri}`) and `{}` (role `{rj}`) can occupy the same \
+                         {}-byte cache line{extent}; wrap one in \
+                         `CachePadded` or separate them by a full line",
+                        d.name, fi.name, fj.name, layout.line_bytes
+                    ),
+                });
+            }
+        }
+    }
+
+    // Discovery: undeclared structs with ≥2 inline atomic fields.
+    for s in &inv.structs {
+        if s.ctx != Ctx::Src
+            || !layout.crates.iter().any(|c| c == &s.crate_name)
+            || declared.contains(&(s.file.as_str(), s.name.as_str()))
+        {
+            continue;
+        }
+        let est = crate::layout::estimate(s, &consts);
+        let n_atomic = est.fields.iter().filter(|f| f.est.atomic).count();
+        if n_atomic >= 2 {
+            out.push(Diag {
+                gate: "layout",
+                file: s.file.clone(),
+                line: s.line,
+                msg: format!(
+                    "struct `{}` holds {n_atomic} inline atomic fields but \
+                     {layout_path} has no [[struct]] entry for it — declare \
+                     per-field writer roles so the false-sharing check can \
+                     run",
+                    s.name
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+/// Gate 7: the loom model-coverage check.
+///
+/// Every non-test atomic site in the covered crates — plus every
+/// edge-carrying site (Release store or acquiring/releasing RMW) on a
+/// field mapped in `analysis/hb_map.toml`, whatever its crate — must
+/// carry a contiguous `// loom-model: <test>[,<test>…]` annotation naming
+/// models declared in `analysis/coverage.toml`. Each `[[model]]` must
+/// name an existing `#[test]` function in its declared file, and each
+/// must be referenced by at least one annotation.
+pub fn gate_modelcov(inv: &Inventory, cov: &Coverage, map: &HbMap, cov_path: &str) -> Vec<Diag> {
+    let mut out = Vec::new();
+    if cov.crates.is_empty() {
+        return out; // gate disabled (no coverage.toml)
+    }
+
+    let mut bad_decl: BTreeSet<&str> = BTreeSet::new();
+    for m in &cov.models {
+        let exists = inv
+            .tests
+            .iter()
+            .any(|t| t.name == m.test && t.file == m.file);
+        if !exists {
+            bad_decl.insert(&m.test);
+            out.push(Diag {
+                gate: "modelcov",
+                file: cov_path.to_owned(),
+                line: m.line,
+                msg: format!(
+                    "[[model]] names `{}` in `{}` but no `#[test]` function \
+                     with that name exists there — fix the table or restore \
+                     the loom test",
+                    m.test, m.file
+                ),
+            });
+        }
+    }
+
+    let declared: BTreeSet<&str> = cov.models.iter().map(|m| m.test.as_str()).collect();
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+
+    for s in inv.atomics.iter().filter(|s| s.ctx == Ctx::Src) {
+        let covered_crate = cov.crates.iter().any(|c| c == &s.crate_name);
+        let is_rmw = crate::scan::RMW_OPS.contains(&s.op.as_str());
+        let edge_carrying = (s.op == "store" && s.has_ordering("Release"))
+            || (is_rmw
+                && (s.has_ordering("AcqRel")
+                    || s.has_ordering("SeqCst")
+                    || s.has_ordering("Acquire")
+                    || s.has_ordering("Release")));
+        let required =
+            covered_crate || (edge_carrying && map.edge_for(&s.file, &s.receiver).is_some());
+        match &s.model {
+            Some(names) => {
+                for name in names.split(',').filter(|n| !n.is_empty()) {
+                    if declared.contains(name) {
+                        referenced.insert(name.to_owned());
+                    } else {
+                        out.push(Diag {
+                            gate: "modelcov",
+                            file: s.file.clone(),
+                            line: s.line,
+                            msg: format!(
+                                "stale loom-model annotation: `{name}` is not \
+                                 declared in {cov_path} — add a [[model]] \
+                                 entry or fix the name"
+                            ),
+                        });
+                    }
+                }
+            }
+            None if required => {
+                out.push(Diag {
+                    gate: "modelcov",
+                    file: s.file.clone(),
+                    line: s.line,
+                    msg: format!(
+                        "atomic site `{}.{}({})` has no adjacent \
+                         `// loom-model: <test>` annotation naming the loom \
+                         suite that drives this interleaving — every \
+                         shipped atomic in the covered crates needs a model \
+                         declared in {cov_path}",
+                        s.receiver,
+                        s.op,
+                        s.orderings.join(", ")
+                    ),
+                });
+            }
+            None => {}
+        }
+    }
+
+    for m in &cov.models {
+        if !referenced.contains(&m.test) && !bad_decl.contains(m.test.as_str()) {
+            out.push(Diag {
+                gate: "modelcov",
+                file: cov_path.to_owned(),
+                line: m.line,
+                msg: format!(
+                    "stale [[model]] `{}`: no loom-model annotation \
+                     references it — delete the entry or annotate the sites \
+                     it covers",
+                    m.test
+                ),
+            });
+        }
+    }
+
     out
 }
 

@@ -19,8 +19,11 @@ pub enum TokKind {
     Ident(String),
     /// A single punctuation byte (`.`, `(`, `:`, `#`, `{`, ...).
     Punct(char),
-    /// Any literal: string, raw string, byte string, char, number.
-    Lit,
+    /// Any literal: string, raw string, byte string, char, number. Carries
+    /// the raw source text so downstream passes can read numeric values
+    /// (array lengths, `repr(align(N))` arguments) without re-slicing the
+    /// file.
+    Lit(String),
     /// A lifetime such as `'static` (kept distinct from char literals).
     Lifetime,
 }
@@ -166,6 +169,7 @@ impl Lexer<'_> {
     /// Ordinary string literal, `self.i` at the opening quote.
     fn string(&mut self) {
         let line = self.line;
+        let start = self.i;
         self.i += 1;
         while self.i < self.b.len() {
             match self.b[self.i] {
@@ -181,8 +185,13 @@ impl Lexer<'_> {
                 _ => self.i += 1,
             }
         }
+        self.push_lit(start, line);
+    }
+
+    fn push_lit(&mut self, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
         self.out.toks.push(Tok {
-            kind: TokKind::Lit,
+            kind: TokKind::Lit(text),
             line,
         });
     }
@@ -190,6 +199,7 @@ impl Lexer<'_> {
     /// Raw string body, `self.i` at the first `#` or `"` after `r`/`br`.
     fn raw_string(&mut self) {
         let line = self.line;
+        let start = self.i;
         let mut hashes = 0usize;
         while self.b.get(self.i) == Some(&b'#') {
             hashes += 1;
@@ -212,10 +222,7 @@ impl Lexer<'_> {
             }
             self.i += 1;
         }
-        self.out.toks.push(Tok {
-            kind: TokKind::Lit,
-            line,
-        });
+        self.push_lit(start, line);
     }
 
     /// Char literal or lifetime, `self.i` at the `'`.
@@ -237,6 +244,7 @@ impl Lexer<'_> {
             return;
         }
         let line = self.line;
+        let start = self.i;
         self.i += 1;
         while self.i < self.b.len() {
             match self.b[self.i] {
@@ -253,10 +261,7 @@ impl Lexer<'_> {
                 _ => self.i += 1,
             }
         }
-        self.out.toks.push(Tok {
-            kind: TokKind::Lit,
-            line,
-        });
+        self.push_lit(start, line);
     }
 
     /// `b`/`r` may prefix strings (`b".."`, `r".."`, `r#".."#`, `br".."`),
@@ -306,11 +311,12 @@ impl Lexer<'_> {
         // Consume digits and alphanumeric suffixes (0xFF, 1_000u64, 5e3);
         // `.` stays a separate punct so `0..N` and method calls tokenize
         // unambiguously. Floats split into two Lit tokens, which is fine —
-        // the analyzer never interprets numeric values.
+        // the layout pass only interprets integer values.
+        let start = self.i;
         while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
             self.i += 1;
         }
-        self.push(TokKind::Lit);
+        self.push_lit(start, self.line);
     }
 }
 

@@ -15,9 +15,12 @@
 //!   the happens-before map check (`analysis/hb_map.toml`, mirroring
 //!   DESIGN.md §8/§11), the atomics ratchet (`analysis/atomics.lock`), the
 //!   bounded-loop termination check (`analysis/progress.toml`, DESIGN.md
-//!   §13), and the blocking-construct lint, plus the unsafe-coverage pass
-//!   that replaced `tools/check_safety_comments.sh`'s 6-line-window
-//!   heuristic.
+//!   §13), the blocking-construct lint, the false-sharing layout check
+//!   (`analysis/layout.toml`, DESIGN.md §16, backed by the conservative
+//!   size/offset estimator in [`layout`]), and the loom model-coverage
+//!   check (`analysis/coverage.toml`, DESIGN.md §16), plus the
+//!   unsafe-coverage pass that replaced
+//!   `tools/check_safety_comments.sh`'s 6-line-window heuristic.
 //! * **Output** ([`sarif`]) — `check --format sarif` renders the same
 //!   diagnostics as SARIF 2.1.0 for CI annotation; `--changed-since REF`
 //!   filters them to the files a diff touches.
@@ -28,6 +31,7 @@
 
 pub mod config;
 pub mod gates;
+pub mod layout;
 pub mod lexer;
 pub mod minitoml;
 pub mod ratchet;
@@ -36,6 +40,7 @@ pub mod scan;
 pub mod workspace;
 
 use gates::Diag;
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Everything `check` needs, loaded from a workspace root.
@@ -50,6 +55,10 @@ pub struct Analysis {
     pub lock: ratchet::Lock,
     /// The bounded-loop (termination) declarations.
     pub progress: config::Progress,
+    /// The per-struct ownership (false-sharing) table.
+    pub layout: config::Layout,
+    /// The loom model-coverage table.
+    pub coverage: config::Coverage,
 }
 
 /// Scans `root` without loading any config (for `inventory`/`baseline`).
@@ -79,17 +88,23 @@ pub fn load(root: &Path) -> Result<Analysis, String> {
     let lock = load_lock(root)?;
     let progress = config::Progress::load(&root.join("analysis/progress.toml"))
         .map_err(|e| e.to_string())?;
+    let layout = config::Layout::load(&root.join("analysis/layout.toml"))
+        .map_err(|e| e.to_string())?;
+    let coverage = config::Coverage::load(&root.join("analysis/coverage.toml"))
+        .map_err(|e| e.to_string())?;
     Ok(Analysis {
         inventory,
         policy,
         hb_map,
         lock,
         progress,
+        layout,
+        coverage,
     })
 }
 
-/// Runs all five gates (plus the safety pass) and returns every violation,
-/// file:line-sorted.
+/// Runs all seven gates (plus the safety pass) and returns every
+/// violation, file:line-sorted.
 pub fn check(analysis: &Analysis) -> Vec<Diag> {
     let mut diags = gates::gate_safety(&analysis.inventory);
     diags.extend(gates::gate_waitfree(&analysis.inventory, &analysis.policy));
@@ -109,8 +124,27 @@ pub fn check(analysis: &Analysis) -> Vec<Diag> {
         "analysis/progress.toml",
     ));
     diags.extend(gates::gate_noblock(&analysis.inventory, &analysis.policy));
+    diags.extend(gates::gate_layout(
+        &analysis.inventory,
+        &analysis.layout,
+        "analysis/layout.toml",
+    ));
+    diags.extend(gates::gate_modelcov(
+        &analysis.inventory,
+        &analysis.coverage,
+        &analysis.hb_map,
+        "analysis/coverage.toml",
+    ));
     diags.sort_by(|a, b| (&a.file, a.line, a.gate).cmp(&(&b.file, b.line, b.gate)));
     diags
+}
+
+/// `--changed-since` filtering: keeps only diagnostics whose culprit file
+/// is in `changed`. This is the single code path every gate's output
+/// flows through — config-culprit diags (a stale table entry, say) are
+/// kept when the *config* file changed, exactly like source culprits.
+pub fn filter_changed(diags: &mut Vec<Diag>, changed: &BTreeSet<String>) {
+    diags.retain(|d| changed.contains(&d.file));
 }
 
 /// Convenience: load + check in one call (used by tests and the wrapper

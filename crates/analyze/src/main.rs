@@ -133,7 +133,7 @@ fn run_check(
             }
         };
         let before = diags.len();
-        diags.retain(|d| changed.contains(&d.file));
+        wfbn_analyze::filter_changed(&mut diags, &changed);
         eprintln!(
             "wfbn-analyze: diff mode vs {rev}: {} changed file(s), {} of {before} \
              diagnostic(s) in the diff",
@@ -153,11 +153,13 @@ fn run_check(
         let scope = gate.unwrap_or("all gates");
         println!(
             "wfbn-analyze: OK ({scope}; {} atomic sites, {} unsafe sites, {} hb edges, \
-             {} bounded loops)",
+             {} bounded loops, {} layout structs, {} loom models)",
             analysis.inventory.atomics.len(),
             analysis.inventory.unsafes.len(),
             analysis.hb_map.edges.len(),
             analysis.progress.loops.len(),
+            analysis.layout.structs.len(),
+            analysis.coverage.models.len(),
         );
         return ExitCode::SUCCESS;
     }
@@ -195,14 +197,20 @@ fn run_inventory(root: &std::path::Path, json: bool) -> ExitCode {
                 .as_deref()
                 .map(|r| format!(" [hb-writer: {r}]"))
                 .unwrap_or_default();
+            let model = s
+                .model
+                .as_deref()
+                .map(|m| format!(" [loom-model: {m}]"))
+                .unwrap_or_default();
             println!(
-                "  {:>5}  {:<4} {}.{}({}){}",
+                "  {:>5}  {:<4} {}.{}({}){}{}",
                 s.line,
                 s.ctx.name(),
                 s.receiver,
                 s.op,
                 s.orderings.join(", "),
-                role
+                role,
+                model
             );
         }
     }
@@ -221,6 +229,29 @@ fn run_inventory(root: &std::path::Path, json: bool) -> ExitCode {
         let s: Vec<String> = counts.iter().map(|(t, n)| format!("{t}×{n}")).collect();
         println!("  {file}: {}", s.join(", "));
     }
+    let atomic_structs: Vec<&wfbn_analyze::scan::StructSite> = inv
+        .structs
+        .iter()
+        .filter(|s| {
+            s.fields
+                .iter()
+                .any(|f| f.ty.contains("Atomic") || f.ty.contains("CachePadded"))
+        })
+        .collect();
+    println!("\n## Structs holding atomics ({})\n", atomic_structs.len());
+    for s in atomic_structs {
+        let repr = match (s.repr_c, s.repr_align) {
+            (true, Some(a)) => format!(" #[repr(C, align({a}))]"),
+            (true, None) => " #[repr(C)]".to_owned(),
+            (false, Some(a)) => format!(" #[repr(align({a}))]"),
+            (false, None) => String::new(),
+        };
+        println!("  {}:{}  {}{} ({} fields)", s.file, s.line, s.name, repr, s.fields.len());
+        for f in &s.fields {
+            println!("    {:>5}  {}: {}", f.line, f.name, f.ty);
+        }
+    }
+    println!("\n## Test functions ({})", inv.tests.len());
     ExitCode::SUCCESS
 }
 

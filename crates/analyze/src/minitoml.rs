@@ -48,6 +48,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
 }
 
 /// One `[header]` or `[[header]]` section with its keys.
@@ -81,6 +89,14 @@ impl Section {
         self.entries
             .get(key)
             .and_then(Value::as_bool)
+            .unwrap_or(default)
+    }
+
+    /// Integer value for `key`, or `default`.
+    pub fn int_or(&self, key: &str, default: i64) -> i64 {
+        self.entries
+            .get(key)
+            .and_then(Value::as_int)
             .unwrap_or(default)
     }
 }

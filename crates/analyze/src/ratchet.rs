@@ -148,6 +148,7 @@ mod tests {
             op: op.into(),
             orderings: vec![ord.into()],
             writer_role: None,
+            model: None,
         }
     }
 

@@ -34,6 +34,14 @@ pub const RULES: &[(&str, &str)] = &[
         "noblock",
         "no blocking construct (lock, park, sleep, channel recv, join) on hot-path crates",
     ),
+    (
+        "layout",
+        "no two writer roles can share a cache line in structs declared in analysis/layout.toml",
+    ),
+    (
+        "modelcov",
+        "every covered atomic site names a loom model declared in analysis/coverage.toml",
+    ),
 ];
 
 /// Renders `diags` as a SARIF 2.1.0 log (pretty-printed, trailing newline).

@@ -23,12 +23,22 @@
 //! 5. **Blocking constructs** — lock/condvar/channel types, `park`/`sleep`/
 //!    `recv` calls, bare `.join()`, and `spin_loop` outside any loop; the
 //!    `noblock` gate denies them on hot-path crates (see [`BlockingSite`]).
+//! 6. **Struct definitions** — every named-field struct with its fields'
+//!    type text, `#[repr(C)]`/`#[repr(align(N))]` attributes, and source
+//!    line, feeding the `layout` false-sharing gate (see [`StructSite`]).
+//! 7. **Integer constants and `#[test]` functions** — `const N: usize = …`
+//!    definitions (for resolving `[T; N]` array lengths) and the names of
+//!    `#[test]`-attributed functions (for the `modelcov` gate's
+//!    model-existence check).
 //!
 //! Release stores may carry a `// hb-writer: <role>` annotation naming the
 //! unique writer role of the stored-to field; the happens-before gate
 //! cross-checks those roles against `analysis/hb_map.toml`. Poll loops
 //! carry a `// wf-bound: <kind>(<arg>)` annotation, cross-checked against
-//! `analysis/progress.toml` by the same adjacency rules.
+//! `analysis/progress.toml` by the same adjacency rules. Atomic sites may
+//! carry a `// loom-model: <test>[,<test>…]` annotation naming the loom
+//! suite(s) that exercise the site, cross-checked against
+//! `analysis/coverage.toml` by the `modelcov` gate.
 
 use crate::lexer::{lex, Comment, Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -72,6 +82,9 @@ pub struct AtomicSite {
     pub orderings: Vec<String>,
     /// `// hb-writer: <role>` annotation adjacent to the site, if any.
     pub writer_role: Option<String>,
+    /// `// loom-model: <test>[,<test>…]` annotation adjacent to the site,
+    /// if any (comma-separated, no spaces).
+    pub model: Option<String>,
 }
 
 impl AtomicSite {
@@ -166,6 +179,69 @@ pub struct BlockingSite {
     pub construct: String,
 }
 
+/// One named-field struct definition.
+#[derive(Debug, Clone)]
+pub struct StructSite {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the struct name.
+    pub line: u32,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Src or Test context.
+    pub ctx: Ctx,
+    /// The struct's name.
+    pub name: String,
+    /// Whether the struct carries `#[repr(C)]`.
+    pub repr_c: bool,
+    /// `N` from `#[repr(align(N))]`, if present.
+    pub repr_align: Option<u64>,
+    /// Fields in declaration order.
+    pub fields: Vec<StructField>,
+}
+
+/// One field of a [`StructSite`].
+#[derive(Debug, Clone)]
+pub struct StructField {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// The field's type as rendered token text, e.g.
+    /// `[UnsafeCell<MaybeUninit<T>>; SEG_CAP]`. Re-lexing this string
+    /// reproduces the original token stream.
+    pub ty: String,
+}
+
+/// One `const NAME: <int> = <literal>;` definition.
+#[derive(Debug, Clone)]
+pub struct ConstDef {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the constant's name.
+    pub line: u32,
+    /// Constant name.
+    pub name: String,
+    /// Parsed integer value.
+    pub value: u64,
+    /// Preference when the same name is defined more than once behind
+    /// `cfg` gates: 2 = ungated, 1 = gated by a `cfg` containing `not(..)`
+    /// (the default-build arm), 0 = gated by a plain `cfg` (a non-default
+    /// arm, e.g. `cfg(feature = "loom")`). Higher wins.
+    pub score: u8,
+}
+
+/// One `#[test]`-attributed function.
+#[derive(Debug, Clone)]
+pub struct TestFn {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Function name.
+    pub name: String,
+}
+
 /// The whole workspace's concurrency inventory.
 #[derive(Debug, Default)]
 pub struct Inventory {
@@ -177,6 +253,12 @@ pub struct Inventory {
     pub loops: Vec<LoopSite>,
     /// Every blocking-construct site, in (file, line) order.
     pub blocking: Vec<BlockingSite>,
+    /// Every named-field struct definition, in (file, line) order.
+    pub structs: Vec<StructSite>,
+    /// Every integer constant definition, in (file, line) order.
+    pub consts: Vec<ConstDef>,
+    /// Every `#[test]` function, in (file, line) order.
+    pub tests: Vec<TestFn>,
     /// Atomic type mentions (`AtomicUsize`, ...) per file, for reporting.
     pub atomic_types: BTreeMap<String, BTreeMap<String, usize>>,
 }
@@ -398,6 +480,7 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
                 op: name.clone(),
                 orderings,
                 writer_role: lines.writer_role(t.line),
+                model: lines.loom_model(t.line),
             });
             continue;
         }
@@ -438,7 +521,348 @@ pub fn scan_file(src: &str, file: &str, crate_name: &str, file_ctx: Ctx) -> Inve
     }
     inv.loops.sort_by_key(|a| a.line);
 
+    inv.structs = extract_structs(toks, &attr, &in_test, file, crate_name, file_ctx);
+    inv.consts = extract_consts(toks, &attr, file);
+    inv.tests = extract_test_fns(toks, &attr, file);
+
     inv
+}
+
+/// Parses an integer literal's source text: decimal or `0x` hex, with `_`
+/// separators and type suffixes (`512usize`) tolerated.
+pub fn int_lit(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let (radix, digits) = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(rest) => (16, rest),
+        None => (10, t.as_str()),
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Walks backward from the token at `idx` (exclusive) over visibility and
+/// qualifier tokens, returning the attribute ranges that prefix the item.
+fn item_attrs(toks: &[Tok], attr: &AttrRanges, idx: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut j = idx;
+    while j > 0 {
+        let p = j - 1;
+        match &toks[p].kind {
+            TokKind::Ident(s)
+                if matches!(s.as_str(), "pub" | "async" | "const" | "unsafe" | "extern") =>
+            {
+                j = p;
+            }
+            TokKind::Punct(')') => {
+                // A `pub(crate)` / `pub(in path)` restriction group.
+                let mut depth = 0isize;
+                let mut k = p;
+                let open = loop {
+                    match toks[k].kind {
+                        TokKind::Punct(')') => depth += 1,
+                        TokKind::Punct('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break Some(k);
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break None;
+                    }
+                    k -= 1;
+                };
+                match open {
+                    Some(k)
+                        if k >= 1
+                            && matches!(&toks[k - 1].kind,
+                                TokKind::Ident(s) if s == "pub") =>
+                    {
+                        j = k - 1;
+                    }
+                    _ => break,
+                }
+            }
+            TokKind::Punct(']') => match attr.ending_at(p) {
+                Some((s, _)) => {
+                    out.push((s, p));
+                    j = s;
+                }
+                None => break,
+            },
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Reads `#[repr(..)]` facts out of an item's attribute ranges.
+fn repr_of(toks: &[Tok], attrs: &[(usize, usize)]) -> (bool, Option<u64>) {
+    let mut repr_c = false;
+    let mut repr_align = None;
+    for &(s, e) in attrs {
+        let span = &toks[s..=e];
+        if !matches!(span.get(2).map(|t| &t.kind),
+            Some(TokKind::Ident(n)) if n == "repr")
+        {
+            continue;
+        }
+        for (k, t) in span.iter().enumerate() {
+            match &t.kind {
+                TokKind::Ident(n) if n == "C" => repr_c = true,
+                TokKind::Ident(n) if n == "align" => {
+                    if let (Some(Tok { kind: TokKind::Punct('('), .. }), Some(lit)) =
+                        (span.get(k + 1), span.get(k + 2))
+                    {
+                        if let TokKind::Lit(text) = &lit.kind {
+                            repr_align = int_lit(text);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (repr_c, repr_align)
+}
+
+/// Renders a token slice back to compact source text. Idents and literals
+/// are separated where needed so re-lexing reproduces the token stream.
+fn render_tokens(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for t in toks {
+        let (text, wordy): (&str, bool) = match &t.kind {
+            TokKind::Ident(s) => (s, true),
+            TokKind::Lit(s) => (s, true),
+            TokKind::Lifetime => ("'_", true),
+            TokKind::Punct(c) => {
+                out.push(*c);
+                if *c == ';' || *c == ',' {
+                    out.push(' ');
+                }
+                prev_wordy = false;
+                continue;
+            }
+        };
+        if prev_wordy {
+            out.push(' ');
+        }
+        out.push_str(text);
+        prev_wordy = wordy;
+    }
+    out.trim_end().to_owned()
+}
+
+/// Extracts every named-field struct definition.
+fn extract_structs(
+    toks: &[Tok],
+    attr: &AttrRanges,
+    in_test: &[bool],
+    file: &str,
+    crate_name: &str,
+    file_ctx: Ctx,
+) -> Vec<StructSite> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(&t.kind, TokKind::Ident(n) if n == "struct") || attr.covers(i) {
+            continue;
+        }
+        let Some(Tok { kind: TokKind::Ident(name), line: name_line }) = toks.get(i + 1)
+        else {
+            continue;
+        };
+        // Locate the field block: first `{` at angle/paren depth 0 after
+        // the name (skipping generics and any where-clause). `;` or `(`
+        // first means a unit/tuple struct, which the layout model skips.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('<' | '(' | '[') => depth += 1,
+                TokKind::Punct('>' | ')' | ']') => depth -= 1,
+                TokKind::Punct('{') if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Punct(';' | '{') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let (repr_c, repr_align) = repr_of(toks, &item_attrs(toks, attr, i));
+        let mut fields = Vec::new();
+        let mut k = open + 1;
+        'fields: while k < toks.len() && toks[k].kind != TokKind::Punct('}') {
+            while let Some((_, ae)) = attr.starting_at(k) {
+                k = ae + 1;
+            }
+            if matches!(&toks[k].kind, TokKind::Ident(s) if s == "pub") {
+                k += 1;
+                if toks.get(k).map(|t| &t.kind) == Some(&TokKind::Punct('(')) {
+                    let mut d = 0i32;
+                    while k < toks.len() {
+                        match toks[k].kind {
+                            TokKind::Punct('(') => d += 1,
+                            TokKind::Punct(')') => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            let Some(Tok { kind: TokKind::Ident(fname), line: fline }) = toks.get(k)
+            else {
+                break;
+            };
+            if toks.get(k + 1).map(|t| &t.kind) != Some(&TokKind::Punct(':')) {
+                break;
+            }
+            let ty_start = k + 2;
+            let mut d = 0i32;
+            let mut m = ty_start;
+            while m < toks.len() {
+                match toks[m].kind {
+                    TokKind::Punct('<' | '(' | '[' | '{') => d += 1,
+                    TokKind::Punct('>' | ')' | ']' | '}') if d > 0 => d -= 1,
+                    TokKind::Punct(',') if d == 0 => break,
+                    TokKind::Punct('}') if d == 0 => {
+                        fields.push(StructField {
+                            name: fname.clone(),
+                            line: *fline,
+                            ty: render_tokens(&toks[ty_start..m]),
+                        });
+                        break 'fields;
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            fields.push(StructField {
+                name: fname.clone(),
+                line: *fline,
+                ty: render_tokens(&toks[ty_start..m]),
+            });
+            k = m + 1;
+        }
+        let ctx = if file_ctx == Ctx::Test || in_test[i] {
+            Ctx::Test
+        } else {
+            Ctx::Src
+        };
+        out.push(StructSite {
+            file: file.to_owned(),
+            line: *name_line,
+            crate_name: crate_name.to_owned(),
+            ctx,
+            name: name.clone(),
+            repr_c,
+            repr_align,
+            fields,
+        });
+    }
+    out
+}
+
+/// Extracts every `const NAME: <int-type> = <int-literal>;` definition,
+/// scoring each by its `cfg` gating (see [`ConstDef::score`]).
+fn extract_consts(toks: &[Tok], attr: &AttrRanges, file: &str) -> Vec<ConstDef> {
+    const INT_TYPES: &[&str] = &[
+        "usize", "u8", "u16", "u32", "u64", "isize", "i8", "i16", "i32", "i64",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(&t.kind, TokKind::Ident(n) if n == "const") || attr.covers(i) {
+            continue;
+        }
+        // `*const T` is a pointer type, `const fn` a qualifier.
+        if i > 0 && toks[i - 1].kind == TokKind::Punct('*') {
+            continue;
+        }
+        let (Some(name_tok), Some(colon), Some(ty), Some(eq), Some(lit), Some(semi)) = (
+            toks.get(i + 1),
+            toks.get(i + 2),
+            toks.get(i + 3),
+            toks.get(i + 4),
+            toks.get(i + 5),
+            toks.get(i + 6),
+        ) else {
+            continue;
+        };
+        let (TokKind::Ident(name), TokKind::Ident(ty_name), TokKind::Lit(text)) =
+            (&name_tok.kind, &ty.kind, &lit.kind)
+        else {
+            continue;
+        };
+        if colon.kind != TokKind::Punct(':')
+            || eq.kind != TokKind::Punct('=')
+            || semi.kind != TokKind::Punct(';')
+            || !INT_TYPES.contains(&ty_name.as_str())
+        {
+            continue;
+        }
+        let Some(value) = int_lit(text) else { continue };
+        let mut score = 2u8;
+        for (s, e) in item_attrs(toks, attr, i) {
+            let span = &toks[s..=e];
+            let has = |w: &str| {
+                span.iter()
+                    .any(|t| matches!(&t.kind, TokKind::Ident(n) if n == w))
+            };
+            if has("cfg") {
+                score = score.min(if has("not") { 1 } else { 0 });
+            }
+        }
+        out.push(ConstDef {
+            file: file.to_owned(),
+            line: name_tok.line,
+            name: name.clone(),
+            value,
+            score,
+        });
+    }
+    out
+}
+
+/// Extracts every function carrying an exact `#[test]` attribute.
+fn extract_test_fns(toks: &[Tok], attr: &AttrRanges, file: &str) -> Vec<TestFn> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(&t.kind, TokKind::Ident(n) if n == "fn") || attr.covers(i) {
+            continue;
+        }
+        let Some(Tok { kind: TokKind::Ident(name), .. }) = toks.get(i + 1) else {
+            continue;
+        };
+        let is_test = item_attrs(toks, attr, i).iter().any(|&(s, e)| {
+            e == s + 3
+                && toks[s + 1].kind == TokKind::Punct('[')
+                && matches!(&toks[s + 2].kind, TokKind::Ident(n) if n == "test")
+                && toks[s + 3].kind == TokKind::Punct(']')
+        });
+        if is_test {
+            out.push(TestFn {
+                file: file.to_owned(),
+                line: t.line,
+                name: name.clone(),
+            });
+        }
+    }
+    out
 }
 
 /// One `loop`/`while`/`for` construct's token extent.
@@ -560,6 +984,9 @@ impl Inventory {
         self.unsafes.extend(other.unsafes);
         self.loops.extend(other.loops);
         self.blocking.extend(other.blocking);
+        self.structs.extend(other.structs);
+        self.consts.extend(other.consts);
+        self.tests.extend(other.tests);
         for (file, counts) in other.atomic_types {
             let slot = self.atomic_types.entry(file).or_default();
             for (ty, n) in counts {
@@ -582,6 +1009,11 @@ impl AttrRanges {
     /// Index of the range starting at `idx`, if any.
     fn starting_at(&self, idx: usize) -> Option<(usize, usize)> {
         self.ranges.iter().copied().find(|&(s, _)| s == idx)
+    }
+
+    /// Index of the range ending at `idx`, if any.
+    fn ending_at(&self, idx: usize) -> Option<(usize, usize)> {
+        self.ranges.iter().copied().find(|&(_, e)| e == idx)
     }
 }
 
@@ -911,6 +1343,12 @@ impl LineInfo {
     fn wf_bound(&self, line: u32) -> Option<String> {
         self.marker_value(line, "wf-bound:")
     }
+
+    /// Extracts an adjacent `loom-model: <test>[,<test>…]` annotation, if
+    /// present.
+    fn loom_model(&self, line: u32) -> Option<String> {
+        self.marker_value(line, "loom-model:")
+    }
 }
 
 #[cfg(test)]
@@ -1128,6 +1566,70 @@ mod tests {
     fn thread_sleep_is_a_blocking_site() {
         let src = "fn f() { std::thread::sleep(Duration::from_millis(1)); }\n";
         assert_eq!(scan(src).blocking[0].construct, "sleep");
+    }
+
+    #[test]
+    fn struct_fields_and_repr_are_extracted() {
+        let src = "#[repr(C)]\n#[repr(align(64))]\npub struct Seg<T> {\n    \
+                   len: CachePadded<AtomicUsize>,\n    \
+                   pub(crate) slots: [UnsafeCell<MaybeUninit<T>>; SEG_CAP],\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.structs.len(), 1);
+        let s = &inv.structs[0];
+        assert_eq!(s.name, "Seg");
+        assert!(s.repr_c);
+        assert_eq!(s.repr_align, Some(64));
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "len");
+        assert_eq!(s.fields[0].ty, "CachePadded<AtomicUsize>");
+        assert_eq!(s.fields[1].name, "slots");
+        assert_eq!(s.fields[1].ty, "[UnsafeCell<MaybeUninit<T>>; SEG_CAP]");
+        assert_eq!(s.fields[1].line, 5);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_are_skipped() {
+        let inv = scan("struct A(u64, u64);\nstruct B;\nstruct C { x: u8 }\n");
+        assert_eq!(inv.structs.len(), 1);
+        assert_eq!(inv.structs[0].name, "C");
+        assert!(!inv.structs[0].repr_c);
+    }
+
+    #[test]
+    fn const_defs_are_extracted_with_cfg_preference_scores() {
+        let src = "pub const A: usize = 512;\n\
+                   #[cfg(not(feature = \"loom\"))]\nconst B: usize = 4;\n\
+                   #[cfg(feature = \"loom\")]\nconst B: usize = 2;\n\
+                   const fn f() {}\nfn g(p: *const u8) {}\n";
+        let inv = scan(src);
+        let vals: Vec<(&str, u64, u8)> = inv
+            .consts
+            .iter()
+            .map(|c| (c.name.as_str(), c.value, c.score))
+            .collect();
+        assert_eq!(vals, vec![("A", 512, 2), ("B", 4, 1), ("B", 2, 0)]);
+    }
+
+    #[test]
+    fn test_fns_are_extracted_and_cfg_test_is_not_confused_for_test() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn probe_works() {}\n    \
+                   fn helper() {}\n}\n";
+        let inv = scan(src);
+        assert_eq!(inv.tests.len(), 1);
+        assert_eq!(inv.tests[0].name, "probe_works");
+        assert_eq!(inv.tests[0].line, 4);
+    }
+
+    #[test]
+    fn loom_model_annotation_is_extracted() {
+        let src = "fn f() {\n    // loom-model: publish_is_seen,drain_completes\n    \
+                   tail.len.store(1, Ordering::Release);\n    w.store(2, Ordering::Release);\n}\n";
+        let inv = scan(src);
+        assert_eq!(
+            inv.atomics[0].model.as_deref(),
+            Some("publish_is_seen,drain_completes")
+        );
+        assert!(inv.atomics[1].model.is_none(), "annotation binds to the adjacent site only");
     }
 
     #[test]

@@ -189,3 +189,96 @@ fn loop_declaration_without_code_fails_waitloop_gate_at_the_table_line() {
         d.msg
     );
 }
+
+#[test]
+fn different_writer_roles_on_one_line_fail_layout_gate() {
+    let d = sole_diag("false_sharing");
+    assert_eq!(d.gate, "layout");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 9, "culprit is the later field of the sharing pair (`count`)");
+    assert!(
+        d.msg.contains("owner") && d.msg.contains("intruder") && d.msg.contains("CachePadded"),
+        "msg names both roles and the fix: {}",
+        d.msg
+    );
+    assert!(
+        d.msg.contains("offsets 0 and 8"),
+        "msg carries the estimated offsets: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn padding_drift_fails_layout_gate_at_the_table_line() {
+    let d = sole_diag("unpadded_two_writer");
+    assert_eq!(d.gate, "layout");
+    assert_eq!(
+        d.file, "analysis/layout.toml",
+        "a table promising padding the code lacks is a *config* culprit"
+    );
+    assert_eq!(d.line, 9, "culprit is the [[struct]] header of the drifted entry");
+    assert!(
+        d.msg.contains("`count`") && d.msg.contains("padded"),
+        "msg names the drifted field: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn covered_site_without_model_annotation_fails_modelcov_gate() {
+    let d = sole_diag("unmodeled_atomic");
+    assert_eq!(d.gate, "modelcov");
+    assert_eq!(d.file, "crates/demo/src/lib.rs");
+    assert_eq!(d.line, 32, "culprit is tick()'s unannotated count.store");
+    assert!(
+        d.msg.contains("count.store") && d.msg.contains("loom-model"),
+        "msg names the site and the missing annotation: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn model_declaration_without_test_fails_modelcov_gate_at_the_table_line() {
+    let d = sole_diag("stale_model");
+    assert_eq!(d.gate, "modelcov");
+    assert_eq!(
+        d.file, "analysis/coverage.toml",
+        "a [[model]] naming a nonexistent #[test] is a *config* culprit"
+    );
+    assert_eq!(d.line, 13, "culprit is the ghost [[model]] header");
+    assert!(
+        d.msg.contains("ghost_model_never_written"),
+        "msg names the ghost test: {}",
+        d.msg
+    );
+}
+
+#[test]
+fn changed_since_filtering_is_one_code_path_for_every_gate() {
+    use std::collections::BTreeSet;
+    use wfbn_analyze::{filter_changed, sarif};
+    // One source-culprit and one config-culprit diag per SARIF rule: after
+    // filtering on the source file, exactly the source culprits survive —
+    // no gate gets bespoke treatment.
+    let mk = |gate: &'static str, file: &str| Diag {
+        gate,
+        file: file.to_owned(),
+        line: 1,
+        msg: String::new(),
+    };
+    let mut diags: Vec<Diag> = sarif::RULES
+        .iter()
+        .flat_map(|(id, _)| [mk(id, "crates/demo/src/lib.rs"), mk(id, "analysis/ghost.toml")])
+        .collect();
+    let changed: BTreeSet<String> = [String::from("crates/demo/src/lib.rs")].into();
+    filter_changed(&mut diags, &changed);
+    assert_eq!(
+        diags.len(),
+        sarif::RULES.len(),
+        "one surviving diag per gate (the source culprit)"
+    );
+    assert!(diags.iter().all(|d| d.file == "crates/demo/src/lib.rs"));
+    let gates: Vec<&str> = diags.iter().map(|d| d.gate).collect();
+    let rules: Vec<&str> = sarif::RULES.iter().map(|(id, _)| *id).collect();
+    assert_eq!(gates, rules, "every SARIF rule id flowed through the filter");
+}

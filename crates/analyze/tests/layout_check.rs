@@ -1,0 +1,111 @@
+//! Cross-validates the layout estimator against rustc's own layouts.
+//!
+//! The `layout` gate reasons from a conservative, source-derived size/offset
+//! model ([`wfbn_analyze::layout`]); this test pins that model to reality:
+//! for every struct declared in `analysis/layout.toml`, every offset the
+//! estimator claims to know must equal `core::mem::offset_of!`, and every
+//! size it claims to know must equal `core::mem::size_of`. The rustc side
+//! comes from each crate's `layout_probes()` (structs like `Segment` are
+//! private; the probe exports name → size → field offsets without widening
+//! the API). A declared struct with no probe fails too, so the probe list
+//! cannot silently fall behind the table.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use wfbn_analyze::config::Layout;
+
+type Probe = (&'static str, usize, Vec<(&'static str, usize)>);
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The same const-resolution rule as `gate_layout`: prefer the scanned
+/// default-build definition (highest cfg-preference score), then let
+/// `[consts]` pins win.
+fn resolve_consts(inv: &wfbn_analyze::scan::Inventory, cfg: &Layout) -> BTreeMap<String, u64> {
+    let mut best: BTreeMap<&str, (u64, u8)> = BTreeMap::new();
+    for c in &inv.consts {
+        match best.get(c.name.as_str()) {
+            Some((_, s)) if *s >= c.score => {}
+            _ => {
+                best.insert(&c.name, (c.value, c.score));
+            }
+        }
+    }
+    let mut consts: BTreeMap<String, u64> =
+        best.iter().map(|(k, (v, _))| ((*k).to_owned(), *v)).collect();
+    for (name, v) in &cfg.consts {
+        consts.insert(name.clone(), *v);
+    }
+    consts
+}
+
+#[test]
+fn estimator_matches_rustc_for_every_declared_struct() {
+    let root = workspace_root();
+    let inv = wfbn_analyze::scan_only(&root).expect("workspace scans");
+    let cfg = Layout::load(&root.join("analysis/layout.toml")).expect("layout.toml parses");
+    assert!(
+        !cfg.structs.is_empty(),
+        "analysis/layout.toml declares structs (the gate is live)"
+    );
+    let consts = resolve_consts(&inv, &cfg);
+
+    let probes: Vec<Probe> = wfbn_concurrent::spsc::layout_probes()
+        .into_iter()
+        .chain(wfbn_concurrent::barrier::layout_probes())
+        .chain(wfbn_obs::metrics::layout_probes())
+        .collect();
+
+    let mut checked_offsets = 0usize;
+    let mut checked_sizes = 0usize;
+    for decl in &cfg.structs {
+        let site = inv
+            .structs
+            .iter()
+            .find(|s| s.file == decl.file && s.name == decl.name)
+            .unwrap_or_else(|| panic!("declared struct `{}` found in scan", decl.name));
+        let (_, real_size, real_fields) = probes
+            .iter()
+            .find(|(n, _, _)| *n == decl.name)
+            .unwrap_or_else(|| panic!("`{}` has a layout_probes() entry", decl.name));
+
+        let est = wfbn_analyze::layout::estimate(site, &consts);
+        assert_eq!(
+            est.fields.len(),
+            real_fields.len(),
+            "`{}`: probe lists every field",
+            decl.name
+        );
+        for (fe, (real_name, real_off)) in est.fields.iter().zip(real_fields) {
+            assert_eq!(&fe.name, real_name, "`{}`: field order", decl.name);
+            if let Some(off) = fe.offset {
+                assert_eq!(
+                    off, *real_off as u64,
+                    "`{}`.`{}`: estimated offset vs rustc",
+                    decl.name, fe.name
+                );
+                checked_offsets += 1;
+            }
+        }
+        if let Some(size) = est.size {
+            assert_eq!(
+                size, *real_size as u64,
+                "`{}`: estimated size vs rustc",
+                decl.name
+            );
+            checked_sizes += 1;
+        }
+    }
+    // The estimator must actually commit to something — all-unknown would
+    // pass the comparisons above vacuously while gutting the pair rule.
+    assert!(
+        checked_offsets >= 10,
+        "estimator knows at least 10 declared offsets (got {checked_offsets})"
+    );
+    assert!(
+        checked_sizes >= 3,
+        "estimator knows at least 3 declared sizes (got {checked_sizes})"
+    );
+}

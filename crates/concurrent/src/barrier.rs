@@ -9,6 +9,7 @@
 //! to the OS so that oversubscribed configurations (more threads than cores —
 //! the situation on small CI machines) still make progress.
 
+use crate::pad::CachePadded;
 use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 
 /// How many busy-wait iterations to perform before yielding to the scheduler.
@@ -39,11 +40,17 @@ const SPINS_BEFORE_YIELD: u32 = 1 << 10;
 ///     }
 /// });
 /// ```
+/// `repr(C)` so declared order is stored order (the false-sharing table in
+/// `analysis/layout.toml` reasons about byte offsets). `remaining` takes a
+/// fetch_sub from *every* arriver while `sense` is spun on by every waiter;
+/// padding them apart keeps each arrival from invalidating the line every
+/// other thread is polling.
 #[derive(Debug)]
+#[repr(C)]
 pub struct SpinBarrier {
     n: usize,
-    remaining: AtomicUsize,
-    sense: AtomicBool,
+    remaining: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
 }
 
 impl SpinBarrier {
@@ -56,8 +63,8 @@ impl SpinBarrier {
         assert!(n > 0, "a barrier needs at least one participant");
         Self {
             n,
-            remaining: AtomicUsize::new(n),
-            sense: AtomicBool::new(false),
+            remaining: CachePadded::new(AtomicUsize::new(n)),
+            sense: CachePadded::new(AtomicBool::new(false)),
         }
     }
 
@@ -71,16 +78,20 @@ impl SpinBarrier {
     /// Returns `true` on exactly one thread per round (the last arriver),
     /// mirroring [`std::sync::BarrierWaitResult::is_leader`].
     pub fn wait(&self) -> bool {
+        // loom-model: barrier_reuse_across_generations
         let my_sense = !self.sense.load(Ordering::Relaxed);
         // AcqRel: releases this thread's pre-barrier writes and acquires the
         // writes of threads that arrived earlier.
         // hb-writer: arriver
+        // loom-model: barrier_reuse_across_generations
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arriver: reset the counter for the next round, then flip
             // the sense (Release publishes the reset together with every
             // participant's pre-barrier writes).
+            // loom-model: barrier_reuse_across_generations
             self.remaining.store(self.n, Ordering::Relaxed);
             // hb-writer: leader
+            // loom-model: barrier_reuse_across_generations
             self.sense.store(my_sense, Ordering::Release);
             true
         } else {
@@ -88,6 +99,7 @@ impl SpinBarrier {
             // wf-bound: rendezvous(P) — exits when the last of the P
             // participants arrives and the leader flips the sense; the
             // paper admits exactly one such rendezvous per build.
+            // loom-model: barrier_reuse_across_generations
             while self.sense.load(Ordering::Acquire) != my_sense {
                 if spins < SPINS_BEFORE_YIELD {
                     crate::sync::hint::spin_loop();
@@ -99,6 +111,23 @@ impl SpinBarrier {
             false
         }
     }
+}
+
+/// Rustc's own layout of [`SpinBarrier`] for cross-checking the conservative
+/// estimator in `wfbn-analyze` (crates/analyze/tests/layout_check.rs).
+#[doc(hidden)]
+#[cfg(not(feature = "loom"))]
+pub fn layout_probes() -> Vec<crate::pad::LayoutProbe> {
+    use core::mem::{offset_of, size_of};
+    vec![(
+        "SpinBarrier",
+        size_of::<SpinBarrier>(),
+        vec![
+            ("n", offset_of!(SpinBarrier, n)),
+            ("remaining", offset_of!(SpinBarrier, remaining)),
+            ("sense", offset_of!(SpinBarrier, sense)),
+        ],
+    )]
 }
 
 #[cfg(test)]

@@ -169,6 +169,7 @@ impl<T> ClusterPublisher<T> {
         // every lane push above (and every per-shard snapshot inside the
         // cut) is visible to a reader that sees this cluster epoch.
         // hb-writer: coordinator
+        // loom-model: cluster_epoch_publishes_complete_cuts
         self.shared.store(self.epoch, Ordering::Release);
         self.current = Some(cut);
         Some(self.epoch)
@@ -227,6 +228,7 @@ impl<T> ClusterReader<T> {
     /// After this returns `e`, [`pin`](Self::pin) is guaranteed to return an
     /// epoch `>= e` — the module-level happens-before argument.
     pub fn published(&self) -> u64 {
+        // loom-model: cluster_epoch_publishes_complete_cuts,next_epoch_walks_the_sequence_without_skipping
         self.shared.load(Ordering::Acquire)
     }
 

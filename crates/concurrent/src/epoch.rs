@@ -122,6 +122,7 @@ impl<T> EpochPublisher<T> {
         // Release: pairs with the readers' Acquire load in `published`;
         // everything pushed above is visible to a reader that sees this epoch.
         // hb-writer: publisher
+        // loom-model: epoch_reader_never_observes_torn_or_unpublished_epoch
         self.shared.store(self.epoch, Ordering::Release);
         self.current = Some(snap);
         self.epoch
@@ -150,6 +151,7 @@ impl<T> EpochReader<T> {
     /// After this returns `e`, [`pin`](Self::pin) is guaranteed to return an
     /// epoch `>= e` — the module-level happens-before argument.
     pub fn published(&self) -> u64 {
+        // loom-model: epoch_reader_never_observes_torn_or_unpublished_epoch,epoch_pins_are_monotone_under_every_schedule
         self.shared.load(Ordering::Acquire)
     }
 

@@ -9,6 +9,12 @@
 use core::fmt;
 use core::ops::{Deref, DerefMut};
 
+/// One rustc-computed struct layout — name, `size_of`, and each field's
+/// `offset_of!` — exported by the `layout_probes()` functions so the
+/// `wfbn-analyze` layout estimator can be cross-checked against reality
+/// without making the probed structs public.
+pub type LayoutProbe = (&'static str, usize, Vec<(&'static str, usize)>);
+
 /// Pads and aligns a value to (at least) one cache line.
 ///
 /// 128 bytes is used rather than 64 because recent x86-64 parts prefetch

@@ -22,6 +22,7 @@
 //! the same segment — the `len` counter — which is the minimum communication
 //! any queue must perform.
 
+use crate::pad::CachePadded;
 use crate::sync::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
@@ -45,12 +46,18 @@ pub const SEG_CAP: usize = 512;
 #[cfg(feature = "loom")]
 pub const SEG_CAP: usize = 2;
 
+/// `repr(C)` so the declared field order is the stored field order — the
+/// false-sharing table in `analysis/layout.toml` reasons about byte offsets,
+/// and `repr(Rust)` would be free to reorder. `len` (producer-written) and
+/// `consumed` (consumer-written) each get their own cache line pair; the
+/// producer-owned tail words (`next`, `slots`) share lines freely.
+#[repr(C)]
 struct Segment<T> {
     /// Slots `[0, len)` are committed by the producer.
-    len: AtomicUsize,
+    len: CachePadded<AtomicUsize>,
     /// Slots `[0, consumed)` have been taken by the consumer. Written only by
     /// the consumer; read by the final drop to destroy leftovers exactly once.
-    consumed: AtomicUsize,
+    consumed: CachePadded<AtomicUsize>,
     /// Next segment in the chain, linked by the producer before it publishes
     /// any element in it.
     next: AtomicPtr<Segment<T>>,
@@ -60,8 +67,8 @@ struct Segment<T> {
 impl<T> Segment<T> {
     fn boxed() -> NonNull<Segment<T>> {
         let seg = Box::new(Segment {
-            len: AtomicUsize::new(0),
-            consumed: AtomicUsize::new(0),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            consumed: CachePadded::new(AtomicUsize::new(0)),
             next: AtomicPtr::new(ptr::null_mut()),
             slots: core::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
         });
@@ -71,12 +78,18 @@ impl<T> Segment<T> {
 }
 
 /// State shared by the two endpoints; owns the segment chain on final drop.
+///
+/// `repr(C)` + per-field padding for the same reason as [`Segment`]: `head`
+/// is consumer-written, `closed` is producer-written, and letting them share
+/// a line would make every queue-advance invalidate the producer's close
+/// flag (and vice versa).
+#[repr(C)]
 struct Shared<T> {
     /// First segment that may still hold live elements. Advanced by the
     /// consumer; read by the final drop.
-    head: AtomicPtr<Segment<T>>,
+    head: CachePadded<AtomicPtr<Segment<T>>>,
     /// Set by `Producer::drop`, meaning no further elements will arrive.
-    closed: AtomicBool,
+    closed: CachePadded<AtomicBool>,
 }
 
 // SAFETY: the chain is freed exactly once (by whichever endpoint drops the
@@ -163,8 +176,8 @@ unsafe impl<T: Send> Send for Consumer<T> {}
 pub fn channel<T>() -> (Producer<T>, Consumer<T>) {
     let first = Segment::boxed();
     let shared = Arc::new(Shared {
-        head: AtomicPtr::new(first.as_ptr()),
-        closed: AtomicBool::new(false),
+        head: CachePadded::new(AtomicPtr::new(first.as_ptr())),
+        closed: CachePadded::new(AtomicBool::new(false)),
     });
     (
         Producer {
@@ -193,6 +206,7 @@ impl<T> Producer<T> {
             // Release: the consumer's Acquire load of `next` must see the new
             // segment fully initialized.
             // hb-writer: producer
+            // loom-model: queue_transfer_crosses_segment_boundaries
             tail.next.store(next.as_ptr(), Ordering::Release);
             self.tail = next;
             self.idx = 0;
@@ -208,6 +222,7 @@ impl<T> Producer<T> {
             crate::audit::record_write(slot.cast::<u8>(), core::mem::size_of::<T>());
             // Release: publish the slot write above.
             // hb-writer: producer
+            // loom-model: queue_transfer_crosses_segment_boundaries,queue_close_then_drain_protocol_is_complete
             tail.len.store(self.idx + 1, Ordering::Release);
         }
         self.idx += 1;
@@ -248,6 +263,7 @@ impl<T: Copy> Producer<T> {
                 // Release: the consumer's Acquire load of `next` must see the
                 // new segment fully initialized.
                 // hb-writer: producer
+                // loom-model: push_block_segment_linking_is_published_under_every_schedule
                 tail.next.store(next.as_ptr(), Ordering::Release);
                 self.tail = next;
                 self.idx = 0;
@@ -269,6 +285,7 @@ impl<T: Copy> Producer<T> {
                     take * core::mem::size_of::<T>(),
                 );
                 // hb-writer: producer
+                // loom-model: push_block_segment_linking_is_published_under_every_schedule,block_to_block_transfer_is_complete_under_every_schedule
                 tail.len.store(self.idx + take, Ordering::Release);
             }
             self.idx += take;
@@ -282,6 +299,7 @@ impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
         // Release: a consumer that observes `closed` also observes every push.
         // hb-writer: producer
+        // loom-model: queue_close_then_drain_protocol_is_complete
         self.shared.closed.store(true, Ordering::Release);
     }
 }
@@ -298,6 +316,7 @@ impl<T> Consumer<T> {
         loop {
             // SAFETY: `head` is alive until we free it below.
             let head = unsafe { self.head.as_ref() };
+            // loom-model: queue_transfer_crosses_segment_boundaries
             let committed = head.len.load(Ordering::Acquire);
             if self.idx < committed {
                 // SAFETY: slot `idx` was committed (Acquire above pairs with
@@ -306,6 +325,7 @@ impl<T> Consumer<T> {
                 self.idx += 1;
                 self.popped += 1;
                 // Publish progress for the final-drop bookkeeping.
+                // loom-model: queue_drop_with_unconsumed_elements_frees_exactly_once
                 head.consumed.store(self.idx, Ordering::Relaxed);
                 return Some(value);
             }
@@ -314,11 +334,13 @@ impl<T> Consumer<T> {
                 return None;
             }
             // Segment exhausted: move to the next one if it exists.
+            // loom-model: queue_transfer_crosses_segment_boundaries
             let next = head.next.load(Ordering::Acquire);
             let next = NonNull::new(next)?;
             let old = self.head;
             self.head = next;
             self.idx = 0;
+            // loom-model: queue_drop_with_unconsumed_elements_frees_exactly_once
             self.shared.head.store(next.as_ptr(), Ordering::Relaxed);
             // The segment's slots go back to the allocator; a later
             // allocation owned by any core may legitimately reuse them.
@@ -351,6 +373,7 @@ impl<T> Consumer<T> {
         loop {
             // SAFETY: `head` is alive until we free it below.
             let head = unsafe { self.head.as_ref() };
+            // loom-model: pop_block_sees_complete_prefix_under_every_schedule
             let committed = head.len.load(Ordering::Acquire);
             if self.idx < committed {
                 let chunk = committed - self.idx;
@@ -365,6 +388,7 @@ impl<T> Consumer<T> {
                 self.popped += chunk as u64;
                 taken += chunk;
                 // Publish progress for the final-drop bookkeeping.
+                // loom-model: pop_block_sees_complete_prefix_under_every_schedule
                 head.consumed.store(self.idx, Ordering::Relaxed);
             }
             if self.idx < SEG_CAP {
@@ -372,6 +396,7 @@ impl<T> Consumer<T> {
                 return taken;
             }
             // Segment exhausted: move to the next one if it exists.
+            // loom-model: pop_block_sees_complete_prefix_under_every_schedule
             let next = head.next.load(Ordering::Acquire);
             let Some(next) = NonNull::new(next) else {
                 return taken;
@@ -379,6 +404,7 @@ impl<T> Consumer<T> {
             let old = self.head;
             self.head = next;
             self.idx = 0;
+            // loom-model: pop_block_sees_complete_prefix_under_every_schedule
             self.shared.head.store(next.as_ptr(), Ordering::Relaxed);
             // The segment's slots go back to the allocator; a later
             // allocation owned by any core may legitimately reuse them.
@@ -400,6 +426,7 @@ impl<T> Consumer<T> {
     /// already visible to `try_pop`, so `drain-until-None` after a `true`
     /// observation empties the queue completely.
     pub fn is_closed(&self) -> bool {
+        // loom-model: queue_close_then_drain_protocol_is_complete
         self.shared.closed.load(Ordering::Acquire)
     }
 
@@ -419,6 +446,7 @@ impl<T> Consumer<T> {
     /// marks.
     pub fn visible_backlog(&self) -> u64 {
         // SAFETY: `head` stays alive until this consumer advances past it.
+        // loom-model: queue_transfer_crosses_segment_boundaries
         let committed = unsafe { self.head.as_ref() }.len.load(Ordering::Acquire);
         committed.saturating_sub(self.idx) as u64
     }
@@ -436,7 +464,7 @@ impl<T> Drop for Consumer<T> {
         // SAFETY: head is alive; we are its unique reader.
         unsafe { self.head.as_ref() }
             .consumed
-            .store(self.idx, Ordering::Relaxed);
+            .store(self.idx, Ordering::Relaxed); // loom-model: queue_drop_with_unconsumed_elements_frees_exactly_once
         // Ownership of the chain transfers to Shared::drop via the Arc.
     }
 }
@@ -452,6 +480,36 @@ impl<T> Iterator for DrainVisible<'_, T> {
     fn next(&mut self) -> Option<T> {
         self.consumer.try_pop()
     }
+}
+
+/// Rustc's own layout of the queue's shared structs — name, size, and the
+/// byte offset of every field — for cross-checking the conservative
+/// estimator in `wfbn-analyze` (crates/analyze/tests/layout_check.rs).
+/// Instantiated at `T = u64`; the padded header offsets do not depend on `T`.
+#[doc(hidden)]
+#[cfg(not(feature = "loom"))]
+pub fn layout_probes() -> Vec<crate::pad::LayoutProbe> {
+    use core::mem::{offset_of, size_of};
+    vec![
+        (
+            "Segment",
+            size_of::<Segment<u64>>(),
+            vec![
+                ("len", offset_of!(Segment<u64>, len)),
+                ("consumed", offset_of!(Segment<u64>, consumed)),
+                ("next", offset_of!(Segment<u64>, next)),
+                ("slots", offset_of!(Segment<u64>, slots)),
+            ],
+        ),
+        (
+            "Shared",
+            size_of::<Shared<u64>>(),
+            vec![
+                ("head", offset_of!(Shared<u64>, head)),
+                ("closed", offset_of!(Shared<u64>, closed)),
+            ],
+        ),
+    ]
 }
 
 #[cfg(test)]

@@ -26,6 +26,13 @@ use loom::sync::atomic::{AtomicU64, Ordering};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One core's private telemetry words, padded to its own cache lines.
+///
+/// `repr(C)` so declared order is stored order — the struct is declared in
+/// `analysis/layout.toml` and the false-sharing gate reasons about byte
+/// offsets. Every word has the same single writer (the owning core), so no
+/// internal padding is needed; isolation between cores comes from the
+/// [`CachePadded`] wrapper around each whole slot.
+#[repr(C)]
 struct CoreSlot {
     /// Monotonic event counters, indexed by [`Counter`].
     counters: [AtomicU64; NUM_COUNTERS],
@@ -183,6 +190,25 @@ impl CoreRecorder for CoreHandle<'_> {
     fn query_latency(&mut self, ns: u64) {
         bump(&self.slot.lat_hist[lat_bucket(ns)], 1);
     }
+}
+
+/// Rustc's own layout of [`CoreSlot`] for cross-checking the conservative
+/// estimator in `wfbn-analyze` (crates/analyze/tests/layout_check.rs).
+#[doc(hidden)]
+#[cfg(not(feature = "loom"))]
+pub fn layout_probes() -> Vec<wfbn_concurrent::pad::LayoutProbe> {
+    use core::mem::{offset_of, size_of};
+    vec![(
+        "CoreSlot",
+        size_of::<CoreSlot>(),
+        vec![
+            ("counters", offset_of!(CoreSlot, counters)),
+            ("stage_ns", offset_of!(CoreSlot, stage_ns)),
+            ("probe_hist", offset_of!(CoreSlot, probe_hist)),
+            ("lat_hist", offset_of!(CoreSlot, lat_hist)),
+            ("queue_hwm", offset_of!(CoreSlot, queue_hwm)),
+        ],
+    )]
 }
 
 #[cfg(all(test, not(feature = "loom")))]

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Validates a SARIF 2.1.0 log produced by `wfbn-analyze -- check --format
 # sarif`: well-formed JSON (when python3 is available) plus the structural
-# anchors CI annotators rely on — schema/version, the driver name, the six
-# gate rules, and a results array. Dependency-light by design: the grep
-# fallback keeps it working on runners without python3.
+# anchors CI annotators rely on — schema/version, the driver name, the
+# exact eight-rule set (seven gates plus the safety pass), and a results
+# array. Dependency-light by design: the grep fallback keeps it working on
+# runners without python3.
 #
 # Usage: tools/check_sarif.sh FILE.sarif
 set -euo pipefail
@@ -34,7 +35,14 @@ require '"version": "2.1.0"'
 require '"name": "wfbn-analyze"'
 require '"rules": ['
 require '"results": ['
-for rule in safety waitfree hb ratchet waitloop noblock; do
+for rule in safety waitfree hb ratchet waitloop noblock layout modelcov; do
     require "\"id\": \"$rule\""
 done
+# The rule set is exact, not a lower bound: a gate added to the analyzer
+# without updating this script (or retired without pruning it) fails here.
+count=$(grep -c '"id": "' "$file")
+if [[ $count -ne 8 ]]; then
+    echo "check_sarif: expected exactly 8 rules, found $count" >&2
+    exit 1
+fi
 echo "check_sarif: OK ($file)"
